@@ -1,0 +1,67 @@
+"""E3 — Cycle breakdown: where the speedup comes from.
+
+The paper's microarchitecture analysis decomposes execution time.  For a
+representative subset we report, for scalar and DySER builds, the cycle
+accounting (issue slots vs each stall class) — showing that DySER's win
+is eliminated fetch/decode/issue slots for computation plus removal of
+the FPU serialization, while its own overheads (send/recv/config stalls)
+stay small.
+"""
+
+from common import SCALE, emit, once
+
+from repro.harness import format_table, run_workload
+
+KERNELS = ("saxpy", "dotprod", "mriq", "nbody", "newton_lcd")
+
+
+def breakdowns():
+    rows = []
+    raw = {}
+    for name in KERNELS:
+        for mode in ("scalar", "dyser"):
+            result = run_workload(name, mode=mode, scale=SCALE)
+            assert result.correct, (name, mode)
+            bd = result.stats.breakdown()
+            total = result.cycles
+            raw[(name, mode)] = (result, bd)
+            rows.append([
+                name, mode, total,
+                f"{bd.get('issue', 0) / total:.0%}",
+                f"{bd.get('structural_fpu', 0) / total:.0%}",
+                f"{bd.get('data_hazard', 0) / total:.0%}",
+                f"{(bd.get('load_miss', 0) + bd.get('fetch_miss', 0)) / total:.0%}",
+                f"{bd.get('branch', 0) / total:.0%}",
+                f"{(bd.get('dyser_send', 0) + bd.get('dyser_recv', 0)) / total:.0%}",
+                f"{bd.get('dyser_config', 0) / total:.0%}",
+            ])
+    return rows, raw
+
+
+def test_e3_cycle_breakdown(benchmark):
+    rows, raw = once(benchmark, breakdowns)
+    table = format_table(
+        ["benchmark", "build", "cycles", "issue", "fpu", "hazard",
+         "miss", "branch", "dyser_flow", "config"],
+        rows,
+        title="E3: cycle accounting, scalar vs SPARC-DySER",
+    )
+    emit("E3: cycle breakdown", table)
+
+    scalar_fpu_total = 0
+    dyser_fpu_total = 0
+    for name in ("saxpy", "mriq"):
+        scalar_stats = raw[(name, "scalar")][0].stats
+        dyser_stats = raw[(name, "dyser")][0].stats
+        # Fewer issue slots: computation left the host pipeline.
+        assert dyser_stats.issue_cycles < scalar_stats.issue_cycles / 2
+        scalar_fpu_total += raw[(name, "scalar")][1].get(
+            "structural_fpu", 0)
+        dyser_fpu_total += raw[(name, "dyser")][1].get(
+            "structural_fpu", 0)
+        # Integration overheads stay modest: config stalls are a sliver.
+        config = raw[(name, "dyser")][1].get("dyser_config", 0)
+        assert config < 0.05 * dyser_stats.cycles + 100
+    # The scalar builds serialize on the shared FPU; DySER removes it.
+    assert scalar_fpu_total > 0
+    assert dyser_fpu_total < scalar_fpu_total / 4

@@ -1,0 +1,56 @@
+"""E8 — FPGA resource utilization table.
+
+Regenerates the prototype's per-block synthesis table: OpenSPARC core,
+DySER fabric (swept 2x2..8x8), and the integrated system — LUTs, FFs,
+BRAM, DSP and achieved clock.  Shape: a 64-FU DySER is comparable to
+(somewhat smaller than) one core; fabric area scales ~linearly in FU
+count; the system clock is set by the core, not DySER.
+"""
+
+from common import emit, once
+
+from repro.dyser import Fabric, FabricGeometry
+from repro.fpga import dyser_resources, sparc_core_resources, system_report
+from repro.harness import format_table
+
+GEOMETRIES = ((2, 2), (4, 4), (6, 6), (8, 8))
+
+
+def build_table():
+    rows = []
+    core = sparc_core_resources()
+    rows.append(["sparc_core (w/ iface)", core.resources.luts,
+                 core.resources.ffs, core.resources.brams,
+                 core.resources.dsps, f"{core.fmax_mhz:.1f}"])
+    blocks = {}
+    for width, height in GEOMETRIES:
+        block = dyser_resources(Fabric(FabricGeometry(width, height)))
+        blocks[(width, height)] = block
+        r = block.resources
+        rows.append([block.name, r.luts, r.ffs, r.brams, r.dsps,
+                     f"{block.fmax_mhz:.1f}"])
+    system = system_report(Fabric(FabricGeometry(8, 8)))[-1]
+    rows.append([system.name, system.resources.luts,
+                 system.resources.ffs, system.resources.brams,
+                 system.resources.dsps, f"{system.fmax_mhz:.1f}"])
+    return rows, core, blocks, system
+
+
+def test_e8_fpga_resources(benchmark):
+    rows, core, blocks, system = once(benchmark, build_table)
+    table = format_table(
+        ["block", "LUTs", "FFs", "BRAM", "DSP", "fmax MHz"],
+        rows,
+        title="E8: FPGA utilization (calibrated cost model)",
+    )
+    emit("E8: fpga resources", table)
+
+    big = blocks[(8, 8)].resources
+    small = blocks[(2, 2)].resources
+    # ~Linear scaling in FU count (64/4 = 16x FUs -> 8..20x LUTs).
+    assert 8 <= big.luts / small.luts <= 20
+    # A 64-FU DySER is core-comparable, not core-dwarfing.
+    assert 0.4 < big.luts / core.resources.luts < 1.6
+    # System clock limited by the core.
+    assert system.fmax_mhz == core.fmax_mhz
+    assert blocks[(8, 8)].fmax_mhz > core.fmax_mhz

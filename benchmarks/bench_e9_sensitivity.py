@@ -1,0 +1,128 @@
+"""E9 — Sensitivity: fabric size and configuration-switch cost.
+
+Two sweeps the HPCA'11-style analysis motivates and the prototype's
+configuration cache addresses:
+
+1. Fabric geometry 2x2..8x8: per-kernel speedup saturates once the
+   region (at its best unroll factor) fits — bigger fabrics buy
+   unrolling headroom, then flatten.
+2. Config cache capacity 0..4 on a kernel forced to alternate between
+   two configurations: with no cache every switch pays the full
+   configuration reload; a small cache removes nearly all of it.
+"""
+
+from common import SCALE, emit, once
+
+import numpy as np
+
+from repro.compiler import CompilerOptions, compile_dyser
+from repro.cpu import Core, Memory
+from repro.dyser import DyserDevice, Fabric, FabricGeometry
+from repro.dyser.config_cache import ConfigCacheParams
+from repro.harness import compare, format_series, format_table
+
+GEOMETRIES = ((2, 2), (4, 4), (6, 6), (8, 8))
+KERNELS = ("saxpy", "mriq", "nbody")
+
+#: Two regions inside one outer loop: each outer iteration switches the
+#: fabric configuration twice, which is what the config cache exists for.
+TWO_PHASE = """
+kernel twophase(out float y[], float a[], float b[], int n, int m) {
+    for (int t = 0; t < m; t = t + 1) {
+        for (int i = 0; i < n; i = i + 1) {
+            y[i] = y[i] + 2.0 * a[i] * a[i];
+        }
+        for (int i = 0; i < n; i = i + 1) {
+            y[i] = y[i] * b[i] + 0.5;
+        }
+    }
+}
+"""
+
+
+def fabric_sweep():
+    results: dict[str, list[float]] = {name: [] for name in KERNELS}
+    for width, height in GEOMETRIES:
+        options = CompilerOptions(
+            fabric=Fabric(FabricGeometry(width, height)))
+        for name in KERNELS:
+            c = compare(name, scale=SCALE, options=options)
+            assert c.scalar.correct and c.dyser.correct, name
+            results[name].append(c.speedup)
+    return results
+
+
+def config_cache_sweep():
+    """Two alternating regions with the config cache capacity swept."""
+    from repro.cpu.statistics import StallCause
+
+    compiled = compile_dyser(TWO_PHASE)
+    accepted = [r for r in compiled.regions if r.accepted]
+    assert len(accepted) == 2, compiled.regions
+    n, m = 32, 12
+    rng = np.random.default_rng(3)
+    a, b = rng.random(n), rng.random(n)
+    y0 = rng.random(n)
+    expected = y0.copy()
+    for _ in range(m):
+        expected = expected + 2.0 * a * a
+        expected = expected * b + 0.5
+
+    rows = []
+    for capacity in (0, 1, 2, 4):
+        memory = Memory(1 << 22)
+        py = memory.alloc_numpy(y0)
+        pa, pb = memory.alloc_numpy(a), memory.alloc_numpy(b)
+        device = DyserDevice(
+            fabric=Fabric(FabricGeometry(8, 8)),
+            cache_params=ConfigCacheParams(capacity=capacity))
+        core = Core(compiled.program, memory, dyser=device)
+        core.set_args((py, pa, pb, n, m))
+        stats = core.run()
+        assert np.allclose(memory.read_numpy(py, n), expected, rtol=1e-9)
+        rows.append([
+            capacity, stats.cycles, stats.dyser_config_loads,
+            stats.dyser_config_hits,
+            stats.stall_cycles.get(StallCause.DYSER_CONFIG, 0),
+        ])
+    return rows
+
+
+def test_e9_fabric_size(benchmark):
+    results = once(benchmark, fabric_sweep)
+    labels = [f"{w}x{h}" for w, h in GEOMETRIES]
+    text = "\n\n".join(
+        format_series(f"E9a speedup vs fabric size: {name}",
+                      labels, series)
+        for name, series in results.items()
+    )
+    emit("E9a: fabric size", text)
+    for name, series in results.items():
+        # Bigger fabrics never hurt (allowing placement noise), and the
+        # best point is at or near the largest geometry.
+        assert series[-1] >= series[0] * 0.999, name
+        assert series[-1] >= 0.85 * max(series), name
+    # Compound regions (mriq's polynomial, nbody's div/sqrt chain) do
+    # not fit the smallest fabrics at all; capability (not just FU
+    # count) gates them.
+    assert results["mriq"][0] == 1.0
+    assert results["nbody"][-1] > results["nbody"][0]
+
+
+def test_e9_config_cache(benchmark):
+    rows = once(benchmark, config_cache_sweep)
+    table = format_table(
+        ["cache capacity", "cycles", "config loads", "hits",
+         "config stall cycles"],
+        rows,
+        title="E9b: configuration cache sensitivity (two-phase kernel)",
+    )
+    emit("E9b: config cache", table)
+    by_capacity = {row[0]: row for row in rows}
+    # Capacity 0 reloads on every switch; capacity 1 thrashes (two
+    # alternating configs); capacity 2 holds both and removes nearly all
+    # configuration stalls.
+    assert by_capacity[0][3] == 0
+    assert by_capacity[2][4] < by_capacity[0][4] / 3
+    assert by_capacity[2][1] < by_capacity[0][1]
+    assert by_capacity[4][4] <= by_capacity[2][4]

@@ -1,0 +1,34 @@
+"""Shared helpers for the E-series benchmarks.
+
+Each benchmark regenerates one of the paper's tables/figures, prints it,
+and records it under ``results/`` so EXPERIMENTS.md can be refreshed from
+a single run of ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: Scale used by most experiments: large enough for warm-loop behaviour,
+#: small enough that the full E-series runs in minutes.
+SCALE = "small"
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a reproduced table/figure and archive it in results/."""
+    banner = f"\n===== {experiment} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment.split(':')[0].lower()}.txt").write_text(
+        text + "\n")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Simulated runs are seconds-long; default benchmark calibration would
+    re-run them dozens of times for no statistical gain.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Compiler explorer: watch a kernel travel through every stage.
+
+Prints, for a small conditional kernel: the SSA IR after cleanup, the
+region decision, the DySER dataflow graph (with its placement on the
+fabric), the configuration's derived hardware metrics, and the final
+SPARC-DySER assembly listing.
+"""
+
+from repro.compiler import compile_dyser
+from repro.compiler.driver import frontend
+
+KERNEL = """
+kernel relu_scale(out float y[], float x[], int n, float a) {
+    for (int i = 0; i < n; i = i + 1) {
+        float v = a * x[i];
+        if (v < 0.0) { v = 0.0; }
+        y[i] = v;
+    }
+}
+"""
+
+
+def main() -> None:
+    print("=" * 70)
+    print("1. SSA IR after frontend cleanup")
+    print("=" * 70)
+    print(frontend(KERNEL).dump())
+
+    result = compile_dyser(KERNEL)
+
+    print()
+    print("=" * 70)
+    print("2. Region decisions")
+    print("=" * 70)
+    for region in result.regions:
+        print(f"loop {region.loop_header}: accepted={region.accepted} "
+              f"shape={region.shape} unroll={region.unrolled} "
+              f"vectorized={region.vectorized}")
+        print(f"  execute ops={region.execute_ops} "
+              f"ports in/out={region.input_ports}/{region.output_ports}")
+
+    for config_id, config in result.program.dyser_configs.items():
+        print()
+        print("=" * 70)
+        print(f"3. DySER configuration #{config_id}")
+        print("=" * 70)
+        print(config.dfg.describe())
+        print()
+        print("placement (node -> FU):")
+        for node_id, fu in sorted(config.placement.items()):
+            op = config.dfg.nodes[node_id].op.value
+            print(f"  n{node_id:<3} {op:<6} -> FU{fu}")
+        delays = config.path_delays()
+        print(f"per-output path delays: {delays} cycles")
+        print(f"configuration size: {config.config_words()} words")
+        print(f"switch links used: {config.used_switch_links()}")
+
+    print()
+    print("=" * 70)
+    print("4. SPARC-DySER assembly")
+    print("=" * 70)
+    print(result.program.listing())
+
+
+if __name__ == "__main__":
+    main()

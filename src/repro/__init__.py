@@ -1,0 +1,50 @@
+"""SPARC-DySER prototype reproduction.
+
+Reimplementation, in pure Python, of the system evaluated in
+"Performance evaluation of a DySER FPGA prototype system spanning the
+compiler, microarchitecture, and hardware implementation" (ISPASS 2015):
+
+- :mod:`repro.isa` — SPARC-flavoured host ISA with the DySER extension;
+- :mod:`repro.cpu` — OpenSPARC-T1-like in-order core timing model;
+- :mod:`repro.dyser` — the DySER fabric (configurations, dataflow
+  execution, flow control, configuration cache);
+- :mod:`repro.compiler` — the co-designed compiler (kernel language to
+  ISA, with access/execute partitioning and spatial scheduling);
+- :mod:`repro.energy` / :mod:`repro.fpga` — power and FPGA resource models;
+- :mod:`repro.workloads` — the benchmark suite;
+- :mod:`repro.harness` — experiment runner reproducing the paper's
+  tables and figures.
+"""
+
+from repro.cpu import Core, CoreConfig, ExecStats, Memory
+from repro.dyser import (
+    Dfg,
+    DyserConfig,
+    DyserDevice,
+    DyserTimingParams,
+    Fabric,
+    FabricGeometry,
+)
+from repro.errors import ReproError
+from repro.isa import Instruction, Opcode, Program, assemble
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Core",
+    "CoreConfig",
+    "Dfg",
+    "DyserConfig",
+    "DyserDevice",
+    "DyserTimingParams",
+    "ExecStats",
+    "Fabric",
+    "FabricGeometry",
+    "Instruction",
+    "Memory",
+    "Opcode",
+    "Program",
+    "ReproError",
+    "assemble",
+    "__version__",
+]

@@ -1,0 +1,143 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro list                     # the workload suite
+    python -m repro run mriq --mode dyser    # run one workload
+    python -m repro compile mriq --dump-ir   # show compiler output
+    python -m repro suite --scale tiny       # scalar-vs-DySER sweep
+    python -m repro fpga --width 8 --height 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import compare, format_table, geomean, run_workload
+from repro.workloads import SUITE, get
+
+
+def _cmd_list(_args) -> int:
+    rows = [
+        [w.name, w.category, w.flops_per_item, w.description]
+        for w in (SUITE[n] for n in sorted(SUITE))
+    ]
+    print(format_table(
+        ["name", "category", "flops/item", "description"], rows,
+        title="workload suite"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = run_workload(args.name, mode=args.mode, scale=args.scale,
+                          seed=args.seed)
+    print(f"{args.name} [{args.mode}, {args.scale}]: "
+          f"{'OK' if result.correct else 'WRONG RESULT'}")
+    print(result.stats.summary())
+    print(result.energy.summary())
+    if args.mode == "dyser":
+        for region in result.compile_result.regions:
+            print(f"region {region.loop_header}: {region.reason} "
+                  f"(shape={region.shape}, unroll={region.unrolled})")
+    return 0 if result.correct else 1
+
+
+def _cmd_compile(args) -> int:
+    from repro.compiler import compile_dyser, compile_scalar
+
+    if args.file:
+        with open(args.file) as handle:
+            source = handle.read()
+    else:
+        source = get(args.name).source
+    result = (compile_scalar(source) if args.scalar
+              else compile_dyser(source))
+    if args.dump_ir:
+        print(result.ir_dump)
+        print()
+    for region in result.regions:
+        print(f"; region {region.loop_header}: {region.reason}")
+    print(result.program.listing())
+    for config_id, config in result.program.dyser_configs.items():
+        print(f"\n; configuration #{config_id}")
+        print(config.dfg.describe())
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    rows = []
+    speedups = []
+    for name in sorted(SUITE):
+        c = compare(name, scale=args.scale, seed=args.seed)
+        ok = c.scalar.correct and c.dyser.correct
+        rows.append([
+            name, c.scalar.cycles, c.dyser.cycles,
+            f"{c.speedup:.2f}x", f"{c.energy_ratio:.2f}x",
+            "ok" if ok else "WRONG",
+        ])
+        speedups.append(c.speedup)
+    print(format_table(
+        ["benchmark", "scalar cycles", "dyser cycles", "speedup",
+         "energy gain", "check"],
+        rows, title=f"suite @ {args.scale}"))
+    print(f"\ngeomean speedup: {geomean(speedups):.2f}x")
+    return 0 if all(r[-1] == "ok" for r in rows) else 1
+
+
+def _cmd_fpga(args) -> int:
+    from repro.dyser import Fabric, FabricGeometry
+    from repro.fpga import utilization_table
+
+    print(utilization_table(Fabric(FabricGeometry(args.width,
+                                                  args.height))))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPARC-DySER prototype reproduction (ISPASS 2015)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the workload suite") \
+        .set_defaults(func=_cmd_list)
+
+    run_p = sub.add_parser("run", help="run one workload")
+    run_p.add_argument("name", choices=sorted(SUITE))
+    run_p.add_argument("--mode", choices=("scalar", "dyser"),
+                       default="dyser")
+    run_p.add_argument("--scale", default="small",
+                       choices=("tiny", "small", "medium"))
+    run_p.add_argument("--seed", type=int, default=7)
+    run_p.set_defaults(func=_cmd_run)
+
+    compile_p = sub.add_parser("compile", help="compile and disassemble")
+    group = compile_p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--name", dest="name", choices=sorted(SUITE))
+    group.add_argument("--file", dest="file")
+    compile_p.add_argument("--scalar", action="store_true",
+                           help="baseline build instead of DySER")
+    compile_p.add_argument("--dump-ir", action="store_true")
+    compile_p.set_defaults(func=_cmd_compile)
+
+    suite_p = sub.add_parser("suite", help="scalar-vs-DySER sweep")
+    suite_p.add_argument("--scale", default="tiny",
+                         choices=("tiny", "small", "medium"))
+    suite_p.add_argument("--seed", type=int, default=7)
+    suite_p.set_defaults(func=_cmd_suite)
+
+    fpga_p = sub.add_parser("fpga", help="FPGA utilization table")
+    fpga_p.add_argument("--width", type=int, default=8)
+    fpga_p.add_argument("--height", type=int, default=8)
+    fpga_p.set_defaults(func=_cmd_fpga)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""The co-designed DySER compiler: kernel language to SPARC-DySER code."""
+
+from repro.compiler.driver import (
+    CompileResult,
+    CompilerOptions,
+    RegionReport,
+    compile_dyser,
+    compile_scalar,
+    frontend,
+)
+from repro.compiler.parser import parse_kernel, parse_kernels
+
+__all__ = [
+    "CompileResult",
+    "CompilerOptions",
+    "RegionReport",
+    "compile_dyser",
+    "compile_scalar",
+    "frontend",
+    "parse_kernel",
+    "parse_kernels",
+]

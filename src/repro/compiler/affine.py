@@ -1,0 +1,136 @@
+"""Affine value analysis.
+
+Expresses integer IR values as affine combinations ``sum(coeff_i * base_i)
++ constant`` of opaque base values.  Used to:
+
+- recognize induction updates (``i = i + c``) for unrolling;
+- prove two addresses differ by a known constant, which is what the
+  transfer vectorizer needs to merge unrolled loads/stores into wide
+  (cache-line) port transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.ir import Block, Compute, Const, Operand, Value
+from repro.compiler.types import Scalar
+from repro.dyser.ops import FuOp
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``sum(terms[v] * v) + offset`` with Values as opaque bases."""
+
+    terms: tuple[tuple[Value, int], ...] = ()
+    offset: int = 0
+
+    @staticmethod
+    def constant(value: int) -> "Affine":
+        return Affine((), value)
+
+    @staticmethod
+    def of(value: Value) -> "Affine":
+        return Affine(((value, 1),), 0)
+
+    def _as_dict(self) -> dict[Value, int]:
+        return dict(self.terms)
+
+    @staticmethod
+    def _from_dict(d: dict[Value, int], offset: int) -> "Affine":
+        items = tuple(sorted(
+            ((v, c) for v, c in d.items() if c != 0),
+            key=lambda vc: vc[0].id))
+        return Affine(items, offset)
+
+    def add(self, other: "Affine") -> "Affine":
+        d = self._as_dict()
+        for v, c in other.terms:
+            d[v] = d.get(v, 0) + c
+        return self._from_dict(d, self.offset + other.offset)
+
+    def sub(self, other: "Affine") -> "Affine":
+        return self.add(other.scale(-1))
+
+    def scale(self, k: int) -> "Affine":
+        return self._from_dict(
+            {v: c * k for v, c in self.terms}, self.offset * k)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def difference(self, other: "Affine") -> int | None:
+        """Return self - other when it is a compile-time constant."""
+        delta = self.sub(other)
+        return delta.offset if delta.is_constant else None
+
+
+class AffineAnalysis:
+    """Computes affine forms for the int values defined in one block,
+    given optional seed forms for values defined elsewhere (e.g. the
+    unroller seeds the induction variable's clones)."""
+
+    def __init__(self, seeds: dict[Value, Affine] | None = None) -> None:
+        self.forms: dict[Value, Affine] = dict(seeds or {})
+
+    def form_of(self, op: Operand) -> Affine:
+        if isinstance(op, Const):
+            if op.scalar is Scalar.INT:
+                return Affine.constant(int(op.value))
+            return Affine.of(_FLOAT_SENTINEL)
+        return self.forms.get(op, Affine.of(op))
+
+    def visit_block(self, block: Block) -> None:
+        for instr in block.instrs:
+            if not isinstance(instr, Compute):
+                continue
+            if instr.result is None or instr.result.scalar is not Scalar.INT:
+                continue
+            form = self._eval(instr)
+            if form is not None:
+                self.forms[instr.result] = form
+
+    def visit_function(self, func) -> None:
+        """Visit every block in reverse postorder.
+
+        Needed when LICM has hoisted address arithmetic out of the block
+        under analysis — a body-only view would treat those hoisted
+        values as opaque and lose no-alias facts.
+        """
+        for block in func.block_order():
+            self.visit_block(block)
+
+    def _eval(self, instr: Compute) -> Affine | None:
+        a = self.form_of(instr.args[0])
+        b = self.form_of(instr.args[1]) if len(instr.args) > 1 else None
+        op = instr.op
+        if op is FuOp.ADD:
+            return a.add(b)
+        if op is FuOp.SUB:
+            return a.sub(b)
+        if op is FuOp.MUL:
+            if b.is_constant:
+                return a.scale(b.offset)
+            if a.is_constant:
+                return b.scale(a.offset)
+            return None
+        if op is FuOp.SLL and b is not None and b.is_constant \
+                and 0 <= b.offset < 63:
+            return a.scale(1 << b.offset)
+        return None
+
+
+#: Placeholder base so float-typed operands never look affine.
+_FLOAT_SENTINEL = Value(-1, Scalar.FLOAT, "nonaffine")
+
+
+def induction_step(block_forms: AffineAnalysis, phi_value: Value,
+                   latch_value: Operand) -> int | None:
+    """If ``latch_value == phi_value + c``, return c, else None."""
+    if not isinstance(latch_value, Value):
+        return None
+    latch_form = block_forms.forms.get(latch_value)
+    if latch_form is None:
+        return None
+    return latch_form.difference(Affine.of(phi_value))

@@ -1,0 +1,145 @@
+"""CFG analyses: dominators, natural loops, loop nesting.
+
+These feed region selection: DySER candidate regions are innermost natural
+loop bodies (plus their if-convertible internal control flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.ir import Function
+
+
+def dominators(func: Function) -> dict[str, set[str]]:
+    """Classic iterative dominator sets (functions here are small)."""
+    names = [b.name for b in func.block_order()
+             if b.name in _reachable(func)]
+    preds = func.predecessors()
+    dom: dict[str, set[str]] = {n: set(names) for n in names}
+    dom[func.entry] = {func.entry}
+    changed = True
+    while changed:
+        changed = False
+        for name in names:
+            if name == func.entry:
+                continue
+            incoming = [dom[p] for p in preds[name] if p in dom]
+            new = set.intersection(*incoming) if incoming else set()
+            new = new | {name}
+            if new != dom[name]:
+                dom[name] = new
+                changed = True
+    return dom
+
+
+def _reachable(func: Function) -> set[str]:
+    seen: set[str] = set()
+    stack = [func.entry]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        term = func.blocks[name].terminator
+        if term is not None:
+            stack.extend(term.successors())
+    return seen
+
+
+@dataclass
+class Loop:
+    """A natural loop: header plus the body blocks of its back edges."""
+
+    header: str
+    blocks: set[str] = field(default_factory=set)
+    #: Loops strictly nested inside this one.
+    children: list["Loop"] = field(default_factory=list)
+    parent: "Loop | None" = None
+
+    @property
+    def depth(self) -> int:
+        d, loop = 1, self.parent
+        while loop is not None:
+            d += 1
+            loop = loop.parent
+        return d
+
+    def is_innermost(self) -> bool:
+        return not self.children
+
+    def body_blocks(self) -> set[str]:
+        """Blocks excluding the header (the region candidate)."""
+        return self.blocks - {self.header}
+
+    def __repr__(self) -> str:
+        return (f"Loop(header={self.header}, blocks={sorted(self.blocks)}, "
+                f"depth={self.depth})")
+
+
+def natural_loops(func: Function) -> list[Loop]:
+    """Find natural loops via back edges, merge per header, build nesting.
+
+    Returns all loops, outermost first.
+    """
+    dom = dominators(func)
+    preds = func.predecessors()
+    reachable = set(dom)
+    per_header: dict[str, set[str]] = {}
+    for block in func.blocks.values():
+        if block.name not in reachable or block.terminator is None:
+            continue
+        for succ in block.terminator.successors():
+            if succ in dom.get(block.name, set()):
+                # back edge block.name -> succ (succ dominates source)
+                body = _loop_body(succ, block.name, preds)
+                per_header.setdefault(succ, set()).update(body)
+    loops = [Loop(header=h, blocks=b) for h, b in per_header.items()]
+    loops.sort(key=lambda lp: len(lp.blocks), reverse=True)
+    # Nesting: a loop is a child of the smallest loop strictly containing it.
+    for i, inner in enumerate(loops):
+        best: Loop | None = None
+        for outer in loops:
+            if outer is inner:
+                continue
+            if inner.blocks < outer.blocks or (
+                    inner.blocks <= outer.blocks
+                    and inner.header != outer.header):
+                if best is None or len(outer.blocks) < len(best.blocks):
+                    best = outer
+        if best is not None:
+            inner.parent = best
+            best.children.append(inner)
+    return loops
+
+
+def _loop_body(header: str, latch: str, preds: dict[str, list[str]]
+               ) -> set[str]:
+    body = {header, latch}
+    stack = [latch]
+    while stack:
+        name = stack.pop()
+        if name == header:
+            continue
+        for pred in preds[name]:
+            if pred not in body:
+                body.add(pred)
+                stack.append(pred)
+    return body
+
+
+def innermost_loops(func: Function) -> list[Loop]:
+    return [lp for lp in natural_loops(func) if lp.is_innermost()]
+
+
+def loop_exits(func: Function, loop: Loop) -> list[tuple[str, str]]:
+    """Edges (from_block, to_block) leaving the loop."""
+    exits = []
+    for name in loop.blocks:
+        term = func.blocks[name].terminator
+        if term is None:
+            continue
+        for succ in term.successors():
+            if succ not in loop.blocks:
+                exits.append((name, succ))
+    return exits

@@ -1,0 +1,317 @@
+"""IR -> host ISA code generation.
+
+Input is phi-lowered (non-SSA) IR plus an :class:`Allocation`.  The
+emitter handles:
+
+- FuOp -> Opcode mapping (1:1 by construction — the co-design invariant);
+- immediate-form peepholes (``addi``/``slli``/... where the pattern fits);
+- constant materialization and spill reload/store through scratch regs;
+- block layout with fallthrough-aware branch emission;
+- the DySER pseudo-instructions from :mod:`repro.compiler.dyser_ir`.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import dyser_ir as dir_
+from repro.compiler.ir import (
+    Block,
+    Compute,
+    CondBr,
+    Const,
+    Copy,
+    Function,
+    Jump,
+    Load,
+    Operand,
+    Ret,
+    Store,
+    Value,
+)
+from repro.compiler.regalloc import (
+    ALLOCATABLE_FP,
+    ALLOCATABLE_INT,
+    SPILL_BASE_REG,
+    Allocation,
+    allocate,
+    lower_phis,
+)
+from repro.compiler.types import Scalar
+from repro.dyser.ops import FuOp
+from repro.errors import CompilerError
+from repro.isa.instruction import ARG_FP_REGS, ARG_INT_REGS, Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+#: FuOp -> Opcode, valid because the ISA names compute ops identically.
+_FU_TO_OP = {fu: Opcode(fu.value) for fu in FuOp}
+
+#: Int compute ops with an immediate form, FuOp -> immediate Opcode.
+_IMM_FORMS = {
+    FuOp.ADD: Opcode.ADDI, FuOp.MUL: Opcode.MULI, FuOp.AND: Opcode.ANDI,
+    FuOp.OR: Opcode.ORI, FuOp.XOR: Opcode.XORI, FuOp.SLL: Opcode.SLLI,
+    FuOp.SRL: Opcode.SRLI, FuOp.SRA: Opcode.SRAI, FuOp.SLT: Opcode.SLTI,
+}
+
+_SCRATCH = {Scalar.INT: [29, 30, 31], Scalar.FLOAT: [29, 30, 31]}
+
+
+class Emitter:
+    """Emits one function into a :class:`Program`."""
+
+    def __init__(self, func: Function, alloc: Allocation) -> None:
+        self.func = func
+        self.alloc = alloc
+        self.program = Program(name=func.name)
+        self.program.spill_words = alloc.spill_words
+        self._scratch_used: list[int] = []
+
+    # -- operand access ----------------------------------------------------
+
+    def _take_scratch(self, scalar: Scalar) -> int:
+        for reg in _SCRATCH[scalar]:
+            if reg not in self._scratch_used:
+                self._scratch_used.append(reg)
+                return reg
+        raise CompilerError("out of scratch registers")  # pragma: no cover
+
+    def _release_scratch(self) -> None:
+        self._scratch_used.clear()
+
+    def read_operand(self, op: Operand) -> int:
+        """Return a register holding ``op``, emitting reload/materialize
+        code as needed."""
+        if isinstance(op, Const):
+            reg = self._take_scratch(op.scalar)
+            if op.scalar is Scalar.FLOAT:
+                self.emit(Opcode.FLI, rd=reg, imm=float(op.value))
+            else:
+                self.emit(Opcode.LI, rd=reg, imm=int(op.value))
+            return reg
+        kind, index = self.alloc.location(op)
+        if kind == "reg":
+            return index
+        reg = self._take_scratch(op.scalar)
+        load_op = Opcode.FLD if op.scalar is Scalar.FLOAT else Opcode.LD
+        self.emit(load_op, rd=reg, rs1=SPILL_BASE_REG, imm=index * 8)
+        return reg
+
+    def write_reg(self, value: Value) -> int:
+        """Register to compute ``value`` into (scratch when spilled)."""
+        kind, index = self.alloc.location(value)
+        if kind == "reg":
+            return index
+        return self._take_scratch(value.scalar)
+
+    def finish_write(self, value: Value, reg: int) -> None:
+        """Store to the spill slot when ``value`` lives in memory."""
+        kind, index = self.alloc.location(value)
+        if kind == "spill":
+            store_op = (Opcode.FST if value.scalar is Scalar.FLOAT
+                        else Opcode.ST)
+            self.emit(store_op, rs2=reg, rs1=SPILL_BASE_REG, imm=index * 8)
+
+    def emit(self, op: Opcode, **fields) -> None:
+        self.program.add(Instruction(op, **fields))
+
+    # -- instruction emission ------------------------------------------------
+
+    def emit_compute(self, instr: Compute) -> None:
+        op = instr.op
+        args = list(instr.args)
+        # Immediate peephole for int two-operand forms.
+        if op in _IMM_FORMS:
+            if (isinstance(args[0], Const)
+                    and FuOp is not None and op in (
+                        FuOp.ADD, FuOp.MUL, FuOp.AND, FuOp.OR, FuOp.XOR)):
+                args = [args[1], args[0]]
+            if isinstance(args[1], Const) and not isinstance(args[0], Const):
+                a = self.read_operand(args[0])
+                rd = self.write_reg(instr.result)
+                self.emit(_IMM_FORMS[op], rd=rd, rs1=a,
+                          imm=int(args[1].value))
+                self.finish_write(instr.result, rd)
+                self._release_scratch()
+                return
+        if op is FuOp.SUB and isinstance(args[1], Const):
+            a = self.read_operand(args[0])
+            rd = self.write_reg(instr.result)
+            self.emit(Opcode.ADDI, rd=rd, rs1=a, imm=-int(args[1].value))
+            self.finish_write(instr.result, rd)
+            self._release_scratch()
+            return
+        regs = [self.read_operand(a) for a in args]
+        rd = self.write_reg(instr.result)
+        machine_op = _FU_TO_OP[op]
+        if len(regs) == 1:
+            self.emit(machine_op, rd=rd, rs1=regs[0])
+        elif len(regs) == 2:
+            self.emit(machine_op, rd=rd, rs1=regs[0], rs2=regs[1])
+        else:
+            self.emit(machine_op, rd=rd, rs1=regs[0], rs2=regs[1],
+                      rs3=regs[2])
+        self.finish_write(instr.result, rd)
+        self._release_scratch()
+
+    def emit_load(self, instr: Load) -> None:
+        addr = self.read_operand(instr.addr)
+        rd = self.write_reg(instr.result)
+        op = (Opcode.FLD if instr.result.scalar is Scalar.FLOAT
+              else Opcode.LD)
+        self.emit(op, rd=rd, rs1=addr, imm=0)
+        self.finish_write(instr.result, rd)
+        self._release_scratch()
+
+    def emit_store(self, instr: Store) -> None:
+        addr = self.read_operand(instr.addr)
+        value = self.read_operand(instr.value)
+        op = (Opcode.FST if instr.value.scalar is Scalar.FLOAT
+              else Opcode.ST)
+        self.emit(op, rs2=value, rs1=addr, imm=0)
+        self._release_scratch()
+
+    def emit_copy(self, instr: Copy) -> None:
+        src = instr.src
+        if isinstance(src, Const):
+            rd = self.write_reg(instr.result)
+            if instr.result.scalar is Scalar.FLOAT:
+                self.emit(Opcode.FLI, rd=rd, imm=float(src.value))
+            else:
+                self.emit(Opcode.LI, rd=rd, imm=int(src.value))
+        else:
+            reg = self.read_operand(src)
+            rd = self.write_reg(instr.result)
+            if reg != rd or self.alloc.location(instr.result)[0] == "spill":
+                op = (Opcode.FMOV if instr.result.scalar is Scalar.FLOAT
+                      else Opcode.MOV)
+                if reg != rd:
+                    self.emit(op, rd=rd, rs1=reg)
+        self.finish_write(instr.result, rd)
+        self._release_scratch()
+
+    def emit_dyser(self, instr) -> None:
+        if isinstance(instr, dir_.DyserInit):
+            self.emit(Opcode.DINIT, imm=instr.config_id)
+        elif isinstance(instr, dir_.DyserSend):
+            fp = instr.value.scalar is Scalar.FLOAT
+            reg = self.read_operand(instr.value)
+            self.emit(Opcode.DFSEND if fp else Opcode.DSEND,
+                      port=instr.port, rs1=reg)
+        elif isinstance(instr, dir_.DyserRecv):
+            fp = instr.result.scalar is Scalar.FLOAT
+            rd = self.write_reg(instr.result)
+            self.emit(Opcode.DFRECV if fp else Opcode.DRECV,
+                      rd=rd, port=instr.port)
+            self.finish_write(instr.result, rd)
+        elif isinstance(instr, dir_.DyserLoad):
+            addr = self.read_operand(instr.addr)
+            if instr.count == 1:
+                op = Opcode.DFLD if instr.fp else Opcode.DLD
+                self.emit(op, port=instr.port, rs1=addr, imm=0)
+            elif instr.wide:
+                op = Opcode.DFLDW if instr.fp else Opcode.DLDW
+                self.emit(op, port=instr.port, rs1=addr, imm=instr.count)
+            else:
+                op = Opcode.DFLDV if instr.fp else Opcode.DLDV
+                self.emit(op, port=instr.port, rs1=addr, imm=instr.count)
+        elif isinstance(instr, dir_.DyserStore):
+            addr = self.read_operand(instr.addr)
+            if instr.count == 1:
+                op = Opcode.DFST if instr.fp else Opcode.DST
+                self.emit(op, port=instr.port, rs1=addr, imm=0)
+            elif instr.wide:
+                op = Opcode.DFSTW if instr.fp else Opcode.DSTW
+                self.emit(op, port=instr.port, rs1=addr, imm=instr.count)
+            else:
+                op = Opcode.DFSTV if instr.fp else Opcode.DSTV
+                self.emit(op, port=instr.port, rs1=addr, imm=instr.count)
+        else:  # pragma: no cover
+            raise CompilerError(f"unknown DySER instr {instr!r}")
+        self._release_scratch()
+
+    # -- function emission ---------------------------------------------------------
+
+    def emit_prologue(self) -> None:
+        """Copy argument registers into the allocated homes."""
+        int_args = iter(ARG_INT_REGS)
+        fp_args = iter(ARG_FP_REGS)
+        for param in self.func.params:
+            src = next(int_args) if (
+                param.is_array or param.scalar is Scalar.INT
+            ) else next(fp_args)
+            if param.value not in self.alloc.regs \
+                    and param.value not in self.alloc.spills:
+                continue  # unused parameter
+            kind, index = self.alloc.location(param.value)
+            fp = (not param.is_array) and param.scalar is Scalar.FLOAT
+            if kind == "reg":
+                if index != src:
+                    self.emit(Opcode.FMOV if fp else Opcode.MOV,
+                              rd=index, rs1=src)
+            else:
+                self.emit(Opcode.FST if fp else Opcode.ST,
+                          rs2=src, rs1=SPILL_BASE_REG, imm=index * 8)
+
+    def emit_function(self) -> Program:
+        layout = [b for b in self.func.block_order()
+                  if b.name in self.func.blocks]
+        self.emit_prologue()
+        next_block = {
+            layout[i].name: layout[i + 1].name if i + 1 < len(layout)
+            else None
+            for i in range(len(layout))
+        }
+        for block in layout:
+            self.program.add_label(f"{self.func.name}.{block.name}")
+            if block.phis:
+                raise CompilerError(
+                    f"block {block.name} still has phis at emission")
+            for instr in block.instrs:
+                self.emit_instr(instr)
+            self.emit_terminator(block, next_block[block.name])
+        self.program.link()
+        return self.program
+
+    def emit_instr(self, instr) -> None:
+        if isinstance(instr, Compute):
+            self.emit_compute(instr)
+        elif isinstance(instr, Load):
+            self.emit_load(instr)
+        elif isinstance(instr, Store):
+            self.emit_store(instr)
+        elif isinstance(instr, Copy):
+            self.emit_copy(instr)
+        elif isinstance(instr, dir_.DYSER_INSTRS):
+            self.emit_dyser(instr)
+        else:  # pragma: no cover
+            raise CompilerError(f"cannot emit {instr!r}")
+
+    def emit_terminator(self, block: Block, fallthrough: str | None) -> None:
+        term = block.terminator
+        label = lambda name: f"{self.func.name}.{name}"  # noqa: E731
+        if isinstance(term, Ret):
+            self.emit(Opcode.HALT)
+        elif isinstance(term, Jump):
+            if term.target != fallthrough:
+                self.emit(Opcode.J, target=label(term.target))
+        elif isinstance(term, CondBr):
+            cond = self.read_operand(term.cond)
+            if term.if_false == fallthrough:
+                self.emit(Opcode.BNE, rs1=cond, rs2=0,
+                          target=label(term.if_true))
+            elif term.if_true == fallthrough:
+                self.emit(Opcode.BEQ, rs1=cond, rs2=0,
+                          target=label(term.if_false))
+            else:
+                self.emit(Opcode.BNE, rs1=cond, rs2=0,
+                          target=label(term.if_true))
+                self.emit(Opcode.J, target=label(term.if_false))
+            self._release_scratch()
+        else:  # pragma: no cover
+            raise CompilerError(f"bad terminator {term!r}")
+
+
+def generate(func: Function) -> Program:
+    """Lower phis, allocate registers, and emit ``func`` as a Program."""
+    lower_phis(func)
+    alloc = allocate(func)
+    return Emitter(func, alloc).emit_function()

@@ -1,0 +1,111 @@
+"""One-call compilation pipelines.
+
+``compile_scalar`` produces baseline host-only code (the OpenSPARC-alone
+configuration); ``compile_dyser`` additionally runs region selection,
+if-conversion, access/execute partitioning, vectorization and spatial
+scheduling to produce SPARC-DySER code with attached configurations.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.compiler.codegen import generate
+from repro.compiler.irgen import lower_kernel
+from repro.compiler.parser import parse_kernel
+from repro.compiler.passes import optimize
+from repro.dyser.fabric import Fabric, FabricGeometry
+from repro.isa.program import Program
+
+
+@dataclass
+class CompilerOptions:
+    """Knobs of the DySER compilation pipeline."""
+
+    fabric: Fabric = field(default_factory=lambda: Fabric(FabricGeometry(8, 8)))
+    #: Minimum execute-slice ops for a region to be profitable.
+    min_region_ops: int = 2
+    #: Maximum unroll factor for vectorizable loops (1 disables); the
+    #: selector halves it until the region fits and routes.
+    unroll: int = 8
+    #: Use wide (spatial) port transfers when accesses are contiguous.
+    vectorize: bool = True
+    #: Rebalance associative chains (reductions) into trees.  Changes FP
+    #: rounding order, like -ffast-math reassociation.
+    reassociate: bool = True
+    #: Software-pipeline invocations (recv a trip behind the send).
+    pipeline_invocations: bool = True
+    #: Allow if-conversion of region-internal control flow.
+    if_convert: bool = True
+    #: Maximum region size in execute ops (fabric capacity guard).
+    max_region_ops: int | None = None
+
+
+@dataclass
+class RegionReport:
+    """What happened to one candidate region (drives E1/E7)."""
+
+    loop_header: str
+    accepted: bool
+    reason: str
+    execute_ops: int = 0
+    input_ports: int = 0
+    output_ports: int = 0
+    unrolled: int = 1
+    vectorized: bool = False
+    shape: str = ""
+
+
+@dataclass
+class CompileResult:
+    """A compiled kernel plus compilation metadata."""
+
+    program: Program
+    ir_dump: str = ""
+    regions: list[RegionReport] = field(default_factory=list)
+
+    @property
+    def accepted_regions(self) -> int:
+        return sum(1 for r in self.regions if r.accepted)
+
+
+def frontend(source: str):
+    """Parse + lower + clean one kernel; returns optimized SSA."""
+    from repro.compiler.passes import licm
+
+    kernel = parse_kernel(source)
+    func = lower_kernel(kernel)
+    func = optimize(func)
+    if licm(func):
+        func = optimize(func)
+    return func
+
+
+def compile_scalar(source: str) -> CompileResult:
+    """Compile for the baseline core (no DySER)."""
+    func = frontend(source)
+    ir_dump = func.dump()
+    program = generate(func)
+    return CompileResult(program=program, ir_dump=ir_dump)
+
+
+def compile_dyser(source: str,
+                  options: CompilerOptions | None = None) -> CompileResult:
+    """Compile with DySER offload.
+
+    Falls back to scalar code for every region that is rejected (too
+    small, unmappable, or a curtailing control-flow shape) — mirroring
+    the paper's compiler, which only offloads profitable regions.
+    """
+    from repro.compiler.region import offload_regions
+
+    options = options or CompilerOptions()
+    func = frontend(source)
+    func, reports = offload_regions(func, options)
+    func = optimize(func)
+    ir_dump = func.dump()
+    program = generate(func)
+    for config in getattr(func, "dyser_configs", {}).values():
+        program.dyser_configs[config.config_id] = config
+    return CompileResult(program=program, ir_dump=ir_dump, regions=reports)

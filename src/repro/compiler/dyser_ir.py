@@ -1,0 +1,117 @@
+"""IR pseudo-instructions for the DySER interface.
+
+The access/execute partitioner replaces a region's execute slice with
+these; the code generator lowers each to its extension opcode.  They are
+ordinary :class:`~repro.compiler.ir.Instr` subclasses so liveness and
+register allocation treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.ir import Instr, Operand, Value
+
+
+@dataclass(eq=False)
+class DyserInit(Instr):
+    """Activate configuration ``config_id`` (lowers to ``dinit``)."""
+
+    config_id: int = 0
+
+    def uses(self) -> list[Operand]:
+        return []
+
+    def replace_uses(self, mapping) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"dyser_init #{self.config_id}"
+
+
+@dataclass(eq=False)
+class DyserSend(Instr):
+    """Send a register value to an input port (``dsend``/``dfsend``)."""
+
+    port: int = 0
+    value: Operand = None  # type: ignore[assignment]
+
+    def uses(self) -> list[Operand]:
+        return [self.value]
+
+    def replace_uses(self, mapping) -> None:
+        if isinstance(self.value, Value):
+            self.value = mapping.get(self.value, self.value)
+
+    def __repr__(self) -> str:
+        return f"dyser_send p{self.port} <- {self.value!r}"
+
+
+@dataclass(eq=False)
+class DyserRecv(Instr):
+    """Receive an output-port value into ``result`` (``drecv``/``dfrecv``)."""
+
+    port: int = 0
+
+    def uses(self) -> list[Operand]:
+        return []
+
+    def replace_uses(self, mapping) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"{self.result!r} = dyser_recv p{self.port}"
+
+
+@dataclass(eq=False)
+class DyserLoad(Instr):
+    """Memory word straight to an input port (``dld``/``dfld``).
+
+    ``count`` > 1 with ``wide=False`` is the temporal vector form
+    (``dldv``); with ``wide=True`` the spatial form (``dldw``).
+    ``fp`` selects the float path.
+    """
+
+    port: int = 0
+    addr: Operand = None  # type: ignore[assignment]
+    fp: bool = False
+    count: int = 1
+    wide: bool = False
+
+    def uses(self) -> list[Operand]:
+        return [self.addr]
+
+    def replace_uses(self, mapping) -> None:
+        if isinstance(self.addr, Value):
+            self.addr = mapping.get(self.addr, self.addr)
+
+    def __repr__(self) -> str:
+        kind = "w" if self.wide else ("v" if self.count > 1 else "")
+        return (f"dyser_load{kind} p{self.port} <- [{self.addr!r}]"
+                + (f" x{self.count}" if self.count > 1 else ""))
+
+
+@dataclass(eq=False)
+class DyserStore(Instr):
+    """Output port straight to memory (``dst``/``dfst`` and vector forms)."""
+
+    port: int = 0
+    addr: Operand = None  # type: ignore[assignment]
+    fp: bool = False
+    count: int = 1
+    wide: bool = False
+
+    def uses(self) -> list[Operand]:
+        return [self.addr]
+
+    def replace_uses(self, mapping) -> None:
+        if isinstance(self.addr, Value):
+            self.addr = mapping.get(self.addr, self.addr)
+
+    def __repr__(self) -> str:
+        kind = "w" if self.wide else ("v" if self.count > 1 else "")
+        return (f"dyser_store{kind} [{self.addr!r}] <- p{self.port}"
+                + (f" x{self.count}" if self.count > 1 else ""))
+
+
+DYSER_INSTRS = (DyserInit, DyserSend, DyserRecv, DyserLoad, DyserStore)

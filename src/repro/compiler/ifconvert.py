@@ -1,0 +1,232 @@
+"""If-conversion: flatten a loop body's internal control flow.
+
+DySER handles control flow inside a region by computing both sides and
+selecting — the hardware's predication model.  This pass performs the
+matching compiler transform: the body blocks of a candidate loop (a DAG
+from the body entry to a unique latch) are merged into a single block,
+with
+
+- branch conditions turned into *path predicates*;
+- phis at join points turned into select chains;
+- loads hoisted to execute unconditionally (safe here: the simulator's
+  memory never faults on mapped addresses, mirroring the DySER compiler's
+  speculative-load hoisting);
+- stores made unconditional via the load-select-store rewrite.
+
+The result is the hyperblock the access/execute partitioner consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.cfg import Loop
+from repro.compiler.ir import (
+    Block,
+    Compute,
+    CondBr,
+    Const,
+    Function,
+    Jump,
+    Load,
+    Operand,
+    Phi,
+    Store,
+    Value,
+    const_int,
+)
+from repro.compiler.types import Scalar
+from repro.dyser.ops import FuOp
+from repro.errors import RegionRejected
+
+
+@dataclass
+class FlattenResult:
+    """Outcome of if-converting one loop body."""
+
+    flat: Block
+    #: Values of the predicates introduced (useful for reporting).
+    predicates: int
+
+
+def flatten_body(func: Function, loop: Loop) -> FlattenResult:
+    """Merge ``loop``'s body blocks into one block; rewrites the CFG.
+
+    Raises :class:`RegionRejected` when the body is not if-convertible
+    (side exits, multiple latches, or — impossible for an innermost
+    natural loop — internal cycles).
+    """
+    header = func.blocks[loop.header]
+    body_names = loop.body_blocks()
+    if not body_names:
+        raise RegionRejected("loop has an empty body")
+
+    # The loop must exit only through its header.
+    for name in body_names:
+        for succ in func.blocks[name].terminator.successors():
+            if succ not in loop.blocks:
+                raise RegionRejected("side exit from loop body")
+
+    latches = [
+        name for name in body_names
+        if loop.header in func.blocks[name].terminator.successors()
+    ]
+    if len(latches) != 1:
+        raise RegionRejected(f"{len(latches)} latch blocks (need 1)")
+    latch = latches[0]
+
+    if not isinstance(header.terminator, CondBr):
+        raise RegionRejected("header does not end in a conditional branch")
+    body_entry = (header.terminator.if_true
+                  if header.terminator.if_true in body_names
+                  else header.terminator.if_false)
+    if body_entry not in body_names:
+        raise RegionRejected("cannot identify the body entry block")
+
+    order = _topo_body(func, body_names, body_entry)
+    if order is None:
+        raise RegionRejected("body is not a DAG")  # pragma: no cover
+
+    flat = func.new_block("hyper")
+    predicates_made = 0
+
+    def emit(op: FuOp, args: list[Operand], scalar: Scalar,
+             hint: str = "") -> Value:
+        result = func.new_value(scalar, hint)
+        flat.instrs.append(Compute(result=result, op=op, args=args))
+        return result
+
+    # Path predicate per block (None == always executes).
+    block_pred: dict[str, Operand | None] = {body_entry: None}
+    # Edge predicates, filled in as each block's terminator is processed.
+    edge_pred: dict[tuple[str, str], Operand | None] = {}
+
+    def conjoin(a: Operand | None, b: Operand | None) -> Operand | None:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return emit(FuOp.AND, [a, b], Scalar.INT, "pred")
+
+    def disjoin(preds: list[Operand | None]) -> Operand | None:
+        if any(p is None for p in preds):
+            return None
+        result = preds[0]
+        for p in preds[1:]:
+            result = emit(FuOp.OR, [result, p], Scalar.INT, "pred")
+        return result
+
+    for name in order:
+        block = func.blocks[name]
+        if name == body_entry:
+            pred: Operand | None = None
+        else:
+            incoming = [
+                (src, edge_pred[(src, name)])
+                for src in func.predecessors()[name]
+                if src in body_names
+            ]
+            pred = disjoin([p for _s, p in incoming])
+            block_pred[name] = pred
+            # Phis become select chains over the incoming edges.
+            for phi in block.phis:
+                srcs = [(s, phi.incomings[s]) for s, _p in incoming]
+                value = srcs[0][1]
+                for src, inc_value in srcs[1:]:
+                    ep = edge_pred[(src, name)]
+                    if ep is None:
+                        value = inc_value
+                        continue
+                    is_fp = phi.result.scalar is Scalar.FLOAT
+                    value = emit(
+                        FuOp.FSEL if is_fp else FuOp.SEL,
+                        [ep, inc_value, value], phi.result.scalar,
+                        phi.result.name)
+                    predicates_made += 1
+                _replace_value(func, phi.result, value,
+                               extra_blocks=[flat])
+        # Body instructions, stores predicated.
+        for instr in block.instrs:
+            if isinstance(instr, Store) and pred is not None:
+                old = func.new_value(
+                    instr.value.scalar if isinstance(instr.value, Value)
+                    else instr.value.scalar, "old")
+                flat.instrs.append(Load(result=old, addr=instr.addr))
+                is_fp = old.scalar is Scalar.FLOAT
+                guarded = emit(
+                    FuOp.FSEL if is_fp else FuOp.SEL,
+                    [pred, instr.value, old], old.scalar, "guard")
+                flat.instrs.append(Store(addr=instr.addr, value=guarded))
+                predicates_made += 1
+            else:
+                flat.instrs.append(instr)
+        # Terminator -> edge predicates.
+        term = block.terminator
+        if isinstance(term, Jump):
+            edge_pred[(name, term.target)] = pred
+        else:
+            assert isinstance(term, CondBr)
+            cond = term.cond
+            not_cond: Operand
+            if isinstance(cond, Const):
+                taken = bool(cond.value)
+                edge_pred[(name, term.if_true)] = (
+                    pred if taken else conjoin(pred, const_int(0)))
+                edge_pred[(name, term.if_false)] = (
+                    pred if not taken else conjoin(pred, const_int(0)))
+            else:
+                not_cond = emit(FuOp.XOR, [cond, const_int(1)],
+                                Scalar.INT, "not")
+                edge_pred[(name, term.if_true)] = conjoin(pred, cond)
+                edge_pred[(name, term.if_false)] = conjoin(pred, not_cond)
+                predicates_made += 1
+
+    flat.terminator = Jump(loop.header)
+
+    # Rewire the CFG: header -> flat -> header.
+    if header.terminator.if_true == body_entry:
+        header.terminator.if_true = flat.name
+    else:
+        header.terminator.if_false = flat.name
+    for phi in header.phis:
+        if latch in phi.incomings:
+            phi.incomings[flat.name] = phi.incomings.pop(latch)
+    for name in body_names:
+        del func.blocks[name]
+    loop.blocks = {loop.header, flat.name}
+    return FlattenResult(flat=flat, predicates=predicates_made)
+
+
+def _topo_body(func: Function, body: set[str], entry: str
+               ) -> list[str] | None:
+    """Topological order of the body DAG (edges to the header ignored)."""
+    indeg = {name: 0 for name in body}
+    for name in body:
+        for succ in func.blocks[name].terminator.successors():
+            if succ in body:
+                indeg[succ] += 1
+    ready = [entry] if indeg.get(entry, 0) == 0 else []
+    order: list[str] = []
+    while ready:
+        name = ready.pop()
+        order.append(name)
+        for succ in func.blocks[name].terminator.successors():
+            if succ in body:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    ready.append(succ)
+    if len(order) != len(body):
+        return None
+    return order
+
+
+def _replace_value(func: Function, old: Value, new: Operand,
+                   extra_blocks: list[Block] = ()) -> None:
+    mapping = {old: new}
+    blocks = list(func.blocks.values()) + list(extra_blocks)
+    for block in blocks:
+        for instr in block.all_instrs():
+            instr.replace_uses(mapping)
+        term = block.terminator
+        if isinstance(term, CondBr) and term.cond is old:
+            term.cond = new

@@ -1,0 +1,303 @@
+"""Generic IR cleanup passes: constant folding, copy propagation, dead
+code elimination, and unreachable-block removal.
+
+Each pass takes a :class:`Function`, mutates it, and returns True when it
+changed anything, so :func:`optimize` can iterate to a fixed point.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    Compute,
+    CondBr,
+    Const,
+    Copy,
+    Function,
+    Jump,
+    Load,
+    Operand,
+    Phi,
+    Store,
+    Value,
+)
+from repro.compiler.types import Scalar
+from repro.dyser.ops import FuOp, evaluate
+
+
+def fold_constants(func: Function) -> bool:
+    """Evaluate Compute instructions whose operands are all constants and
+    propagate the results."""
+    changed = False
+    for block in func.blocks.values():
+        mapping: dict[Value, Operand] = {}
+        kept = []
+        for instr in block.instrs:
+            if mapping:
+                instr.replace_uses(mapping)
+            if (isinstance(instr, Compute)
+                    and all(isinstance(a, Const) for a in instr.args)):
+                raw = evaluate(instr.op, *(a.value for a in instr.args))
+                scalar = instr.result.scalar
+                folded = Const(
+                    float(raw) if scalar is Scalar.FLOAT else int(raw),
+                    scalar)
+                mapping[instr.result] = folded
+                changed = True
+            else:
+                kept.append(instr)
+        block.instrs = kept
+        if mapping:
+            _rewrite_uses(func, mapping)
+    return changed
+
+
+def propagate_copies(func: Function) -> bool:
+    """Replace uses of Copy results with their sources; drop the copies."""
+    mapping: dict[Value, Operand] = {}
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            if isinstance(instr, Copy):
+                mapping[instr.result] = instr.src
+    if not mapping:
+        return False
+    # Resolve chains (a = copy b; c = copy a).
+    def resolve(v: Operand) -> Operand:
+        while isinstance(v, Value) and v in mapping:
+            v = mapping[v]
+        return v
+
+    mapping = {k: resolve(v) for k, v in mapping.items()}
+    for block in func.blocks.values():
+        block.instrs = [
+            i for i in block.instrs if not isinstance(i, Copy)]
+    _rewrite_uses(func, mapping)
+    return True
+
+
+def eliminate_dead_code(func: Function) -> bool:
+    """Remove instructions whose results are never used (stores and loads
+    kept: loads may fault / stores are side effects; loads with unused
+    results are still dropped since the simulator's memory cannot fault on
+    a mapped address — they are dead weight)."""
+    used: set[Value] = set()
+    for block in func.blocks.values():
+        for instr in block.all_instrs():
+            for op in instr.uses():
+                if isinstance(op, Value):
+                    used.add(op)
+        if block.terminator is not None:
+            for op in block.terminator.uses():
+                if isinstance(op, Value):
+                    used.add(op)
+    changed = False
+    for block in func.blocks.values():
+        kept = []
+        for instr in block.instrs:
+            removable = isinstance(instr, (Compute, Copy, Load))
+            if removable and instr.result not in used:
+                changed = True
+                continue
+            kept.append(instr)
+        block.instrs = kept
+        new_phis = []
+        for phi in block.phis:
+            if phi.result not in used:
+                changed = True
+                continue
+            new_phis.append(phi)
+        block.phis = new_phis
+    return changed
+
+
+def remove_unreachable(func: Function) -> bool:
+    """Drop blocks unreachable from the entry; fix phi incomings."""
+    reachable: set[str] = set()
+    stack = [func.entry]
+    while stack:
+        name = stack.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        term = func.blocks[name].terminator
+        if term is not None:
+            stack.extend(term.successors())
+    dead = set(func.blocks) - reachable
+    if not dead:
+        return False
+    for name in dead:
+        del func.blocks[name]
+    for block in func.blocks.values():
+        for phi in block.phis:
+            phi.incomings = {
+                b: v for b, v in phi.incomings.items() if b in reachable
+            }
+    return True
+
+
+def simplify_branches(func: Function) -> bool:
+    """Turn CondBr on a constant into Jump."""
+    changed = False
+    for block in func.blocks.values():
+        term = block.terminator
+        if isinstance(term, CondBr) and isinstance(term.cond, Const):
+            target = term.if_true if term.cond.value else term.if_false
+            dropped = term.if_false if term.cond.value else term.if_true
+            block.terminator = Jump(target)
+            changed = True
+            if dropped != target:
+                dropped_block = func.blocks.get(dropped)
+                if dropped_block is not None:
+                    for phi in dropped_block.phis:
+                        phi.incomings.pop(block.name, None)
+    return changed
+
+
+def simplify_trivial_phis(func: Function) -> bool:
+    """Remove phis whose incomings are all the same operand."""
+    mapping: dict[Value, Operand] = {}
+    for block in func.blocks.values():
+        kept = []
+        for phi in block.phis:
+            uniques = {v for v in phi.incomings.values()
+                       if v is not phi.result}
+            if len(uniques) == 1:
+                mapping[phi.result] = next(iter(uniques))
+            else:
+                kept.append(phi)
+        block.phis = kept
+    if not mapping:
+        return False
+
+    def resolve(v: Operand) -> Operand:
+        seen = set()
+        while isinstance(v, Value) and v in mapping and v not in seen:
+            seen.add(v)
+            v = mapping[v]
+        return v
+
+    mapping = {k: resolve(v) for k, v in mapping.items()}
+    _rewrite_uses(func, mapping)
+    return True
+
+
+def _writes_memory(instr) -> bool:
+    from repro.compiler.dyser_ir import DyserStore
+
+    return isinstance(instr, (Store, DyserStore))
+
+
+def local_cse(func: Function) -> bool:
+    """Per-block value numbering: reuse identical pure computations and
+    identical loads (until a store, which conservatively invalidates all
+    remembered loads)."""
+    changed = False
+    for block in func.blocks.values():
+        available: dict[tuple, Value] = {}
+        loads: dict[Operand, Value] = {}
+        mapping: dict[Value, Operand] = {}
+        kept = []
+        for instr in block.instrs:
+            if mapping:
+                instr.replace_uses(mapping)
+            if isinstance(instr, Compute):
+                key = (instr.op, tuple(
+                    a if isinstance(a, Const) else id(a)
+                    for a in instr.args))
+                prior = available.get(key)
+                if prior is not None:
+                    mapping[instr.result] = prior
+                    changed = True
+                    continue
+                available[key] = instr.result
+            elif isinstance(instr, Load):
+                prior = loads.get(instr.addr)
+                if prior is not None:
+                    mapping[instr.result] = prior
+                    changed = True
+                    continue
+                loads[instr.addr] = instr.result
+            elif _writes_memory(instr):
+                loads.clear()
+            kept.append(instr)
+        block.instrs = kept
+        if mapping:
+            _rewrite_uses(func, mapping)
+    return changed
+
+
+def licm(func: Function) -> bool:
+    """Loop-invariant code motion for pure computations.
+
+    Moves a Compute whose operands are all constants or defined outside
+    the loop into the loop's preheader.  Safe unconditionally in this IR:
+    compute ops never trap (division by zero is defined).  Runs to a
+    local fixed point so chains (``n-1`` feeding a compare) hoist fully.
+    Besides speeding the host code, this is what lets the unroller see
+    ``i < n-1`` bounds as loop-invariant guards.
+    """
+    from repro.compiler.cfg import natural_loops
+
+    changed = False
+    for loop in natural_loops(func):
+        preds = func.predecessors()
+        outside = [p for p in preds[loop.header] if p not in loop.blocks]
+        if len(outside) != 1:
+            continue
+        preheader = func.blocks[outside[0]]
+        defined_in_loop: set[Value] = set()
+        for name in loop.blocks:
+            for instr in func.blocks[name].all_instrs():
+                if instr.result is not None:
+                    defined_in_loop.add(instr.result)
+        moved = True
+        while moved:
+            moved = False
+            for name in sorted(loop.blocks):
+                block = func.blocks[name]
+                kept = []
+                for instr in block.instrs:
+                    hoistable = isinstance(instr, Compute) and all(
+                        isinstance(u, Const) or u not in defined_in_loop
+                        for u in instr.uses()
+                    )
+                    if hoistable:
+                        preheader.instrs.append(instr)
+                        defined_in_loop.discard(instr.result)
+                        moved = changed = True
+                    else:
+                        kept.append(instr)
+                block.instrs = kept
+    return changed
+
+
+def _rewrite_uses(func: Function, mapping: dict[Value, Operand]) -> None:
+    for block in func.blocks.values():
+        for instr in block.all_instrs():
+            instr.replace_uses(mapping)
+        term = block.terminator
+        if isinstance(term, CondBr) and isinstance(term.cond, Value):
+            term.cond = mapping.get(term.cond, term.cond)
+
+
+#: The standard cleanup pipeline, in application order.
+DEFAULT_PASSES = (
+    fold_constants,
+    propagate_copies,
+    simplify_branches,
+    remove_unreachable,
+    simplify_trivial_phis,
+    local_cse,
+    eliminate_dead_code,
+)
+
+
+def optimize(func: Function, max_iterations: int = 10) -> Function:
+    """Run the cleanup pipeline to a fixed point; verify afterwards."""
+    for _ in range(max_iterations):
+        changed = False
+        for pass_fn in DEFAULT_PASSES:
+            changed |= pass_fn(func)
+        if not changed:
+            break
+    func.verify()
+    return func

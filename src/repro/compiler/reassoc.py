@@ -1,0 +1,118 @@
+"""Associative-chain rebalancing on DySER DFGs.
+
+Unrolling a reduction produces a *serial* accumulation chain
+(``a1 = t1 + acc; a2 = a1 + t2; ...``) whose fabric path delay grows
+linearly in the unroll factor — and the recv that closes the loop waits
+for all of it.  The DySER compiler's reassociation rewrites such chains
+into balanced trees, cutting the critical path to ``O(log n)``.
+
+We rebalance maximal single-consumer chains of one associative op.  For
+floating point this changes rounding order (exactly as ``-ffast-math``
+reassociation does); the workload reference checks use tolerances
+accordingly, and the transform can be disabled via
+``CompilerOptions.reassociate``.
+"""
+
+from __future__ import annotations
+
+from repro.dyser.dfg import Dfg, NodeRef, Source
+from repro.dyser.ops import FuOp
+
+#: Ops that are associative and commutative in our semantics (integer
+#: ops exactly; FP ops up to rounding).
+ASSOCIATIVE_OPS = frozenset({
+    FuOp.ADD, FuOp.MUL, FuOp.AND, FuOp.OR, FuOp.XOR,
+    FuOp.MIN, FuOp.MAX,
+    FuOp.FADD, FuOp.FMUL, FuOp.FMIN, FuOp.FMAX,
+})
+
+
+def rebalance(dfg: Dfg) -> bool:
+    """Rebalance every maximal associative chain in place.
+
+    Chain roots keep their node ids, so output-port mappings survive.
+    Returns True when anything changed.
+    """
+    changed = False
+    consumer_count = _consumer_counts(dfg)
+    # Visit potential roots in topological order so nested chains
+    # (a tree of chains) rebalance bottom-up.
+    for node in list(dfg.topo_order()):
+        if node.id not in dfg.nodes:
+            continue  # absorbed into an earlier rebuild
+        if node.op not in ASSOCIATIVE_OPS:
+            continue
+        is_root = consumer_count.get(node.id, 0) != 1 or any(
+            isinstance(src, NodeRef) and src.node == node.id
+            for src in dfg.outputs.values()
+        )
+        if not is_root:
+            continue
+        leaves = _collect_chain(dfg, node.id, node.op, consumer_count)
+        if len(leaves) < 4:
+            continue
+        _rebuild_balanced(dfg, node.id, node.op, leaves)
+        changed = True
+        consumer_count = _consumer_counts(dfg)
+    return changed
+
+
+def _consumer_counts(dfg: Dfg) -> dict[int, int]:
+    counts: dict[int, int] = {}
+    for node in dfg.nodes.values():
+        for src in node.inputs:
+            if isinstance(src, NodeRef):
+                counts[src.node] = counts.get(src.node, 0) + 1
+    for src in dfg.outputs.values():
+        if isinstance(src, NodeRef):
+            counts[src.node] = counts.get(src.node, 0) + 1
+    return counts
+
+
+def _collect_chain(dfg: Dfg, root: int, op: FuOp,
+                   consumer_count: dict[int, int]) -> list[Source]:
+    """Leaves of the maximal same-op, single-consumer subtree under
+    ``root``; interior nodes are deleted (the rebuild re-creates them)."""
+    leaves: list[Source] = []
+    interior: list[int] = []
+
+    def walk(source: Source) -> None:
+        if (isinstance(source, NodeRef)
+                and source.node in dfg.nodes
+                and dfg.nodes[source.node].op is op
+                and consumer_count.get(source.node, 0) == 1
+                and not _drives_output(dfg, source.node)):
+            interior.append(source.node)
+            for child in dfg.nodes[source.node].inputs:
+                walk(child)
+        else:
+            leaves.append(source)
+
+    for child in dfg.nodes[root].inputs:
+        walk(child)
+    if len(leaves) >= 4:
+        for nid in interior:
+            del dfg.nodes[nid]
+    return leaves if len(leaves) >= 4 else []
+
+
+def _drives_output(dfg: Dfg, node_id: int) -> bool:
+    return any(
+        isinstance(src, NodeRef) and src.node == node_id
+        for src in dfg.outputs.values()
+    )
+
+
+def _rebuild_balanced(dfg: Dfg, root: int, op: FuOp,
+                      leaves: list[Source]) -> None:
+    """Combine ``leaves`` pairwise into a balanced tree whose final
+    combine is the existing ``root`` node."""
+    level = list(leaves)
+    while len(level) > 2:
+        nxt: list[Source] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(dfg.add_node(op, [level[i], level[i + 1]]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    dfg.nodes[root].inputs = list(level)

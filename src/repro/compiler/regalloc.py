@@ -1,0 +1,279 @@
+"""Out-of-SSA lowering and linear-scan register allocation.
+
+Pipeline:
+
+1. :func:`split_critical_edges` — so phi-copies have a safe home;
+2. :func:`lower_phis` — phis become parallel copies on predecessor edges,
+   sequentialized with a scratch register for cycles;
+3. liveness analysis (iterative, per block);
+4. :func:`allocate` — Poletto-style linear scan over the block layout
+   order, with furthest-end spilling.  Spilled values live in a spill
+   area whose base address the core installs in r28 before running.
+
+Register conventions (see :mod:`repro.isa.instruction` for args):
+
+- r0 zero; r8..r15 / f8..f15 arguments;
+- r16..r27, r1..r7 / f16..f27, f1..f7 allocatable;
+- r28 spill-area base; r30, r31 / f30, f31 codegen scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.ir import (
+    Block,
+    CondBr,
+    Const,
+    Copy,
+    Function,
+    Jump,
+    Operand,
+    Phi,
+    Value,
+)
+from repro.compiler.types import Scalar
+from repro.errors import CompilerError
+
+SPILL_BASE_REG = 28
+SCRATCH_INT = (30, 31)
+SCRATCH_FP = (30, 31)
+ALLOCATABLE_INT = tuple(range(16, 28)) + tuple(range(1, 8))
+ALLOCATABLE_FP = tuple(range(16, 28)) + tuple(range(1, 8))
+
+
+# -- out-of-SSA ---------------------------------------------------------------
+
+
+def split_critical_edges(func: Function) -> None:
+    """Insert an empty block on every edge A->B where A has multiple
+    successors and B has multiple predecessors."""
+    preds = func.predecessors()
+    for block in list(func.blocks.values()):
+        term = block.terminator
+        if not isinstance(term, CondBr):
+            continue
+        for attr in ("if_true", "if_false"):
+            succ = getattr(term, attr)
+            if len(preds[succ]) <= 1:
+                continue
+            middle = func.new_block("crit")
+            middle.terminator = Jump(succ)
+            setattr(term, attr, middle.name)
+            for phi in func.blocks[succ].phis:
+                if block.name in phi.incomings:
+                    phi.incomings[middle.name] = phi.incomings.pop(
+                        block.name)
+            # keep preds in sync for subsequent edges of the same block
+            preds[succ] = [p if p != block.name else middle.name
+                           for p in preds[succ]]
+            preds[middle.name] = [block.name]
+
+
+def lower_phis(func: Function) -> None:
+    """Replace phis with copies in predecessors (parallel-copy aware)."""
+    split_critical_edges(func)
+    for block in func.blocks.values():
+        if not block.phis:
+            continue
+        preds = func.predecessors()[block.name]
+        for pred_name in preds:
+            pred = func.blocks[pred_name]
+            moves = [
+                (phi.result, phi.incomings[pred_name])
+                for phi in block.phis
+                if phi.incomings[pred_name] is not phi.result
+            ]
+            for dst, src in _sequentialize(func, moves):
+                pred.instrs.append(Copy(result=dst, src=src))
+        block.phis = []
+
+
+def _sequentialize(func: Function, moves: list[tuple[Value, Operand]]
+                   ) -> list[tuple[Value, Operand]]:
+    """Order parallel moves; break cycles with a fresh temporary."""
+    ordered: list[tuple[Value, Operand]] = []
+    pending = [(d, s) for d, s in moves if not (
+        isinstance(s, Value) and s is d)]
+    while pending:
+        progressed = False
+        for i, (dst, src) in enumerate(pending):
+            # Safe to emit when no other pending move still reads dst.
+            if not any(isinstance(s, Value) and s is dst
+                       for d2, s in pending if d2 is not dst):
+                ordered.append((dst, src))
+                pending.pop(i)
+                progressed = True
+                break
+        if not progressed:
+            # Cycle: save the first destination in a temp, then redirect
+            # every pending reader of that destination to the temp.
+            dst, _src = pending[0]
+            temp = func.new_value(dst.scalar, "swap")
+            ordered.append((temp, dst))
+            pending = [
+                (d, temp if (isinstance(s, Value) and s is dst) else s)
+                for d, s in pending
+            ]
+        if len(ordered) > 10000:  # pragma: no cover - safety valve
+            raise CompilerError("phi copy sequentialization diverged")
+    return ordered
+
+
+# -- liveness -------------------------------------------------------------------
+
+
+def block_liveness(func: Function) -> dict[str, set[Value]]:
+    """live-out set per block (post-phi-lowering IR)."""
+    use_sets: dict[str, set[Value]] = {}
+    def_sets: dict[str, set[Value]] = {}
+    for block in func.blocks.values():
+        uses: set[Value] = set()
+        defs: set[Value] = set()
+        for instr in block.instrs:
+            for op in instr.uses():
+                if isinstance(op, Value) and op not in defs:
+                    uses.add(op)
+            if instr.result is not None:
+                defs.add(instr.result)
+        if block.terminator is not None:
+            for op in block.terminator.uses():
+                if isinstance(op, Value) and op not in defs:
+                    uses.add(op)
+        use_sets[block.name] = uses
+        def_sets[block.name] = defs
+    live_in: dict[str, set[Value]] = {n: set() for n in func.blocks}
+    live_out: dict[str, set[Value]] = {n: set() for n in func.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks.values():
+            name = block.name
+            out: set[Value] = set()
+            if block.terminator is not None:
+                for succ in block.terminator.successors():
+                    out |= live_in[succ]
+            inn = use_sets[name] | (out - def_sets[name])
+            if out != live_out[name] or inn != live_in[name]:
+                live_out[name] = out
+                live_in[name] = inn
+                changed = True
+    return live_out
+
+
+# -- linear scan -------------------------------------------------------------------
+
+
+@dataclass
+class Interval:
+    value: Value
+    start: int
+    end: int
+
+
+@dataclass
+class Allocation:
+    """Result of register allocation."""
+
+    #: Value -> physical register index (within its file).
+    regs: dict[Value, int] = field(default_factory=dict)
+    #: Value -> spill slot index (word offset in the spill area).
+    spills: dict[Value, int] = field(default_factory=dict)
+    spill_words: int = 0
+
+    def location(self, value: Value) -> tuple[str, int]:
+        if value in self.regs:
+            return ("reg", self.regs[value])
+        return ("spill", self.spills[value])
+
+
+def build_intervals(func: Function) -> tuple[list[Interval], list[Block]]:
+    """Single-interval-per-value live ranges over the layout order."""
+    layout = [b for b in func.block_order() if b.name in func.blocks]
+    live_out = block_liveness(func)
+    position: dict[int, int] = {}
+    pos = 0
+    starts: dict[Value, int] = {}
+    ends: dict[Value, int] = {}
+
+    def touch(value: Value, p: int) -> None:
+        starts.setdefault(value, p)
+        ends[value] = max(ends.get(value, p), p)
+
+    block_bounds: dict[str, tuple[int, int]] = {}
+    for block in layout:
+        begin = pos
+        for instr in block.instrs:
+            for op in instr.uses():
+                if isinstance(op, Value):
+                    touch(op, pos)
+            if instr.result is not None:
+                touch(instr.result, pos)
+            pos += 1
+        if block.terminator is not None:
+            for op in block.terminator.uses():
+                if isinstance(op, Value):
+                    touch(op, pos)
+        pos += 1
+        block_bounds[block.name] = (begin, pos - 1)
+    # Params are defined at position -1 (the prologue), regardless of
+    # where their first use falls.
+    for param in func.params:
+        starts[param.value] = -1
+        ends.setdefault(param.value, -1)
+    # Extend values live across a block's exit to that block's end: a
+    # value in live_out of B must survive the whole of B's successors'
+    # iterations (covers loop back edges).
+    changed = True
+    while changed:
+        changed = False
+        for block in layout:
+            _begin, end_pos = block_bounds[block.name]
+            for value in live_out[block.name]:
+                if value not in starts:
+                    continue
+                if ends[value] < end_pos:
+                    ends[value] = end_pos
+                    changed = True
+    intervals = [
+        Interval(v, starts[v], ends[v]) for v in starts
+    ]
+    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    return intervals, layout
+
+
+def allocate(func: Function) -> Allocation:
+    """Linear-scan allocation with furthest-end spilling."""
+    intervals, _layout = build_intervals(func)
+    alloc = Allocation()
+    active: dict[Scalar, list[Interval]] = {
+        Scalar.INT: [], Scalar.FLOAT: []}
+    free: dict[Scalar, list[int]] = {
+        Scalar.INT: list(ALLOCATABLE_INT),
+        Scalar.FLOAT: list(ALLOCATABLE_FP),
+    }
+    next_slot = 0
+    for interval in intervals:
+        scalar = interval.value.scalar
+        pool = active[scalar]
+        # Expire finished intervals.
+        for old in list(pool):
+            if old.end < interval.start:
+                pool.remove(old)
+                free[scalar].append(alloc.regs[old.value])
+        if free[scalar]:
+            alloc.regs[interval.value] = free[scalar].pop(0)
+            pool.append(interval)
+            continue
+        # Spill the interval (active or current) that ends furthest away.
+        victim = max(pool, key=lambda iv: iv.end)
+        if victim.end > interval.end:
+            alloc.regs[interval.value] = alloc.regs.pop(victim.value)
+            alloc.spills[victim.value] = next_slot
+            pool.remove(victim)
+            pool.append(interval)
+        else:
+            alloc.spills[interval.value] = next_slot
+        next_slot += 1
+    alloc.spill_words = next_slot
+    return alloc

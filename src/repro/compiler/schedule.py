@@ -1,0 +1,315 @@
+"""Spatial scheduler: place a DFG onto the fabric and route its signals.
+
+Two phases, mirroring the prototype toolchain:
+
+1. **Placement** — greedy constructive placement in topological order
+   (each node goes to the legal FU minimizing wirelength to its already-
+   placed producers and its ports), followed by a deterministic
+   improvement loop of relocations/swaps.
+2. **Routing** — per-signal BFS trees over the directed switch graph
+   under the circuit-switched exclusivity constraint (a switch output
+   link carries exactly one signal, with free fan-out of the same
+   signal).  Failed routes trigger rip-up-and-retry with a different
+   signal order.
+
+Raises :class:`SchedulingError` when the DFG cannot be mapped, which the
+region selector turns into a scalar fallback (exactly what the paper's
+compiler does for oversized regions).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.dyser.config import DyserConfig, SinkKey, SourceKey, source_key
+from repro.dyser.dfg import ConstRef, Dfg, NodeRef, PortRef
+from repro.dyser.fabric import Coord, Fabric
+from repro.dyser.ops import capability_of
+from repro.errors import SchedulingError
+
+#: Improvement iterations for the placement refiner.
+_REFINE_ITERS = 300
+#: Negotiated-congestion routing iterations.
+_ROUTE_ROUNDS = 48
+
+
+#: Placement attempts (fresh seed each) before giving up on routing.
+_PLACE_ATTEMPTS = 8
+
+
+def schedule(config_id: int, dfg: Dfg, fabric: Fabric,
+             refine: bool = True, seed: int = 0xD75E2) -> DyserConfig:
+    """Place and route ``dfg``; returns a validated config.
+
+    Routing failures trigger re-placement with a different seed — the
+    cheap version of the rip-up-and-reroute loop a production spatial
+    scheduler runs.
+    """
+    dfg.validate()
+    if len(dfg.nodes) > fabric.geometry.num_fus:
+        raise SchedulingError(
+            f"{dfg.name}: {len(dfg.nodes)} ops exceed "
+            f"{fabric.geometry.num_fus} FUs")
+    if dfg.input_ports and max(dfg.input_ports) >= \
+            fabric.geometry.num_input_ports:
+        raise SchedulingError(f"{dfg.name}: not enough input ports")
+    if dfg.output_ports and max(dfg.output_ports) >= \
+            fabric.geometry.num_output_ports:
+        raise SchedulingError(f"{dfg.name}: not enough output ports")
+    last_error: SchedulingError | None = None
+    for attempt in range(_PLACE_ATTEMPTS):
+        rng = random.Random(seed + attempt * 7919)
+        placement = _place(dfg, fabric, rng, refine, jitter=2 * attempt)
+        try:
+            # Alternate the congestion-history pressure across attempts:
+            # different DFG shapes converge under different schedules.
+            routes = _route(dfg, fabric, placement, rng,
+                            history_increment=1.5 + 0.75 * (attempt % 3))
+        except SchedulingError as exc:
+            last_error = exc
+            continue
+        config = DyserConfig(config_id, dfg, fabric, placement=placement,
+                             routes=routes)
+        config.validate()
+        return config
+    raise last_error if last_error is not None else SchedulingError(
+        f"{dfg.name}: unroutable")
+
+
+# -- placement -------------------------------------------------------------
+
+
+def _place(dfg: Dfg, fabric: Fabric, rng: random.Random,
+           refine: bool, jitter: int = 0) -> dict[int, Coord]:
+    geometry = fabric.geometry
+    in_switches = geometry.input_port_switches()
+    out_switches = geometry.output_port_switches()
+    out_port_of: dict[int, list[int]] = {}
+    for port, src in dfg.outputs.items():
+        if isinstance(src, NodeRef):
+            out_port_of.setdefault(src.node, []).append(port)
+
+    placement: dict[int, Coord] = {}
+    occupied: set[Coord] = set()
+
+    def node_cost(nid: int, fu: Coord) -> int:
+        node = dfg.nodes[nid]
+        cost = 0
+        targets = geometry.fu_input_switches(fu)
+        for src in node.inputs:
+            if isinstance(src, NodeRef) and src.node in placement:
+                start = geometry.fu_output_switch(placement[src.node])
+            elif isinstance(src, PortRef):
+                start = in_switches[src.port]
+            else:
+                continue
+            cost += min(_dist(start, t) for t in targets)
+        source = geometry.fu_output_switch(fu)
+        for port in out_port_of.get(nid, ()):
+            cost += _dist(source, out_switches[port])
+        # Consumers placed already (refinement path).
+        for other in dfg.nodes.values():
+            if other.id == nid or other.id not in placement:
+                continue
+            if any(isinstance(s, NodeRef) and s.node == nid
+                   for s in other.inputs):
+                cost += min(
+                    _dist(source, t)
+                    for t in geometry.fu_input_switches(placement[other.id])
+                )
+        return cost
+
+    # Placement cost carries a scarcity penalty (3 per extra capability)
+    # so cheap ops avoid parking on rare FP/divide-capable FUs.
+    for node in dfg.topo_order():
+        candidates = [
+            fu for fu in fabric.fus_with(capability_of(node.op))
+            if fu not in occupied
+        ]
+        if not candidates:
+            raise SchedulingError(
+                f"{dfg.name}: no free FU supports {node.op.value}")
+        best = min(
+            candidates,
+            key=lambda fu: (
+                node_cost(node.id, fu)
+                + 3 * (len(fabric.capabilities[fu]) - 1)
+                # Retry attempts explore different placements: a little
+                # cost noise is what un-sticks congestion hotspots.
+                + (rng.randint(0, jitter) if jitter else 0),
+                fu,
+            ),
+        )
+        placement[node.id] = best
+        occupied.add(best)
+
+    if refine and len(dfg.nodes) > 1:
+        _refine(dfg, fabric, placement, occupied, rng, node_cost)
+    return placement
+
+
+def _refine(dfg, fabric, placement, occupied, rng, node_cost) -> None:
+    geometry = fabric.geometry
+    node_ids = list(placement)
+    all_fus = geometry.fus()
+    for _ in range(_REFINE_ITERS):
+        nid = rng.choice(node_ids)
+        cap = capability_of(dfg.nodes[nid].op)
+        target = rng.choice(all_fus)
+        if target == placement[nid] or not fabric.supports(target, cap):
+            continue
+        old = placement[nid]
+        before = node_cost(nid, old)
+        other = next((n for n, fu in placement.items() if fu == target),
+                     None)
+        if other is not None:
+            if not fabric.supports(old, capability_of(dfg.nodes[other].op)):
+                continue
+            before += node_cost(other, target)
+            # Tentatively swap.
+            placement[nid], placement[other] = target, old
+            after = node_cost(nid, target) + node_cost(other, old)
+            if after > before:
+                placement[nid], placement[other] = old, target
+        else:
+            placement[nid] = target
+            after = node_cost(nid, target)
+            if after > before:
+                placement[nid] = old
+            else:
+                occupied.discard(old)
+                occupied.add(target)
+
+
+def _dist(a: Coord, b: Coord) -> int:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+# -- routing ------------------------------------------------------------------
+
+
+def _route(dfg: Dfg, fabric: Fabric, placement: dict[int, Coord],
+           rng: random.Random, history_increment: float = 1.5
+           ) -> dict[tuple[SourceKey, SinkKey], list[Coord]]:
+    geometry = fabric.geometry
+    in_switches = geometry.input_port_switches()
+    out_switches = geometry.output_port_switches()
+
+    # Collect (source key, sink key, target switches) triples.
+    jobs: list[tuple[SourceKey, SinkKey, list[Coord], Coord]] = []
+    for node in dfg.nodes.values():
+        targets = geometry.fu_input_switches(placement[node.id])
+        for slot, src in enumerate(node.inputs):
+            skey = source_key(src)
+            if skey is None:
+                continue
+            start = (in_switches[skey[1]] if skey[0] == "port"
+                     else geometry.fu_output_switch(placement[skey[1]]))
+            jobs.append((skey, ("node", node.id, slot), targets, start))
+    for port, src in dfg.outputs.items():
+        skey = source_key(src)
+        if skey is None:
+            raise SchedulingError(
+                f"{dfg.name}: output port {port} driven by a constant")
+        start = (in_switches[skey[1]] if skey[0] == "port"
+                 else geometry.fu_output_switch(placement[skey[1]]))
+        jobs.append((skey, ("out", port, 0), [out_switches[port]], start))
+
+    # Route each signal's whole fan-out tree contiguously (compact trees)
+    # and route edge-port signals before internal node signals: ports
+    # enter at corner/edge switches with few outgoing links.
+    jobs.sort(key=lambda j: (j[0][0] != "port", j[0], j[1]))
+
+    # PathFinder-style negotiated congestion routing: sharing a link is
+    # allowed during search but priced; shared links accumulate history
+    # cost between iterations until every link has one owner.
+    history: dict[tuple[Coord, Coord], float] = {}
+    present_penalty = 2.0
+    for _iteration in range(_ROUTE_ROUNDS):
+        usage: dict[tuple[Coord, Coord], set[SourceKey]] = {}
+        signal_parent: dict[SourceKey, dict[Coord, Coord | None]] = {}
+        routes: dict[tuple[SourceKey, SinkKey], list[Coord]] = {}
+        for skey, sink, targets, start in jobs:
+            tree = signal_parent.setdefault(skey, {start: None})
+            target = _grow_tree_negotiated(
+                geometry, tree, set(targets), usage, history,
+                present_penalty, skey)
+            if target is None:
+                raise SchedulingError(
+                    f"{dfg.name}: signal {skey} -> {sink} has no path")
+            path = _backtrack(tree, target)
+            routes[(skey, sink)] = path
+            for a, b in zip(path, path[1:]):
+                usage.setdefault((a, b), set()).add(skey)
+        shared = [link for link, users in usage.items() if len(users) > 1]
+        if not shared:
+            return routes
+        for link in shared:
+            history[link] = history.get(link, 0.0) + history_increment
+        # Uncapped: late iterations effectively forbid sharing, which is
+        # what finally shakes the last contested link loose.
+        present_penalty *= 1.6
+    raise SchedulingError(
+        f"{dfg.name}: congestion did not resolve in {_ROUTE_ROUNDS} "
+        f"routing iterations ({len(shared)} links still shared)")
+
+
+def _grow_tree_negotiated(geometry, tree: dict[Coord, Coord | None],
+                          targets: set[Coord],
+                          usage: dict[tuple[Coord, Coord], set[SourceKey]],
+                          history: dict[tuple[Coord, Coord], float],
+                          present_penalty: float,
+                          skey: SourceKey) -> Coord | None:
+    """Dijkstra from the signal's current tree to any target.
+
+    Link cost = 1 + history + present-sharing penalty; links already in
+    this signal's tree fan out for free.  Commits the found branch into
+    the tree and returns the target switch.
+    """
+    import heapq
+
+    already = sorted(set(tree) & targets)
+    if already:
+        return already[0]
+    dist: dict[Coord, float] = {sw: 0.0 for sw in tree}
+    parent: dict[Coord, Coord] = {}
+    heap = [(0.0, sw) for sw in sorted(tree)]
+    heapq.heapify(heap)
+    visited: set[Coord] = set()
+    while heap:
+        d, current = heapq.heappop(heap)
+        if current in visited:
+            continue
+        visited.add(current)
+        if current in targets:
+            node = current
+            while node not in tree:
+                tree[node] = parent[node]
+                node = parent[node]
+            return current
+        for nxt in geometry.switch_neighbors(current):
+            if nxt in visited:
+                continue
+            link = (current, nxt)
+            users = usage.get(link, ())
+            sharing = sum(1 for u in users if u != skey)
+            cost = 1.0 + history.get(link, 0.0) \
+                + sharing * present_penalty
+            nd = d + cost
+            if nd < dist.get(nxt, float("inf")):
+                dist[nxt] = nd
+                parent[nxt] = current
+                heapq.heappush(heap, (nd, nxt))
+    return None
+
+
+def _backtrack(tree: dict[Coord, Coord | None], target: Coord
+               ) -> list[Coord]:
+    path = [target]
+    node = tree[target]
+    while node is not None:
+        path.append(node)
+        node = tree[node]
+    path.reverse()
+    return path

@@ -1,0 +1,130 @@
+"""Control-flow shape classification for candidate regions.
+
+The paper's second key finding: the compiler extracts computationally
+intensive regular *and* irregular code well, but for non-computationally-
+intense irregular code **two control-flow shapes curtail its
+effectiveness**.  Following the DySER literature we reconstruct these as:
+
+- ``LOOP_CARRIED_CONTROL`` — a loop whose *control decision* depends on a
+  loop-carried, non-induction value (convergence loops, pointer chasing):
+  invocations cannot be pipelined because iteration i+1's control waits on
+  iteration i's data.
+- ``DEEP_DIAMONDS`` — long chains / deep nests of data-dependent diamonds:
+  if-conversion must execute all paths, so the fabric computes mostly
+  discarded work and the region's useful-op density collapses.
+
+Plus the supporting shapes the selector needs:
+
+- ``STRAIGHT`` — single-block body (regular code);
+- ``DIAMOND`` — modest internal control flow, profitable to if-convert;
+- ``MULTI_EXIT`` — side exits (break): not if-convertible, rejected.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.compiler.cfg import Loop, loop_exits
+from repro.compiler.ir import CondBr, Function, Phi, Value
+
+
+class Shape(enum.Enum):
+    STRAIGHT = "straight"
+    DIAMOND = "diamond"
+    DEEP_DIAMONDS = "deep_diamonds"
+    LOOP_CARRIED_CONTROL = "loop_carried_control"
+    MULTI_EXIT = "multi_exit"
+
+
+#: Diamonds beyond this count classify as DEEP_DIAMONDS.
+DEEP_DIAMOND_THRESHOLD = 3
+
+
+@dataclass
+class ShapeReport:
+    shape: Shape
+    diamonds: int
+    exits: int
+    #: True when the loop's continue-condition consumes loop-carried,
+    #: non-induction data.
+    carried_control: bool
+
+    @property
+    def curtails_compiler(self) -> bool:
+        """The paper's two problematic shapes."""
+        return self.shape in (
+            Shape.LOOP_CARRIED_CONTROL, Shape.DEEP_DIAMONDS)
+
+
+def classify_region(func: Function, loop: Loop,
+                    induction_phis: set[Value] | None = None
+                    ) -> ShapeReport:
+    """Classify a natural loop's control-flow shape.
+
+    Args:
+        func: the function (pre-if-conversion).
+        loop: the candidate loop.
+        induction_phis: header phi results known to be affine inductions;
+            loop-carried control through *only* these is normal loop
+            structure, not the pathological shape.
+    """
+    induction_phis = induction_phis or set()
+    exits = loop_exits(func, loop)
+    diamonds = sum(
+        1 for name in loop.body_blocks()
+        if isinstance(func.blocks[name].terminator, CondBr)
+    )
+    carried = _carried_control(func, loop, induction_phis)
+
+    if len(exits) > 1:
+        shape = Shape.MULTI_EXIT
+    elif carried:
+        shape = Shape.LOOP_CARRIED_CONTROL
+    elif diamonds == 0:
+        shape = Shape.STRAIGHT
+    elif diamonds <= DEEP_DIAMOND_THRESHOLD:
+        shape = Shape.DIAMOND
+    else:
+        shape = Shape.DEEP_DIAMONDS
+    return ShapeReport(shape=shape, diamonds=diamonds,
+                       exits=len(exits), carried_control=carried)
+
+
+def _carried_control(func: Function, loop: Loop,
+                     induction_phis: set[Value]) -> bool:
+    """Does any branch in the loop depend on a loop-carried value that is
+    not a recognized induction?
+
+    We take the transitive closure of values flowing into header phis'
+    non-induction results and check whether any CondBr condition (header
+    or body) uses them.
+    """
+    header = func.blocks[loop.header]
+    carried_roots = {
+        phi.result for phi in header.phis
+        if phi.result not in induction_phis
+    }
+    if not carried_roots:
+        return False
+    # Forward closure within the loop: values computed from carried roots.
+    tainted: set[Value] = set(carried_roots)
+    changed = True
+    while changed:
+        changed = False
+        for name in loop.blocks:
+            for instr in func.blocks[name].all_instrs():
+                if instr.result is None or instr.result in tainted:
+                    continue
+                if isinstance(instr, Phi) and name == loop.header:
+                    continue
+                if any(isinstance(u, Value) and u in tainted
+                       for u in instr.uses()):
+                    tainted.add(instr.result)
+                    changed = True
+    for name in loop.blocks:
+        term = func.blocks[name].terminator
+        if isinstance(term, CondBr) and isinstance(term.cond, Value) \
+                and term.cond in tainted:
+            return True
+    return False

@@ -1,0 +1,261 @@
+"""Loop unrolling for invocation pipelining and transfer vectorization.
+
+CGO 2013's "shackle-breaking" insight: DySER regions get their throughput
+from *pipelined invocations* and *wide port transfers*, both of which the
+compiler manufactures by unrolling the selected loop.  We implement
+unroll-by-U with a scalar remainder loop:
+
+    for (i; i < n; i += c)  body(i)
+        ==>
+    for (i; i + (U-1)*c < n; i += U*c) { body(i) .. body(i+(U-1)*c) }
+    for (;  i < n;           i += c)   body(i)     # remainder (scalar)
+
+Preconditions (checked, not assumed): the loop is in canonical form
+(header with phis + a single if-converted body block), the guard is
+``slt i, bound`` with ``i`` an affine induction of positive step and
+``bound`` loop-invariant.  All other loop-carried values are chained
+through the clones, which is exactly what turns a reduction into an
+in-fabric tree after partitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.affine import AffineAnalysis, induction_step
+from repro.compiler.cfg import Loop
+from repro.compiler.ir import (
+    Block,
+    Compute,
+    CondBr,
+    Const,
+    Function,
+    Instr,
+    Jump,
+    Load,
+    Operand,
+    Phi,
+    Store,
+    Value,
+    const_int,
+)
+from repro.compiler.types import Scalar
+from repro.dyser.ops import FuOp
+from repro.errors import RegionRejected
+
+
+@dataclass
+class LoopInfo:
+    """Canonical-form facts about an if-converted loop."""
+
+    header: str
+    body: str
+    preheader: str
+    exit: str
+    #: header phi -> latch incoming operand
+    carried: dict[Phi, Operand] = field(default_factory=dict)
+    #: induction phis -> step constant
+    inductions: dict[Phi, int] = field(default_factory=dict)
+    #: the guard induction phi (cond is slt guard_phi, bound)
+    guard_phi: Phi | None = None
+    bound: Operand | None = None
+
+
+def analyze_loop(func: Function, loop: Loop) -> LoopInfo:
+    """Extract canonical-form structure; raises RegionRejected otherwise."""
+    header = func.blocks[loop.header]
+    body_names = loop.body_blocks()
+    if len(body_names) != 1:
+        raise RegionRejected("loop body not flattened to one block")
+    (body_name,) = body_names
+    preds = func.predecessors()
+    outside = [p for p in preds[loop.header] if p not in loop.blocks]
+    if len(outside) != 1:
+        raise RegionRejected("loop needs a unique preheader")
+    term = header.terminator
+    if not isinstance(term, CondBr):
+        raise RegionRejected("header terminator is not a branch")
+    exit_name = term.if_false if term.if_true == body_name else term.if_true
+    info = LoopInfo(header=loop.header, body=body_name,
+                    preheader=outside[0], exit=exit_name)
+    for phi in header.phis:
+        if body_name not in phi.incomings:
+            raise RegionRejected("header phi lacks a latch incoming")
+        info.carried[phi] = phi.incomings[body_name]
+    # Induction recognition over the body block.
+    analysis = AffineAnalysis()
+    analysis.visit_block(func.blocks[body_name])
+    for phi, latch_value in info.carried.items():
+        if phi.result.scalar is not Scalar.INT:
+            continue
+        step = induction_step(analysis, phi.result, latch_value)
+        if step is not None:
+            info.inductions[phi] = step
+    # Guard pattern: cond defined in header as slt(phi, invariant).
+    cond = term.cond
+    if isinstance(cond, Value):
+        defs = {i.result: i for i in header.instrs if i.result is not None}
+        cond_def = defs.get(cond)
+        if (isinstance(cond_def, Compute) and cond_def.op is FuOp.SLT):
+            lhs, rhs = cond_def.args
+            for phi, step in info.inductions.items():
+                if lhs is phi.result and step > 0 \
+                        and _is_invariant(func, loop, rhs):
+                    info.guard_phi = phi
+                    info.bound = rhs
+                    break
+    return info
+
+
+def _is_invariant(func: Function, loop: Loop, op: Operand) -> bool:
+    if isinstance(op, Const):
+        return True
+    for name in loop.blocks:
+        for instr in func.blocks[name].all_instrs():
+            if instr.result is op:
+                return False
+    return True
+
+
+def can_unroll(info: LoopInfo) -> bool:
+    return info.guard_phi is not None
+
+
+def unroll_loop(func: Function, loop: Loop, info: LoopInfo,
+                factor: int) -> None:
+    """Unroll in place by ``factor``; appends a scalar remainder loop."""
+    if factor < 2:
+        return
+    if not can_unroll(info):
+        raise RegionRejected("guard is not a recognized affine induction")
+    header = func.blocks[info.header]
+    body = func.blocks[info.body]
+    step = info.inductions[info.guard_phi]
+
+    remainder = _clone_remainder(func, info, body, header)
+
+    # 1. Replicate the body factor-1 more times, chaining carried values.
+    original_instrs = list(body.instrs)
+    current: dict[Value, Operand] = {
+        phi.result: phi.incomings[info.body] for phi in header.phis
+    }
+    for _k in range(1, factor):
+        mapping: dict[Value, Operand] = dict(current)
+        for instr in original_instrs:
+            clone = _clone_instr(func, instr, mapping)
+            body.instrs.append(clone)
+        current = {
+            phi.result: _mapped(mapping, phi.incomings[info.body])
+            for phi in header.phis
+        }
+    for phi in header.phis:
+        phi.incomings[info.body] = current[phi.result]
+
+    # 2. Strengthen the guard: i + (factor-1)*step < bound.
+    lookahead = func.new_value(Scalar.INT, "ahead")
+    guard = func.new_value(Scalar.INT, "guard")
+    header.instrs.append(Compute(
+        result=lookahead, op=FuOp.ADD,
+        args=[info.guard_phi.result, const_int((factor - 1) * step)]))
+    header.instrs.append(Compute(
+        result=guard, op=FuOp.SLT, args=[lookahead, info.bound]))
+    term = header.terminator
+    assert isinstance(term, CondBr)
+    term.cond = guard
+
+    # 3. Route the unrolled loop's exit through the remainder loop.
+    rem_header, value_map = remainder
+    if term.if_true == info.body:
+        term.if_false = rem_header
+    else:
+        term.if_true = rem_header
+    # Uses of the original phi results outside the loop now see the
+    # remainder loop's phis instead.
+    loop_blocks = {info.header, info.body}
+    rem_blocks = set(value_map["blocks"])
+    for name, block in func.blocks.items():
+        if name in loop_blocks or name in rem_blocks:
+            continue
+        for instr in block.all_instrs():
+            instr.replace_uses(value_map["escapes"])
+        t = block.terminator
+        if isinstance(t, CondBr) and t.cond in value_map["escapes"]:
+            t.cond = value_map["escapes"][t.cond]
+
+
+def _mapped(mapping: dict[Value, Operand], op: Operand) -> Operand:
+    if isinstance(op, Value):
+        return mapping.get(op, op)
+    return op
+
+
+def _clone_instr(func: Function, instr: Instr,
+                 mapping: dict[Value, Operand]) -> Instr:
+    """Clone one instruction, remapping uses and freshening the def."""
+    if isinstance(instr, Compute):
+        clone = Compute(
+            result=None, op=instr.op,
+            args=[_mapped(mapping, a) for a in instr.args])
+    elif isinstance(instr, Load):
+        clone = Load(result=None, addr=_mapped(mapping, instr.addr))
+    elif isinstance(instr, Store):
+        clone = Store(result=None, addr=_mapped(mapping, instr.addr),
+                      value=_mapped(mapping, instr.value))
+    else:
+        raise RegionRejected(
+            f"cannot unroll body containing {type(instr).__name__}")
+    if instr.result is not None:
+        fresh = func.new_value(instr.result.scalar, instr.result.name)
+        clone.result = fresh
+        mapping[instr.result] = fresh
+    return clone
+
+
+def _clone_remainder(func: Function, info: LoopInfo, body: Block,
+                     header: Block):
+    """Clone the original (pre-unroll) loop as the remainder loop.
+
+    Returns (remainder header name, {"blocks": [...], "escapes": {...}}).
+    """
+    rem_header = func.new_block("remh")
+    rem_body = func.new_block("remb")
+    mapping: dict[Value, Operand] = {}
+    escapes: dict[Value, Operand] = {}
+    # Phis: incoming from the unrolled header (its phi results) and from
+    # the cloned body.
+    for phi in header.phis:
+        fresh = func.new_value(phi.result.scalar, phi.result.name)
+        mapping[phi.result] = fresh
+        escapes[phi.result] = fresh
+        rem_header.phis.append(Phi(
+            result=fresh,
+            incomings={header.name: phi.result,
+                       rem_body.name: phi.incomings[info.body]}))
+    for instr in header.instrs:
+        rem_header.instrs.append(_clone_instr(func, instr, mapping))
+    term = header.terminator
+    assert isinstance(term, CondBr)
+    cond = _mapped(mapping, term.cond)
+    rem_header.terminator = CondBr(cond, rem_body.name, info.exit)
+    for instr in body.instrs:
+        rem_body.instrs.append(_clone_instr(func, instr, mapping))
+    rem_body.terminator = Jump(rem_header.name)
+    # Fix the cloned phis' body incomings: they were captured before the
+    # body was cloned, so remap them now that the mapping is complete.
+    for phi in rem_header.phis:
+        phi.incomings[rem_body.name] = _mapped(
+            mapping, phi.incomings[rem_body.name])
+    # Exit-block phis: the exit's predecessor changes from header to
+    # remainder header.
+    exit_block = func.blocks[info.exit]
+    for phi in exit_block.phis:
+        if header.name in phi.incomings:
+            phi.incomings[rem_header.name] = _mapped(
+                mapping, phi.incomings.pop(header.name))
+    # Remainder loops are never themselves offload candidates: offloading
+    # one would unroll it and spawn yet another remainder, ad infinitum.
+    tagged = getattr(func, "remainder_headers", set())
+    tagged.add(rem_header.name)
+    func.remainder_headers = tagged
+    return rem_header.name, {
+        "blocks": [rem_header.name, rem_body.name], "escapes": escapes}

@@ -1,0 +1,23 @@
+"""The OpenSPARC-T1-flavoured host core model."""
+
+from repro.cpu.cache import Cache, CacheConfig, dcache_config, icache_config
+from repro.cpu.core import Core, CoreConfig
+from repro.cpu.memory import WORD_BYTES, Memory
+from repro.cpu.regfile import FpRegFile, IntRegFile, wrap64
+from repro.cpu.statistics import ExecStats, StallCause
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "Core",
+    "CoreConfig",
+    "ExecStats",
+    "FpRegFile",
+    "IntRegFile",
+    "Memory",
+    "StallCause",
+    "WORD_BYTES",
+    "dcache_config",
+    "icache_config",
+    "wrap64",
+]

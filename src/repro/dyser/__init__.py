@@ -1,0 +1,39 @@
+"""The DySER accelerator model: fabric, configurations, timing, interface."""
+
+from repro.dyser.config import DyserConfig
+from repro.dyser.config_cache import ConfigCache, ConfigCacheParams
+from repro.dyser.dfg import ConstRef, Dfg, DfgNode, NodeRef, PortRef
+from repro.dyser.fabric import (
+    Fabric,
+    FabricGeometry,
+    default_capabilities,
+    uniform_capabilities,
+)
+from repro.dyser.functional import FunctionalEvaluator
+from repro.dyser.interface import DyserDevice, DyserStats
+from repro.dyser.ops import FU_OP_INFO, FuCapability, FuOp, evaluate
+from repro.dyser.timing import DyserTimingParams, InvocationEngine
+
+__all__ = [
+    "ConfigCache",
+    "ConfigCacheParams",
+    "ConstRef",
+    "Dfg",
+    "DfgNode",
+    "DyserConfig",
+    "DyserDevice",
+    "DyserStats",
+    "DyserTimingParams",
+    "FU_OP_INFO",
+    "Fabric",
+    "FabricGeometry",
+    "FuCapability",
+    "FuOp",
+    "FunctionalEvaluator",
+    "InvocationEngine",
+    "NodeRef",
+    "PortRef",
+    "default_capabilities",
+    "evaluate",
+    "uniform_capabilities",
+]

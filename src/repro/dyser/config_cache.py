@@ -1,0 +1,49 @@
+"""Configuration cache: DySER's fast configuration switching.
+
+The prototype keeps recently used configurations resident so switching
+between program regions does not pay the full reload.  We model an LRU
+cache of ``capacity`` configurations: a hit switches in
+``hit_switch_cycles``; a miss streams ``config_words`` words at
+``load_words_per_cycle``.  ``capacity=0`` disables caching (every dinit is
+a full reload), which the E9 sensitivity bench sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ConfigCacheParams:
+    capacity: int = 4
+    load_words_per_cycle: float = 2.0
+    hit_switch_cycles: int = 2
+
+
+@dataclass
+class ConfigCache:
+    params: ConfigCacheParams = field(default_factory=ConfigCacheParams)
+    _resident: list[int] = field(default_factory=list)  # MRU last
+    hits: int = 0
+    misses: int = 0
+
+    def load_cycles(self, config_id: int, config_words: int) -> tuple[int, bool]:
+        """Return (cycles to make the config active, was it a hit)."""
+        if self.params.capacity > 0 and config_id in self._resident:
+            self._resident.remove(config_id)
+            self._resident.append(config_id)
+            self.hits += 1
+            return self.params.hit_switch_cycles, True
+        self.misses += 1
+        cycles = max(
+            1, math.ceil(config_words / self.params.load_words_per_cycle)
+        )
+        if self.params.capacity > 0:
+            if len(self._resident) >= self.params.capacity:
+                self._resident.pop(0)
+            self._resident.append(config_id)
+        return cycles, False
+
+    def flush(self) -> None:
+        self._resident.clear()

@@ -1,0 +1,60 @@
+"""Functional evaluation of a DFG: one invocation in, one set of outputs out.
+
+The fabric is a pure dataflow machine: an invocation consumes exactly one
+value from every configured input port and produces exactly one value on
+every configured output port.  Control flow inside a region is handled by
+select operations (``sel``/``fsel``) placed by the compiler's
+if-conversion, exactly as DySER's predication works in hardware.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DyserError
+from repro.dyser.dfg import ConstRef, Dfg, NodeRef, PortRef, Source
+from repro.dyser.ops import evaluate
+
+
+class FunctionalEvaluator:
+    """Evaluates a DFG invocation-by-invocation.
+
+    The topological order is computed once at construction; per-invocation
+    evaluation is a flat loop, which keeps simulation fast.
+    """
+
+    def __init__(self, dfg: Dfg) -> None:
+        dfg.validate()
+        self.dfg = dfg
+        self._order = dfg.topo_order()
+        self._input_ports = dfg.input_ports
+
+    def required_ports(self) -> list[int]:
+        return list(self._input_ports)
+
+    def __call__(self, inputs: dict[int, int | float]) -> dict[int, int | float]:
+        """Run one invocation.
+
+        Args:
+            inputs: value per configured input port.
+
+        Returns:
+            value per configured output port.
+        """
+        missing = [p for p in self._input_ports if p not in inputs]
+        if missing:
+            raise DyserError(f"invocation missing input ports {missing}")
+        values: dict[int, int | float] = {}
+
+        def resolve(src: Source):
+            if isinstance(src, PortRef):
+                return inputs[src.port]
+            if isinstance(src, ConstRef):
+                return src.value
+            return values[src.node]
+
+        for node in self._order:
+            values[node.id] = evaluate(
+                node.op, *(resolve(s) for s in node.inputs)
+            )
+        return {
+            port: resolve(src) for port, src in self.dfg.outputs.items()
+        }

@@ -1,0 +1,180 @@
+"""Functional-unit operations available inside the DySER fabric.
+
+DySER functional units implement plain computation (no memory access, no
+control flow — that stays on the host core, per the access/execute
+decoupling).  Each op carries:
+
+- the *capability* an FU must have to host it (used by the heterogeneous
+  capability map and the spatial scheduler), and
+- its pipeline latency in fabric cycles (used by the timing model).
+
+Evaluation semantics match the host ISA exactly so a region computes the
+same values whether it runs on the core or in the fabric.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.cpu.regfile import wrap64
+
+
+class FuCapability(enum.Enum):
+    """Hardware capability classes for heterogeneous FUs."""
+
+    ALU = "alu"        # int add/sub/logic/shift/compare/select
+    MUL = "mul"        # int multiply
+    FP = "fp"          # fp add/sub/mul/compare/select/convert/min/max
+    FPDIV = "fpdiv"    # fp divide and sqrt (also int div/rem)
+
+
+class FuOp(enum.Enum):
+    """Operations a DySER FU can compute."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLT = "slt"
+    SEQ = "seq"
+    MIN = "min"
+    MAX = "max"
+    SEL = "sel"
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FNEG = "fneg"
+    FABS = "fabs"
+    FMIN = "fmin"
+    FMAX = "fmax"
+    FLT = "flt"
+    FLE = "fle"
+    FEQ = "feq"
+    FSEL = "fsel"
+    I2F = "i2f"
+    F2I = "f2i"
+
+
+@dataclass(frozen=True)
+class FuOpInfo:
+    op: FuOp
+    capability: FuCapability
+    arity: int
+    latency: int
+
+
+def _shift_amount(b: int) -> int:
+    return int(b) & 63
+
+
+def _srl(a: int, b: int) -> int:
+    return wrap64((int(a) & ((1 << 64) - 1)) >> _shift_amount(b))
+
+
+def int_div(a: int, b: int) -> int:
+    """Truncating signed division; divide-by-zero yields all-ones."""
+    if b == 0:
+        return -1
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def int_rem(a: int, b: int) -> int:
+    """Remainder matching :func:`int_div` (sign of the dividend)."""
+    if b == 0:
+        return a
+    return a - int_div(a, b) * b
+
+
+_EVAL = {
+    FuOp.ADD: lambda a, b: wrap64(int(a) + int(b)),
+    FuOp.SUB: lambda a, b: wrap64(int(a) - int(b)),
+    FuOp.MUL: lambda a, b: wrap64(int(a) * int(b)),
+    FuOp.DIV: lambda a, b: wrap64(int_div(int(a), int(b))),
+    FuOp.REM: lambda a, b: wrap64(int_rem(int(a), int(b))),
+    FuOp.AND: lambda a, b: wrap64(int(a) & int(b)),
+    FuOp.OR: lambda a, b: wrap64(int(a) | int(b)),
+    FuOp.XOR: lambda a, b: wrap64(int(a) ^ int(b)),
+    FuOp.SLL: lambda a, b: wrap64(int(a) << _shift_amount(b)),
+    FuOp.SRL: _srl,
+    FuOp.SRA: lambda a, b: wrap64(int(a) >> _shift_amount(b)),
+    FuOp.SLT: lambda a, b: 1 if int(a) < int(b) else 0,
+    FuOp.SEQ: lambda a, b: 1 if int(a) == int(b) else 0,
+    FuOp.MIN: lambda a, b: min(int(a), int(b)),
+    FuOp.MAX: lambda a, b: max(int(a), int(b)),
+    FuOp.SEL: lambda c, a, b: a if c else b,
+    FuOp.FADD: lambda a, b: float(a) + float(b),
+    FuOp.FSUB: lambda a, b: float(a) - float(b),
+    FuOp.FMUL: lambda a, b: float(a) * float(b),
+    FuOp.FDIV: lambda a, b: float(a) / float(b) if b else math.inf,
+    FuOp.FSQRT: lambda a: math.sqrt(a) if a >= 0.0 else math.nan,
+    FuOp.FNEG: lambda a: -float(a),
+    FuOp.FABS: lambda a: abs(float(a)),
+    FuOp.FMIN: lambda a, b: min(float(a), float(b)),
+    FuOp.FMAX: lambda a, b: max(float(a), float(b)),
+    FuOp.FLT: lambda a, b: 1 if float(a) < float(b) else 0,
+    FuOp.FLE: lambda a, b: 1 if float(a) <= float(b) else 0,
+    FuOp.FEQ: lambda a, b: 1 if float(a) == float(b) else 0,
+    FuOp.FSEL: lambda c, a, b: a if c else b,
+    FuOp.I2F: lambda a: float(int(a)),
+    FuOp.F2I: lambda a: wrap64(int(a)),
+}
+
+
+def _build_info() -> dict[FuOp, FuOpInfo]:
+    C = FuCapability
+    caps = {
+        **{op: C.ALU for op in (
+            FuOp.ADD, FuOp.SUB, FuOp.AND, FuOp.OR, FuOp.XOR, FuOp.SLL,
+            FuOp.SRL, FuOp.SRA, FuOp.SLT, FuOp.SEQ, FuOp.MIN, FuOp.MAX,
+            FuOp.SEL)},
+        FuOp.MUL: C.MUL,
+        FuOp.DIV: C.FPDIV,
+        FuOp.REM: C.FPDIV,
+        **{op: C.FP for op in (
+            FuOp.FADD, FuOp.FSUB, FuOp.FMUL, FuOp.FNEG, FuOp.FABS,
+            FuOp.FMIN, FuOp.FMAX, FuOp.FLT, FuOp.FLE, FuOp.FEQ,
+            FuOp.FSEL, FuOp.I2F, FuOp.F2I)},
+        FuOp.FDIV: C.FPDIV,
+        FuOp.FSQRT: C.FPDIV,
+    }
+    latency = {
+        **{op: 1 for op in FuOp},
+        FuOp.MUL: 2, FuOp.DIV: 8, FuOp.REM: 8,
+        FuOp.FADD: 2, FuOp.FSUB: 2, FuOp.FMUL: 2,
+        FuOp.FMIN: 2, FuOp.FMAX: 2,
+        FuOp.FDIV: 8, FuOp.FSQRT: 8,
+        FuOp.I2F: 2, FuOp.F2I: 2,
+    }
+    arity = {op: _EVAL[op].__code__.co_argcount for op in FuOp}
+    return {
+        op: FuOpInfo(op, caps[op], arity[op], latency[op]) for op in FuOp
+    }
+
+
+#: Static metadata for every fabric op.
+FU_OP_INFO: dict[FuOp, FuOpInfo] = _build_info()
+
+
+def evaluate(op: FuOp, *operands):
+    """Compute ``op`` on ``operands`` with host-ISA-identical semantics."""
+    return _EVAL[op](*operands)
+
+
+def capability_of(op: FuOp) -> FuCapability:
+    return FU_OP_INFO[op].capability
+
+
+def latency_of(op: FuOp) -> int:
+    return FU_OP_INFO[op].latency

@@ -1,0 +1,128 @@
+"""Invocation pipeline timing: when does each output value appear?
+
+The fabric is fully pipelined: one invocation can fire per ``ii`` cycles
+(initiation interval, 1 by default).  An invocation fires when every
+configured input port holds a value; its outputs become visible after the
+configuration's per-output path delay.  Output FIFO backpressure delays
+firing when results pile up unread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dyser.config import DyserConfig
+from repro.dyser.functional import FunctionalEvaluator
+from repro.dyser.ports import InputPortFifo, OutputPortFifo
+
+
+@dataclass
+class DyserTimingParams:
+    """Knobs of the fabric's dynamic behaviour."""
+
+    input_fifo_depth: int = 4
+    output_fifo_depth: int = 4
+    initiation_interval: int = 1
+
+
+class InvocationEngine:
+    """Functional + timing state for one active configuration."""
+
+    def __init__(self, config: DyserConfig, params: DyserTimingParams) -> None:
+        config.validate()
+        self.config = config
+        self.params = params
+        self.evaluator = FunctionalEvaluator(config.dfg)
+        self.delays = config.path_delays()
+        self.in_fifos = {
+            p: InputPortFifo(p, params.input_fifo_depth)
+            for p in config.dfg.input_ports
+        }
+        self.out_fifos = {
+            p: OutputPortFifo(p, params.output_fifo_depth)
+            for p in config.dfg.output_ports
+        }
+        self.fire_times: list[int] = []
+        # Activity factors for the energy model.
+        self.ops_per_fire = len(config.dfg.nodes)
+        self.hops_per_fire = config.used_switch_links()
+
+    # -- host-visible operations -------------------------------------------
+
+    def send(self, port: int, value: int | float, t_ready: int) -> int:
+        """Deposit one value; fire any enabled invocations; return
+        completion cycle of the send."""
+        fifo = self.in_fifos.get(port)
+        if fifo is None:
+            from repro.errors import DyserError
+
+            raise DyserError(
+                f"send to port {port}, which config "
+                f"{self.config.config_id} does not use"
+            )
+        done = fifo.send(value, t_ready, self.fire_times)
+        self._fire_ready()
+        return done
+
+    def recv(self, port: int, t_try: int) -> tuple[int | float, int]:
+        fifo = self.out_fifos.get(port)
+        if fifo is None:
+            from repro.errors import DyserError
+
+            raise DyserError(
+                f"recv from port {port}, which config "
+                f"{self.config.config_id} does not drive"
+            )
+        return fifo.recv(t_try)
+
+    # -- firing --------------------------------------------------------------
+
+    def _fire_ready(self) -> None:
+        while all(f.has_value() for f in self.in_fifos.values()):
+            inputs: dict[int, int | float] = {}
+            fire_at = 0
+            for port, fifo in self.in_fifos.items():
+                value, entry = fifo.consume()
+                inputs[port] = value
+                fire_at = max(fire_at, entry)
+            if self.fire_times:
+                fire_at = max(
+                    fire_at,
+                    self.fire_times[-1] + self.params.initiation_interval,
+                )
+            for fifo in self.out_fifos.values():
+                space = fifo.space_time()
+                if space is not None:
+                    fire_at = max(fire_at, space)
+            self.fire_times.append(fire_at)
+            outputs = self.evaluator(inputs)
+            for port, value in outputs.items():
+                self.out_fifos[port].produce(
+                    value, fire_at + self.delays[port]
+                )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def drained_time(self) -> int:
+        """Cycle by which all fired invocations' outputs are consumed or
+        ready; used when switching configurations."""
+        times = [f.drained_time() for f in self.out_fifos.values()]
+        return max(times, default=0)
+
+    def quiesce(self) -> None:
+        """Assert the pipeline is empty and reset counters (reconfigure)."""
+        for fifo in self.in_fifos.values():
+            fifo.reset()
+        for fifo in self.out_fifos.values():
+            fifo.reset()
+        self.fire_times.clear()
+
+    @property
+    def invocations(self) -> int:
+        return len(self.fire_times)
+
+    @property
+    def unresolved_stalls(self) -> int:
+        return sum(
+            f.unresolved_stalls for f in self.in_fifos.values()
+        ) + sum(f.unresolved_stalls for f in self.out_fifos.values())

@@ -1,0 +1,5 @@
+"""Activity-based power/energy model of the prototype."""
+
+from repro.energy.model import EnergyModel, EnergyParams, EnergyReport
+
+__all__ = ["EnergyModel", "EnergyParams", "EnergyReport"]

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IsaError(ReproError):
+    """Malformed instruction, unknown opcode, or bad operand."""
+
+
+class AssemblerError(IsaError):
+    """Raised when assembly text cannot be parsed or linked."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """Runtime fault during simulation (bad address, div by zero, ...)."""
+
+
+class MemoryFault(SimulationError):
+    """Out-of-range or misaligned memory access."""
+
+    def __init__(self, address: int, reason: str = "out of range") -> None:
+        self.address = address
+        super().__init__(f"memory fault at {address:#x}: {reason}")
+
+
+class DyserError(ReproError):
+    """Errors in the DySER fabric model (bad config, port misuse, ...)."""
+
+
+class ConfigurationError(DyserError):
+    """A datapath configuration is inconsistent or unroutable."""
+
+
+class CompilerError(ReproError):
+    """Base class for compiler failures."""
+
+
+class LexerError(CompilerError):
+    def __init__(self, message: str, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+        super().__init__(f"{line}:{column}: {message}")
+
+
+class ParseError(CompilerError):
+    def __init__(self, message: str, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+        super().__init__(f"{line}:{column}: {message}")
+
+
+class TypeCheckError(CompilerError):
+    """Semantic analysis failure (undefined name, type mismatch, ...)."""
+
+
+class RegionRejected(CompilerError):
+    """A candidate DySER region was rejected; carries the reason code."""
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+        super().__init__(f"region rejected: {reason}")
+
+
+class SchedulingError(CompilerError):
+    """The spatial scheduler could not map a DFG onto the fabric."""
+
+
+class WorkloadError(ReproError):
+    """Unknown workload or bad workload parameters."""

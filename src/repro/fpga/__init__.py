@@ -1,0 +1,21 @@
+"""FPGA resource and frequency model."""
+
+from repro.fpga.resources import (
+    BlockReport,
+    FpgaCostTable,
+    ResourceVector,
+    dyser_resources,
+    sparc_core_resources,
+    system_report,
+    utilization_table,
+)
+
+__all__ = [
+    "BlockReport",
+    "FpgaCostTable",
+    "ResourceVector",
+    "dyser_resources",
+    "sparc_core_resources",
+    "system_report",
+    "utilization_table",
+]

@@ -1,0 +1,152 @@
+"""FPGA resource and frequency model.
+
+The prototype synthesizes SPARC-DySER onto a Virtex-5-class FPGA; its
+paper reports per-block LUT/FF/BRAM/DSP utilization and the achieved
+clock.  We model that with per-component cost tables so E8 can regenerate
+the utilization table for any fabric geometry and compare DySER's area to
+the OpenSPARC core's.
+
+All numbers are calibrated constants in the spirit of the published
+OpenSPARC-on-FPGA and DySER prototype reports: a T1 core is tens of
+thousands of LUTs; a 64-FU DySER is comparable to (slightly smaller than)
+one core; frequency is limited by the core, with DySER's switch-local
+paths closing faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dyser.fabric import Fabric
+from repro.dyser.ops import FuCapability
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """LUTs, flip-flops, BRAM blocks, DSP slices."""
+
+    luts: int = 0
+    ffs: int = 0
+    brams: int = 0
+    dsps: int = 0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.luts + other.luts, self.ffs + other.ffs,
+            self.brams + other.brams, self.dsps + other.dsps)
+
+    def scale(self, k: int) -> "ResourceVector":
+        return ResourceVector(
+            self.luts * k, self.ffs * k, self.brams * k, self.dsps * k)
+
+
+@dataclass
+class FpgaCostTable:
+    """Per-component costs (calibrated constants)."""
+
+    # Host side.
+    sparc_core: ResourceVector = field(
+        default_factory=lambda: ResourceVector(37500, 23000, 66, 8))
+    sparc_fpu: ResourceVector = field(
+        default_factory=lambda: ResourceVector(6400, 3100, 2, 12))
+    dyser_interface: ResourceVector = field(
+        default_factory=lambda: ResourceVector(1450, 1800, 2, 0))
+
+    # DySER fabric, per unit.
+    fu_base: ResourceVector = field(
+        default_factory=lambda: ResourceVector(240, 190, 0, 0))
+    fu_mul_extra: ResourceVector = field(
+        default_factory=lambda: ResourceVector(120, 60, 0, 4))
+    fu_fp_extra: ResourceVector = field(
+        default_factory=lambda: ResourceVector(410, 300, 0, 2))
+    fu_fpdiv_extra: ResourceVector = field(
+        default_factory=lambda: ResourceVector(1100, 700, 0, 4))
+    switch: ResourceVector = field(
+        default_factory=lambda: ResourceVector(155, 120, 0, 0))
+    port: ResourceVector = field(
+        default_factory=lambda: ResourceVector(45, 90, 0, 0))
+    config_store_per_kword: ResourceVector = field(
+        default_factory=lambda: ResourceVector(0, 0, 2, 0))
+
+    # Frequency model (MHz).
+    core_fmax_mhz: float = 50.0
+    dyser_base_fmax_mhz: float = 72.0
+    #: fmax degrades gently with fabric diameter (longer config/credit
+    #: distribution nets).
+    dyser_fmax_per_diameter_mhz: float = 0.9
+
+
+@dataclass
+class BlockReport:
+    name: str
+    resources: ResourceVector
+    fmax_mhz: float
+
+
+def dyser_resources(fabric: Fabric,
+                    table: FpgaCostTable | None = None) -> BlockReport:
+    """Resource estimate for one DySER fabric instance."""
+    table = table or FpgaCostTable()
+    geometry = fabric.geometry
+    total = ResourceVector()
+    for fu in geometry.fus():
+        cost = table.fu_base
+        caps = fabric.capabilities[fu]
+        if FuCapability.MUL in caps:
+            cost = cost + table.fu_mul_extra
+        if FuCapability.FP in caps:
+            cost = cost + table.fu_fp_extra
+        if FuCapability.FPDIV in caps:
+            cost = cost + table.fu_fpdiv_extra
+        total = total + cost
+    total = total + table.switch.scale(geometry.num_switches)
+    total = total + table.port.scale(
+        geometry.num_input_ports + geometry.num_output_ports)
+    # Config storage: ~8 words per FU plus routing state per switch.
+    config_words = 8 * geometry.num_fus + 4 * geometry.num_switches
+    total = total + table.config_store_per_kword.scale(
+        max(1, config_words // 1024 + 1))
+    diameter = geometry.width + geometry.height
+    fmax = table.dyser_base_fmax_mhz - table.dyser_fmax_per_diameter_mhz \
+        * diameter
+    return BlockReport(
+        name=f"dyser_{geometry.width}x{geometry.height}",
+        resources=total, fmax_mhz=fmax)
+
+
+def sparc_core_resources(table: FpgaCostTable | None = None,
+                         with_dyser_interface: bool = True) -> BlockReport:
+    table = table or FpgaCostTable()
+    total = table.sparc_core + table.sparc_fpu
+    if with_dyser_interface:
+        total = total + table.dyser_interface
+    return BlockReport(name="sparc_core", resources=total,
+                       fmax_mhz=table.core_fmax_mhz)
+
+
+def system_report(fabric: Fabric,
+                  table: FpgaCostTable | None = None) -> list[BlockReport]:
+    """Per-block utilization for the integrated SPARC-DySER system."""
+    table = table or FpgaCostTable()
+    core = sparc_core_resources(table)
+    dyser = dyser_resources(fabric, table)
+    system = BlockReport(
+        name="sparc_dyser_system",
+        resources=core.resources + dyser.resources,
+        fmax_mhz=min(core.fmax_mhz, dyser.fmax_mhz))
+    return [core, dyser, system]
+
+
+def utilization_table(fabric: Fabric,
+                      table: FpgaCostTable | None = None) -> str:
+    """Formatted E8-style table."""
+    rows = system_report(fabric, table)
+    header = (f"{'block':<22}{'LUTs':>9}{'FFs':>9}{'BRAM':>6}"
+              f"{'DSP':>5}{'fmax':>8}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        r = row.resources
+        lines.append(
+            f"{row.name:<22}{r.luts:>9}{r.ffs:>9}{r.brams:>6}"
+            f"{r.dsps:>5}{row.fmax_mhz:>7.1f}M")
+    return "\n".join(lines)

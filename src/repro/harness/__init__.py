@@ -1,0 +1,24 @@
+"""Experiment harness: run workloads, compare builds, format tables."""
+
+from repro.harness.bundle import (
+    bundle_from_dict,
+    bundle_to_dict,
+    load_bundle,
+    save_bundle,
+)
+from repro.harness.report import format_series, format_table, geomean
+from repro.harness.runner import Comparison, RunResult, compare, run_workload
+
+__all__ = [
+    "Comparison",
+    "RunResult",
+    "bundle_from_dict",
+    "bundle_to_dict",
+    "compare",
+    "format_series",
+    "format_table",
+    "geomean",
+    "load_bundle",
+    "run_workload",
+    "save_bundle",
+]

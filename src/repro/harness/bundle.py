@@ -1,0 +1,61 @@
+"""Program bundles: persist a compiled SPARC-DySER artifact.
+
+A bundle is a JSON document holding the program's assembly listing, its
+spill requirement, and every DySER configuration (placed and routed).
+Loading a bundle reproduces an executable :class:`Program` without
+re-running the compiler or the spatial scheduler — the shipping format a
+toolchain user would archive next to their binaries.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.dyser.fabric import Fabric
+from repro.dyser.serialize import config_from_dict, config_to_dict
+from repro.errors import ReproError
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+_FORMAT = "repro-bundle-v1"
+
+
+def bundle_to_dict(program: Program) -> dict:
+    """Serialize ``program`` (with its configurations) to a dict."""
+    return {
+        "format": _FORMAT,
+        "name": program.name,
+        "spill_words": program.spill_words,
+        "assembly": program.listing(),
+        "configs": [
+            config_to_dict(config)
+            for _cid, config in sorted(program.dyser_configs.items())
+        ],
+    }
+
+
+def bundle_from_dict(data: dict, fabric: Fabric) -> Program:
+    """Rebuild an executable program from a bundle dict."""
+    if data.get("format") != _FORMAT:
+        raise ReproError(
+            f"not a program bundle (format={data.get('format')!r})")
+    program = assemble(data["assembly"], name=data.get("name", "bundle"))
+    program.spill_words = int(data.get("spill_words", 0))
+    for config_data in data.get("configs", ()):
+        config = config_from_dict(config_data, fabric)
+        program.dyser_configs[config.config_id] = config
+    program.validate()
+    return program
+
+
+def save_bundle(program: Program, path: str | pathlib.Path) -> None:
+    """Write a bundle JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(bundle_to_dict(program), indent=1))
+
+
+def load_bundle(path: str | pathlib.Path, fabric: Fabric) -> Program:
+    """Read a bundle JSON file back into an executable program."""
+    data = json.loads(pathlib.Path(path).read_text())
+    return bundle_from_dict(data, fabric)

@@ -1,0 +1,61 @@
+"""Table/series formatting for the E-series benchmark outputs.
+
+Benchmarks print plain-text tables that mirror the paper's rows; these
+helpers keep the formatting uniform and provide the geometric-mean
+summary rows the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None) -> str:
+    """Fixed-width text table; floats rendered to 2-3 significant places."""
+
+    def cell(v) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 100:
+                return f"{v:.0f}"
+            if abs(v) >= 1:
+                return f"{v:.2f}"
+            return f"{v:.3f}"
+        return str(v)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows))
+        if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in text_rows:
+        lines.append("  ".join(
+            row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence[float]) -> str:
+    """A figure rendered as an (x, y) series plus an ASCII bar sketch."""
+    lines = [f"series {name}:"]
+    peak = max((abs(y) for y in ys), default=1.0) or 1.0
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, int(24 * abs(y) / peak))
+        lines.append(f"  {str(x):>10}  {y:10.3f}  {bar}")
+    return "\n".join(lines)

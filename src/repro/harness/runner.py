@@ -1,0 +1,155 @@
+"""Experiment runner: compile, execute and account a workload.
+
+The single entry point the E-series benchmarks use::
+
+    result = run_workload("mm", mode="dyser", scale="small")
+    comparison = compare("mm", scale="small")
+
+Every run validates outputs against the workload's numpy reference;
+``RunResult.correct`` is part of the result, and the benchmarks assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.compiler import CompileResult, CompilerOptions, compile_dyser, compile_scalar
+from repro.cpu import Core, CoreConfig, ExecStats, Memory
+from repro.dyser import DyserDevice, DyserTimingParams, Fabric, FabricGeometry
+from repro.dyser.config_cache import ConfigCacheParams
+from repro.energy import EnergyModel, EnergyParams, EnergyReport
+from repro.errors import WorkloadError
+from repro.workloads import get as get_workload
+
+#: The prototype's fabric: 8x8, heterogeneous.
+DEFAULT_GEOMETRY = (8, 8)
+
+
+@dataclass
+class RunResult:
+    """One (workload, mode) execution."""
+
+    workload: str
+    mode: str
+    scale: str
+    correct: bool
+    stats: ExecStats
+    energy: EnergyReport
+    compile_result: CompileResult
+    work_items: int
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.stats.instructions
+
+    @property
+    def cycles_per_item(self) -> float:
+        return self.cycles / self.work_items if self.work_items else 0.0
+
+
+@dataclass
+class Comparison:
+    """Scalar vs DySER for one workload."""
+
+    workload: str
+    scalar: RunResult
+    dyser: RunResult
+
+    @property
+    def speedup(self) -> float:
+        return self.scalar.cycles / self.dyser.cycles
+
+    @property
+    def energy_ratio(self) -> float:
+        """scalar energy / dyser energy (>1 means DySER saves energy)."""
+        return self.scalar.energy.total_j / self.dyser.energy.total_j
+
+    @property
+    def edp_ratio(self) -> float:
+        return (self.scalar.energy.energy_delay_product()
+                / self.dyser.energy.energy_delay_product())
+
+
+@lru_cache(maxsize=256)
+def _compile(workload_name: str, mode: str,
+             options_key: tuple) -> CompileResult:
+    workload = get_workload(workload_name)
+    if mode == "scalar":
+        return compile_scalar(workload.source)
+    options = _options_from_key(options_key)
+    return compile_dyser(workload.source, options)
+
+
+def _options_key(options: CompilerOptions) -> tuple:
+    g = options.fabric.geometry
+    return (g.width, g.height, options.min_region_ops, options.unroll,
+            options.vectorize, options.if_convert, options.max_region_ops)
+
+
+def _options_from_key(key: tuple) -> CompilerOptions:
+    width, height, min_ops, unroll, vectorize, if_convert, max_ops = key
+    return CompilerOptions(
+        fabric=Fabric(FabricGeometry(width, height)),
+        min_region_ops=min_ops, unroll=unroll, vectorize=vectorize,
+        if_convert=if_convert, max_region_ops=max_ops)
+
+
+def run_workload(
+    name: str,
+    mode: str = "dyser",
+    scale: str = "small",
+    seed: int = 7,
+    options: CompilerOptions | None = None,
+    core_config: CoreConfig | None = None,
+    timing: DyserTimingParams | None = None,
+    cache_params: ConfigCacheParams | None = None,
+    energy_params: EnergyParams | None = None,
+    memory_bytes: int = 1 << 22,
+) -> RunResult:
+    """Compile and run one workload; returns stats + energy + check."""
+    if mode not in ("scalar", "dyser"):
+        raise WorkloadError(f"unknown mode {mode!r}")
+    workload = get_workload(name)
+    options = options or CompilerOptions(
+        fabric=Fabric(FabricGeometry(*DEFAULT_GEOMETRY)))
+    compiled = _compile(name, mode, _options_key(options))
+
+    memory = Memory(memory_bytes)
+    instance = workload.prepare(memory, scale, seed)
+    device = None
+    if mode == "dyser":
+        device = DyserDevice(
+            fabric=options.fabric,
+            timing=timing or DyserTimingParams(),
+            cache_params=cache_params or ConfigCacheParams(),
+        )
+    config = core_config or CoreConfig(has_dyser=(mode == "dyser"))
+    core = Core(compiled.program, memory, dyser=device, config=config)
+    core.set_args(instance.int_args, instance.fp_args)
+    stats = core.run()
+    correct = instance.check(memory)
+
+    eparams = energy_params or EnergyParams(
+        dyser_present=(mode == "dyser"))
+    energy = EnergyModel(eparams).account(stats)
+    return RunResult(
+        workload=name, mode=mode, scale=scale, correct=correct,
+        stats=stats, energy=energy, compile_result=compiled,
+        work_items=instance.work_items,
+    )
+
+
+def compare(name: str, scale: str = "small", seed: int = 7,
+            options: CompilerOptions | None = None,
+            core_config: CoreConfig | None = None) -> Comparison:
+    """Run scalar and DySER builds of one workload on identical inputs."""
+    scalar = run_workload(name, mode="scalar", scale=scale, seed=seed,
+                          core_config=core_config)
+    dyser = run_workload(name, mode="dyser", scale=scale, seed=seed,
+                         options=options, core_config=core_config)
+    return Comparison(workload=name, scalar=scalar, dyser=dyser)

@@ -1,0 +1,46 @@
+"""SPARC-flavoured host ISA with the DySER extension."""
+
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.instruction import (
+    ARG_FP_REGS,
+    ARG_INT_REGS,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    RET_FP_REG,
+    RET_INT_REG,
+    ZERO_REG,
+    Instruction,
+    make,
+)
+from repro.isa.opcodes import (
+    FP_PATH_DYSER_OPS,
+    OP_INFO,
+    VECTOR_OPS,
+    InsnClass,
+    Opcode,
+    OpInfo,
+    info,
+)
+from repro.isa.program import Program
+
+__all__ = [
+    "ARG_FP_REGS",
+    "ARG_INT_REGS",
+    "FP_PATH_DYSER_OPS",
+    "InsnClass",
+    "Instruction",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "OP_INFO",
+    "Opcode",
+    "OpInfo",
+    "Program",
+    "RET_FP_REG",
+    "RET_INT_REG",
+    "VECTOR_OPS",
+    "ZERO_REG",
+    "assemble",
+    "disassemble",
+    "info",
+    "make",
+]

@@ -1,0 +1,120 @@
+"""Two-way text assembler for the host ISA.
+
+Syntax, one instruction per line::
+
+    ; comment
+    label:
+        add  r3, r1, r2
+        fld  f1, r4, 8        ; f1 = mem[r4 + 8]
+        blt  r1, r2, loop
+        dsend p0, r5
+        dldv  p1, r6, 4       ; 4 elements from mem[r6..] to port 1
+        halt
+
+Registers are ``rN``/``fN``, ports ``pN``, immediates are decimal, hex
+(``0x..``) or float literals, branch targets are bare label names.  The
+assembler is used by tests and by the hand-scheduled "manual" DySER kernels
+in the E6 experiment; the disassembler is :meth:`Program.listing`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblerError, IsaError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OP_INFO, Opcode
+from repro.isa.program import Program
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_NAME_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+[eE][+-]?\d+|\d+\.\d*[eE][+-]?\d+)$")
+
+_MNEMONICS = {op.value: op for op in Opcode}
+
+
+def _parse_operand(kind: str, token: str, line: int):
+    token = token.strip()
+    if kind in ("rd", "rs1", "rs2", "rs3"):
+        if not token.startswith("r"):
+            raise AssemblerError(f"expected int register, got {token!r}", line)
+        return _parse_index(token[1:], token, line)
+    if kind in ("fd", "fs1", "fs2", "fs3"):
+        if not token.startswith("f"):
+            raise AssemblerError(f"expected fp register, got {token!r}", line)
+        return _parse_index(token[1:], token, line)
+    if kind == "port":
+        if not token.startswith("p"):
+            raise AssemblerError(f"expected port, got {token!r}", line)
+        return _parse_index(token[1:], token, line)
+    if kind == "label":
+        if not _NAME_RE.match(token):
+            raise AssemblerError(f"bad label name {token!r}", line)
+        return token
+    # Immediate: float first (so "1.5" is not truncated), then int.
+    if _FLOAT_RE.match(token):
+        return float(token)
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"bad immediate {token!r}", line) from None
+
+
+def _parse_index(digits: str, token: str, line: int) -> int:
+    try:
+        return int(digits)
+    except ValueError:
+        raise AssemblerError(f"bad register/port {token!r}", line) from None
+
+
+def assemble(text: str, name: str = "program") -> Program:
+    """Assemble ``text`` into a linked :class:`Program`."""
+    program = Program(name=name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].split("#", 1)[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            try:
+                program.add_label(label_match.group(1))
+            except IsaError as exc:
+                raise AssemblerError(str(exc), lineno) from None
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        op = _MNEMONICS.get(mnemonic)
+        if op is None:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", lineno)
+        signature = OP_INFO[op].signature
+        operand_text = parts[1] if len(parts) > 1 else ""
+        tokens = [t for t in (s.strip() for s in operand_text.split(",")) if t]
+        if len(tokens) != len(signature):
+            raise AssemblerError(
+                f"{mnemonic}: expected {len(signature)} operands "
+                f"{signature}, got {len(tokens)}", lineno,
+            )
+        fields: dict[str, object] = {}
+        for kind, token in zip(signature, tokens):
+            value = _parse_operand(kind, token, lineno)
+            slot = {
+                "rd": "rd", "fd": "rd",
+                "rs1": "rs1", "fs1": "rs1",
+                "rs2": "rs2", "fs2": "rs2",
+                "rs3": "rs3", "fs3": "rs3",
+                "imm": "imm", "port": "port", "label": "target",
+            }[kind]
+            fields[slot] = value
+        try:
+            program.add(Instruction(op, **fields))
+        except IsaError as exc:
+            raise AssemblerError(str(exc), lineno) from None
+    try:
+        return program.link()
+    except IsaError as exc:
+        raise AssemblerError(str(exc)) from None
+
+
+def disassemble(program: Program) -> str:
+    """Inverse of :func:`assemble` (modulo whitespace)."""
+    return program.listing()

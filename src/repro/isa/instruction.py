@@ -1,0 +1,122 @@
+"""Instruction and operand model.
+
+Instructions are plain dataclasses rather than packed encodings: the
+evaluation depends on dynamic instruction counts and operand dataflow, not
+on bit-level formats.  Register operands are small integers; the opcode's
+signature (see :mod:`repro.isa.opcodes`) says which fields are meaningful
+and whether a register index names the integer or the FP file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IsaError
+from repro.isa.opcodes import OP_INFO, Opcode
+
+#: Number of registers in each register file (SPARC-like: 32 int, 32 fp).
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: Integer register index hard-wired to zero (SPARC %g0).
+ZERO_REG = 0
+
+#: Calling convention: arguments arrive in r8..r15 / f8..f15 (SPARC %o0-%o7
+#: flavoured), results return in r8 / f8.
+ARG_INT_REGS = tuple(range(8, 16))
+ARG_FP_REGS = tuple(range(8, 16))
+RET_INT_REG = 8
+RET_FP_REG = 8
+
+
+@dataclass
+class Instruction:
+    """One host instruction.
+
+    Fields not named by the opcode's signature are ignored and should be
+    left at their defaults.  ``target`` holds a label name until the
+    program is linked, after which ``target_index`` holds the resolved
+    instruction index.
+    """
+
+    op: Opcode
+    rd: int | None = None
+    rs1: int | None = None
+    rs2: int | None = None
+    rs3: int | None = None
+    imm: int | float | None = None
+    port: int | None = None
+    target: str | None = None
+    target_index: int | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check that the operands required by the signature are present."""
+        try:
+            sig = OP_INFO[self.op].signature
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise IsaError(f"unknown opcode {self.op!r}") from exc
+        for kind in sig:
+            value = self._operand(kind)
+            if value is None:
+                raise IsaError(f"{self.op.value}: missing operand {kind!r}")
+            if kind in ("rd", "rs1", "rs2", "rs3"):
+                if not 0 <= value < NUM_INT_REGS:
+                    raise IsaError(
+                        f"{self.op.value}: int register r{value} out of range"
+                    )
+            elif kind in ("fd", "fs1", "fs2", "fs3"):
+                if not 0 <= value < NUM_FP_REGS:
+                    raise IsaError(
+                        f"{self.op.value}: fp register f{value} out of range"
+                    )
+            elif kind == "port" and value < 0:
+                raise IsaError(f"{self.op.value}: negative port {value}")
+
+    def _operand(self, kind: str):
+        """Fetch the raw operand backing a signature slot.
+
+        FP register slots reuse the integer fields (``fd`` -> ``rd`` etc.);
+        the opcode signature disambiguates which file is meant.
+        """
+        mapping = {
+            "rd": self.rd, "fd": self.rd,
+            "rs1": self.rs1, "fs1": self.rs1,
+            "rs2": self.rs2, "fs2": self.rs2,
+            "rs3": self.rs3, "fs3": self.rs3,
+            "imm": self.imm, "port": self.port, "label": self.target,
+        }
+        return mapping[kind]
+
+    @property
+    def info(self):
+        return OP_INFO[self.op]
+
+    def text(self) -> str:
+        """Render in the assembler's text syntax."""
+        parts: list[str] = []
+        for kind in self.info.signature:
+            value = self._operand(kind)
+            if kind in ("rd", "rs1", "rs2", "rs3"):
+                parts.append(f"r{value}")
+            elif kind in ("fd", "fs1", "fs2", "fs3"):
+                parts.append(f"f{value}")
+            elif kind == "port":
+                parts.append(f"p{value}")
+            elif kind == "label":
+                parts.append(str(value))
+            else:  # imm
+                parts.append(repr(value) if isinstance(value, float) else str(value))
+        if parts:
+            return f"{self.op.value} {', '.join(parts)}"
+        return self.op.value
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text()
+
+
+def make(op: Opcode, **fields) -> Instruction:
+    """Keyword-argument instruction factory (used by code generators)."""
+    return Instruction(op, **fields)

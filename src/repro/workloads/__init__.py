@@ -1,0 +1,23 @@
+"""The benchmark workload suite."""
+
+from repro.workloads.base import (
+    CATEGORIES,
+    IRREGULAR_COMPUTE,
+    IRREGULAR_CONTROL,
+    REGULAR,
+    Instance,
+    Workload,
+)
+from repro.workloads.suite import SUITE, get, names
+
+__all__ = [
+    "CATEGORIES",
+    "IRREGULAR_COMPUTE",
+    "IRREGULAR_CONTROL",
+    "Instance",
+    "REGULAR",
+    "SUITE",
+    "Workload",
+    "get",
+    "names",
+]

@@ -1,0 +1,78 @@
+"""Workload infrastructure.
+
+A :class:`Workload` bundles a kernel-language source, input preparation,
+and a numpy-reference correctness check.  The harness compiles the source
+(scalar or DySER), builds the inputs in simulator memory, runs, and calls
+``check`` to validate outputs — every benchmark number in the E-series
+experiments comes from a run that also passed its check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cpu.memory import Memory
+from repro.errors import WorkloadError
+
+#: Workload categories, matching the paper's characterization axes.
+REGULAR = "regular"
+IRREGULAR_COMPUTE = "irregular-compute"
+IRREGULAR_CONTROL = "irregular-control"
+
+CATEGORIES = (REGULAR, IRREGULAR_COMPUTE, IRREGULAR_CONTROL)
+
+
+@dataclass
+class Instance:
+    """One prepared run: arguments plus an output check."""
+
+    int_args: tuple = ()
+    fp_args: tuple = ()
+    check: Callable[[Memory], bool] = lambda mem: True
+    #: Elements of useful output (for throughput-style reporting).
+    work_items: int = 0
+
+
+@dataclass
+class Workload:
+    """A benchmark kernel."""
+
+    name: str
+    category: str
+    description: str
+    source: str
+    prepare: Callable[[Memory, str, int], Instance] = None  # type: ignore
+    #: Floating-point ops per work item (characterization only).
+    flops_per_item: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise WorkloadError(
+                f"{self.name}: unknown category {self.category!r}")
+
+
+def scaled(sizes: dict[str, int]):
+    """Helper: resolve a scale name to a size with a clear error."""
+
+    def resolve(scale: str) -> int:
+        try:
+            return sizes[scale]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown scale {scale!r}; have {sorted(sizes)}") from None
+
+    return resolve
+
+
+def allclose_check(memory: Memory, address: int, expected: np.ndarray,
+                   rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+    got = memory.read_numpy(address, expected.size)
+    return bool(np.allclose(got, expected.ravel(), rtol=rtol, atol=atol))
+
+
+def exact_check(memory: Memory, address: int, expected: np.ndarray) -> bool:
+    got = memory.read_numpy(address, expected.size, dtype=np.int64)
+    return bool(np.array_equal(got, expected.ravel()))

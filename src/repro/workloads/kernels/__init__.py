@@ -1,0 +1,1 @@
+"""Benchmark kernel modules; each exports a ``WORKLOAD``."""

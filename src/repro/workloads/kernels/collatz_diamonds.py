@@ -1,0 +1,60 @@
+"""collatz_diamonds — chained data-dependent diamonds
+(irregular-control: the paper's second curtailing shape, DEEP_DIAMONDS —
+if-conversion computes every path, so most fabric work is discarded)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import (
+    IRREGULAR_CONTROL,
+    Instance,
+    Workload,
+    exact_check,
+    scaled,
+)
+
+SOURCE = """
+kernel collatz_diamonds(out int y[], int x[], int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        int v = x[i];
+        if (v & 1) { v = v * 3 + 1; } else { v = v >> 1; }
+        if (v & 1) { v = v * 3 + 1; } else { v = v >> 1; }
+        if (v & 1) { v = v * 3 + 1; } else { v = v >> 1; }
+        if (v & 1) { v = v * 3 + 1; } else { v = v >> 1; }
+        y[i] = v;
+    }
+}
+"""
+
+_SIZES = scaled({"tiny": 32, "small": 128, "medium": 512})
+
+
+def _step(v: np.ndarray) -> np.ndarray:
+    return np.where(v & 1, v * 3 + 1, v >> 1)
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    n = _SIZES(scale)
+    rng = np.random.default_rng(seed)
+    x = rng.integers(1, 10_000, n).astype(np.int64)
+    py = memory.alloc(n)
+    px = memory.alloc_numpy(x)
+    expected = x.copy()
+    for _ in range(4):
+        expected = _step(expected)
+    return Instance(
+        int_args=(py, px, n),
+        check=lambda mem: exact_check(mem, py, expected),
+        work_items=n,
+    )
+
+
+WORKLOAD = Workload(
+    name="collatz_diamonds",
+    category=IRREGULAR_CONTROL,
+    description="four chained Collatz diamonds (deep-diamond shape)",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=0,
+)

@@ -1,0 +1,66 @@
+"""conv2d — 3x3 convolution with an unrolled-in-source taps loop
+(regular, compute-intense)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Instance, REGULAR, Workload, scaled
+
+SOURCE = """
+kernel conv2d(out float B[], float A[], float K[], int n) {
+    for (int i = 1; i < n - 1; i = i + 1) {
+        for (int j = 1; j < n - 1; j = j + 1) {
+            float acc = A[(i - 1) * n + j - 1] * K[0]
+                      + A[(i - 1) * n + j]     * K[1]
+                      + A[(i - 1) * n + j + 1] * K[2]
+                      + A[i * n + j - 1]       * K[3]
+                      + A[i * n + j]           * K[4]
+                      + A[i * n + j + 1]       * K[5]
+                      + A[(i + 1) * n + j - 1] * K[6]
+                      + A[(i + 1) * n + j]     * K[7]
+                      + A[(i + 1) * n + j + 1] * K[8];
+            B[i * n + j] = acc;
+        }
+    }
+}
+"""
+
+_SIZES = scaled({"tiny": 10, "small": 18, "medium": 34})
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    n = _SIZES(scale)
+    rng = np.random.default_rng(seed)
+    a = rng.random((n, n))
+    k = rng.random(9)
+    pb = memory.alloc(n * n)
+    pa = memory.alloc_numpy(a)
+    pk = memory.alloc_numpy(k)
+    kernel = k.reshape(3, 3)
+    expected = np.zeros((n, n))
+    for di in range(3):
+        for dj in range(3):
+            expected[1:-1, 1:-1] += (
+                kernel[di, dj] * a[di:n - 2 + di, dj:n - 2 + dj])
+
+    def check(mem):
+        got = mem.read_numpy(pb, n * n).reshape(n, n)
+        return bool(np.allclose(got[1:-1, 1:-1], expected[1:-1, 1:-1],
+                                rtol=1e-9))
+
+    return Instance(
+        int_args=(pb, pa, pk, n),
+        check=check,
+        work_items=(n - 2) * (n - 2),
+    )
+
+
+WORKLOAD = Workload(
+    name="conv2d",
+    category=REGULAR,
+    description="3x3 image convolution (9-tap multiply-add tree)",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=17,
+)

@@ -1,0 +1,45 @@
+"""dotprod — dense reduction (regular, loop-carried accumulator)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Instance, REGULAR, Workload, allclose_check, scaled
+
+SOURCE = """
+kernel dotprod(out float y[], float a[], float b[], int n) {
+    float acc = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        acc = acc + a[i] * b[i];
+    }
+    y[0] = acc;
+}
+"""
+
+_SIZES = scaled({"tiny": 32, "small": 256, "medium": 2048})
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    n = _SIZES(scale)
+    rng = np.random.default_rng(seed)
+    a = rng.random(n)
+    b = rng.random(n)
+    py = memory.alloc(1)
+    pa = memory.alloc_numpy(a)
+    pb = memory.alloc_numpy(b)
+    expected = np.array([np.dot(a, b)])
+    return Instance(
+        int_args=(py, pa, pb, n),
+        check=lambda mem: allclose_check(mem, py, expected, rtol=1e-6),
+        work_items=n,
+    )
+
+
+WORKLOAD = Workload(
+    name="dotprod",
+    category=REGULAR,
+    description="dot product (reduction; in-fabric tree when unrolled)",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=2,
+)

@@ -1,0 +1,82 @@
+"""fft_stage — one radix-2 butterfly pass of an FFT (regular).
+
+One decimation-in-time stage with precomputed twiddles; both streams
+(``j`` and ``j + half``) are unit-stride within a block, which is what
+the transfer vectorizer wants.  The reference applies the identical
+stage in numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Instance, REGULAR, Workload, scaled
+
+SOURCE = """
+kernel fft_stage(out float re[], out float im[], float wr[], float wi[],
+                 int n, int half) {
+    for (int base = 0; base < n; base = base + half + half) {
+        for (int j = 0; j < half; j = j + 1) {
+            int lo = base + j;
+            int hi = lo + half;
+            float tr = re[hi] * wr[j] - im[hi] * wi[j];
+            float ti = re[hi] * wi[j] + im[hi] * wr[j];
+            float ar = re[lo];
+            float ai = im[lo];
+            re[lo] = ar + tr;
+            im[lo] = ai + ti;
+            re[hi] = ar - tr;
+            im[hi] = ai - ti;
+        }
+    }
+}
+"""
+
+_SIZES = scaled({"tiny": 32, "small": 128, "medium": 1024})
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    n = _SIZES(scale)
+    half = n // 4 if n >= 8 else n // 2
+    rng = np.random.default_rng(seed)
+    re = rng.random(n)
+    im = rng.random(n)
+    angles = -2.0 * np.pi * np.arange(half) / (2 * half)
+    wr = np.cos(angles)
+    wi = np.sin(angles)
+    pre = memory.alloc_numpy(re)
+    pim = memory.alloc_numpy(im)
+    pwr = memory.alloc_numpy(wr)
+    pwi = memory.alloc_numpy(wi)
+
+    exp_re, exp_im = re.copy(), im.copy()
+    for base in range(0, n, 2 * half):
+        lo = slice(base, base + half)
+        hi = slice(base + half, base + 2 * half)
+        tr = exp_re[hi] * wr - exp_im[hi] * wi
+        ti = exp_re[hi] * wi + exp_im[hi] * wr
+        ar, ai = exp_re[lo].copy(), exp_im[lo].copy()
+        exp_re[lo], exp_im[lo] = ar + tr, ai + ti
+        exp_re[hi], exp_im[hi] = ar - tr, ai - ti
+
+    def check(mem):
+        got_re = mem.read_numpy(pre, n)
+        got_im = mem.read_numpy(pim, n)
+        return bool(np.allclose(got_re, exp_re, rtol=1e-9)
+                    and np.allclose(got_im, exp_im, rtol=1e-9))
+
+    return Instance(
+        int_args=(pre, pim, pwr, pwi, n, half),
+        check=check,
+        work_items=n // 2,
+    )
+
+
+WORKLOAD = Workload(
+    name="fft_stage",
+    category=REGULAR,
+    description="radix-2 FFT butterfly stage with precomputed twiddles",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=10,
+)

@@ -1,0 +1,52 @@
+"""fir — K-tap FIR filter (regular; overlapping taps exercise the
+interface load deduplication the same way 2D stencils do, in 1D)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Instance, REGULAR, Workload, scaled
+
+SOURCE = """
+kernel fir(out float y[], float x[], float h[], int n) {
+    for (int i = 0; i < n - 4; i = i + 1) {
+        y[i] = x[i] * h[0] + x[i + 1] * h[1] + x[i + 2] * h[2]
+             + x[i + 3] * h[3] + x[i + 4] * h[4];
+    }
+}
+"""
+
+_SIZES = scaled({"tiny": 40, "small": 200, "medium": 1024})
+_TAPS = 5
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    n = _SIZES(scale)
+    rng = np.random.default_rng(seed)
+    x = rng.random(n)
+    h = rng.random(_TAPS)
+    py = memory.alloc(n)
+    px = memory.alloc_numpy(x)
+    ph = memory.alloc_numpy(h)
+    valid = n - 4
+    expected = sum(h[k] * x[k:valid + k] for k in range(_TAPS))
+
+    def check(mem):
+        got = mem.read_numpy(py, valid)
+        return bool(np.allclose(got, expected, rtol=1e-9))
+
+    return Instance(
+        int_args=(py, px, ph, n),
+        check=check,
+        work_items=valid,
+    )
+
+
+WORKLOAD = Workload(
+    name="fir",
+    category=REGULAR,
+    description="5-tap FIR filter (overlapping 1D taps)",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=9,
+)

@@ -1,0 +1,54 @@
+"""hist_weighted — weighted binning (irregular-compute: data-dependent
+store address with a may-alias carried dependence, so the region cannot
+be unrolled; offloads at 1x)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import (
+    IRREGULAR_COMPUTE,
+    Instance,
+    Workload,
+    allclose_check,
+    scaled,
+)
+
+SOURCE = """
+kernel hist_weighted(out float h[], int x[], float w[], int n, int bins) {
+    for (int i = 0; i < n; i = i + 1) {
+        int b = x[i] % bins;
+        h[b] = h[b] + w[i] * w[i];
+    }
+}
+"""
+
+_SIZES = scaled({"tiny": 32, "small": 128, "medium": 512})
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    n = _SIZES(scale)
+    bins = 8
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 1000, n).astype(np.int64)
+    w = rng.random(n)
+    ph = memory.alloc(bins)
+    px = memory.alloc_numpy(x)
+    pw = memory.alloc_numpy(w)
+    expected = np.zeros(bins)
+    np.add.at(expected, x % bins, w * w)
+    return Instance(
+        int_args=(ph, px, pw, n, bins),
+        check=lambda mem: allclose_check(mem, ph, expected, rtol=1e-9),
+        work_items=n,
+    )
+
+
+WORKLOAD = Workload(
+    name="hist_weighted",
+    category=IRREGULAR_COMPUTE,
+    description="weighted histogram (data-dependent read-modify-write)",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=2,
+)

@@ -1,0 +1,71 @@
+"""kmeans — nearest-centroid assignment step (irregular-compute:
+distance arithmetic plus a compare/select argmin chain)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import (
+    IRREGULAR_COMPUTE,
+    Instance,
+    Workload,
+    exact_check,
+    scaled,
+)
+
+SOURCE = """
+kernel kmeans(out int assign[], float px[], float py[],
+              float cx[], float cy[], int n, int k) {
+    for (int i = 0; i < n; i = i + 1) {
+        float best = 1.0e30;
+        int bestc = 0;
+        float xi = px[i];
+        float yi = py[i];
+        for (int c = 0; c < k; c = c + 1) {
+            float dx = px[i] - cx[c];
+            float dy = py[i] - cy[c];
+            float d = dx * dx + dy * dy;
+            if (d < best) {
+                best = d;
+                bestc = c;
+            }
+        }
+        assign[i] = bestc;
+    }
+}
+"""
+
+_SIZES = scaled({"tiny": 16, "small": 64, "medium": 256})
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    n = _SIZES(scale)
+    k = 6
+    rng = np.random.default_rng(seed)
+    px = rng.random(n)
+    py = rng.random(n)
+    cx = rng.random(k)
+    cy = rng.random(k)
+    passign = memory.alloc(n)
+    ppx = memory.alloc_numpy(px)
+    ppy = memory.alloc_numpy(py)
+    pcx = memory.alloc_numpy(cx)
+    pcy = memory.alloc_numpy(cy)
+    d = ((px[:, None] - cx[None, :]) ** 2
+         + (py[:, None] - cy[None, :]) ** 2)
+    expected = np.argmin(d, axis=1).astype(np.int64)
+    return Instance(
+        int_args=(passign, ppx, ppy, pcx, pcy, n, k),
+        check=lambda mem: exact_check(mem, passign, expected),
+        work_items=n * k,
+    )
+
+
+WORKLOAD = Workload(
+    name="kmeans",
+    category=IRREGULAR_COMPUTE,
+    description="k-means assignment (distance + argmin select chain)",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=5,
+)

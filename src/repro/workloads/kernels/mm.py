@@ -1,0 +1,49 @@
+"""mm — dense matrix multiply (regular, compute-intense)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Instance, REGULAR, Workload, allclose_check, scaled
+
+SOURCE = """
+kernel mm(out float C[], float A[], float B[], int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            float acc = 0.0;
+            for (int k = 0; k < n; k = k + 1) {
+                acc = acc + A[i * n + k] * B[j * n + k];
+            }
+            C[i * n + j] = acc;
+        }
+    }
+}
+"""
+
+_SIZES = scaled({"tiny": 8, "small": 16, "medium": 32})
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    n = _SIZES(scale)
+    rng = np.random.default_rng(seed)
+    a = rng.random((n, n))
+    bt = rng.random((n, n))   # stored transposed: B[j*n+k] = B^T
+    pc = memory.alloc(n * n)
+    pa = memory.alloc_numpy(a)
+    pb = memory.alloc_numpy(bt)
+    expected = a @ bt.T
+    return Instance(
+        int_args=(pc, pa, pb, n),
+        check=lambda mem: allclose_check(mem, pc, expected, rtol=1e-9),
+        work_items=n * n,
+    )
+
+
+WORKLOAD = Workload(
+    name="mm",
+    category=REGULAR,
+    description="dense matmul, transposed-B layout (unit-stride inner loop)",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=2,
+)

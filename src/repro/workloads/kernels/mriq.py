@@ -1,0 +1,76 @@
+"""mriq — MRI gridding inner kernel, Parboil-style (regular).
+
+The original Parboil mri-q accumulates ``phiMag[k] * cos/sin(expArg)``.
+Our ISA (like the DySER FUs) has no trigonometric units, so — per the
+substitution rule — the kernel evaluates a 4th-order polynomial
+cosine/sine approximation inline; the numpy reference computes the
+*identical polynomial*, so correctness checking is exact while the
+compute structure (long FP multiply-add chain per sample) matches the
+original's region shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Instance, REGULAR, Workload, scaled
+
+SOURCE = """
+kernel mriq(out float Qr[], out float Qi[], float kx[], float mag[],
+            int nk, float x) {
+    float qr = 0.0;
+    float qi = 0.0;
+    for (int k = 0; k < nk; k = k + 1) {
+        float e = kx[k] * x;
+        float e2 = e * e;
+        float c = 1.0 - e2 * 0.5 + e2 * e2 * 0.041666666666666664;
+        float s = e - e2 * e * 0.16666666666666666;
+        qr = qr + mag[k] * c;
+        qi = qi + mag[k] * s;
+    }
+    Qr[0] = qr;
+    Qi[0] = qi;
+}
+"""
+
+_SIZES = scaled({"tiny": 32, "small": 256, "medium": 2048})
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    nk = _SIZES(scale)
+    x = 0.37
+    rng = np.random.default_rng(seed)
+    kx = rng.random(nk) * 0.5
+    mag = rng.random(nk)
+    pqr = memory.alloc(1)
+    pqi = memory.alloc(1)
+    pkx = memory.alloc_numpy(kx)
+    pmag = memory.alloc_numpy(mag)
+    e = kx * x
+    e2 = e * e
+    c = 1.0 - e2 * 0.5 + e2 * e2 * (1.0 / 24.0)
+    s = e - e2 * e * (1.0 / 6.0)
+    exp_qr = float((mag * c).sum())
+    exp_qi = float((mag * s).sum())
+
+    def check(mem):
+        return bool(
+            np.isclose(mem.load_word(pqr), exp_qr, rtol=1e-6)
+            and np.isclose(mem.load_word(pqi), exp_qi, rtol=1e-6))
+
+    return Instance(
+        int_args=(pqr, pqi, pkx, pmag, nk),
+        fp_args=(x,),
+        check=check,
+        work_items=nk,
+    )
+
+
+WORKLOAD = Workload(
+    name="mriq",
+    category=REGULAR,
+    description="MRI-Q-style sample accumulation (polynomial trig)",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=16,
+)

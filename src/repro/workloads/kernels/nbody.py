@@ -1,0 +1,75 @@
+"""nbody — all-pairs gravity force accumulation (regular, FP-div/sqrt
+heavy, the kind of compound region DySER was designed for)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Instance, REGULAR, Workload, scaled
+
+SOURCE = """
+kernel nbody(out float fx[], out float fy[], float x[], float y[],
+             float m[], int n, float eps) {
+    for (int i = 0; i < n; i = i + 1) {
+        float ax = 0.0;
+        float ay = 0.0;
+        float xi = x[i];
+        float yi = y[i];
+        for (int j = 0; j < n; j = j + 1) {
+            float dx = x[j] - xi;
+            float dy = y[j] - yi;
+            float r2 = dx * dx + dy * dy + eps;
+            float inv = 1.0 / (r2 * sqrt(r2));
+            float s = m[j] * inv;
+            ax = ax + dx * s;
+            ay = ay + dy * s;
+        }
+        fx[i] = ax;
+        fy[i] = ay;
+    }
+}
+"""
+
+_SIZES = scaled({"tiny": 12, "small": 32, "medium": 96})
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    n = _SIZES(scale)
+    eps = 1e-3
+    rng = np.random.default_rng(seed)
+    x = rng.random(n)
+    y = rng.random(n)
+    m = rng.random(n) + 0.5
+    pfx = memory.alloc(n)
+    pfy = memory.alloc(n)
+    px = memory.alloc_numpy(x)
+    py = memory.alloc_numpy(y)
+    pm = memory.alloc_numpy(m)
+    dx = x[None, :] - x[:, None]
+    dy = y[None, :] - y[:, None]
+    r2 = dx * dx + dy * dy + eps
+    s = m[None, :] / (r2 * np.sqrt(r2))
+    exp_fx = (dx * s).sum(axis=1)
+    exp_fy = (dy * s).sum(axis=1)
+
+    def check(mem):
+        return bool(
+            np.allclose(mem.read_numpy(pfx, n), exp_fx, rtol=1e-6)
+            and np.allclose(mem.read_numpy(pfy, n), exp_fy, rtol=1e-6))
+
+    return Instance(
+        int_args=(pfx, pfy, px, py, pm, n),
+        fp_args=(eps,),
+        check=check,
+        work_items=n * n,
+    )
+
+
+WORKLOAD = Workload(
+    name="nbody",
+    category=REGULAR,
+    description="all-pairs 2D gravity step (div+sqrt compound region)",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=12,
+)

@@ -1,0 +1,65 @@
+"""needle — Needleman-Wunsch dynamic programming row sweep
+(irregular-compute: the recurrence carries through memory, so the region
+runs un-unrolled with a serial invocation chain — the Rodinia kernel the
+paper's compiler study leans on)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import (
+    IRREGULAR_COMPUTE,
+    Instance,
+    Workload,
+    exact_check,
+    scaled,
+)
+
+SOURCE = """
+kernel needle(out int dp[], int score[], int n, int gap) {
+    for (int i = 1; i < n; i = i + 1) {
+        for (int j = 1; j < n; j = j + 1) {
+            int diag = dp[(i - 1) * n + j - 1] + score[i * n + j];
+            int up = dp[(i - 1) * n + j] - gap;
+            int left = dp[i * n + j - 1] - gap;
+            dp[i * n + j] = max(diag, max(up, left));
+        }
+    }
+}
+"""
+
+_SIZES = scaled({"tiny": 8, "small": 20, "medium": 48})
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    n = _SIZES(scale)
+    gap = 2
+    rng = np.random.default_rng(seed)
+    score = rng.integers(-3, 4, size=(n, n)).astype(np.int64)
+    dp0 = np.zeros((n, n), dtype=np.int64)
+    dp0[0, :] = -gap * np.arange(n)
+    dp0[:, 0] = -gap * np.arange(n)
+    pdp = memory.alloc_numpy(dp0)
+    pscore = memory.alloc_numpy(score)
+    expected = dp0.copy()
+    for i in range(1, n):
+        for j in range(1, n):
+            expected[i, j] = max(
+                expected[i - 1, j - 1] + score[i, j],
+                expected[i - 1, j] - gap,
+                expected[i, j - 1] - gap)
+    return Instance(
+        int_args=(pdp, pscore, n, gap),
+        check=lambda mem: exact_check(mem, pdp, expected),
+        work_items=(n - 1) * (n - 1),
+    )
+
+
+WORKLOAD = Workload(
+    name="needle",
+    category=IRREGULAR_COMPUTE,
+    description="Needleman-Wunsch DP sweep (memory-carried recurrence)",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=0,
+)

@@ -1,0 +1,70 @@
+"""newton_lcd — batched Newton iterations (irregular-control: the
+paper's first curtailing shape, LOOP_CARRIED_CONTROL — the continue
+condition consumes the value the loop just computed, so invocations
+cannot pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import (
+    IRREGULAR_CONTROL,
+    Instance,
+    Workload,
+    allclose_check,
+    scaled,
+)
+
+SOURCE = """
+kernel newton_lcd(out float r[], float a[], int n, float eps, int cap) {
+    for (int i = 0; i < n; i = i + 1) {
+        float target = a[i];
+        float x = target;
+        int it = 0;
+        while ((x * x - target > eps || target - x * x > eps)
+               && it < cap) {
+            x = 0.5 * (x + target / x);
+            it = it + 1;
+        }
+        r[i] = x;
+    }
+}
+"""
+
+_SIZES = scaled({"tiny": 8, "small": 32, "medium": 128})
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    n = _SIZES(scale)
+    eps = 1e-10
+    cap = 64
+    rng = np.random.default_rng(seed)
+    a = rng.random(n) * 9.0 + 1.0
+    pr = memory.alloc(n)
+    pa = memory.alloc_numpy(a)
+
+    expected = np.empty(n)
+    for i, target in enumerate(a):
+        x = target
+        it = 0
+        while abs(x * x - target) > eps and it < cap:
+            x = 0.5 * (x + target / x)
+            it += 1
+        expected[i] = x
+
+    return Instance(
+        int_args=(pr, pa, n, cap),
+        fp_args=(eps,),
+        check=lambda mem: allclose_check(mem, pr, expected, rtol=1e-9),
+        work_items=n,
+    )
+
+
+WORKLOAD = Workload(
+    name="newton_lcd",
+    category=IRREGULAR_CONTROL,
+    description="Newton sqrt iterations (loop-carried control shape)",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=6,
+)

@@ -1,0 +1,51 @@
+"""sad — sum of absolute differences (regular, integer compute:
+the media-kernel pattern from Parboil's sad benchmark)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Instance, REGULAR, Workload, exact_check, scaled
+
+SOURCE = """
+kernel sad(out int y[], int a[], int b[], int n, int window) {
+    for (int w = 0; w < n / window; w = w + 1) {
+        int acc = 0;
+        int base = w * window;
+        for (int i = 0; i < window; i = i + 1) {
+            acc = acc + abs(a[base + i] - b[base + i]);
+        }
+        y[w] = acc;
+    }
+}
+"""
+
+_SIZES = scaled({"tiny": 64, "small": 256, "medium": 1024})
+_WINDOW = 16
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    n = _SIZES(scale)
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 255, n).astype(np.int64)
+    b = rng.integers(0, 255, n).astype(np.int64)
+    windows = n // _WINDOW
+    py = memory.alloc(windows)
+    pa = memory.alloc_numpy(a)
+    pb = memory.alloc_numpy(b)
+    expected = np.abs(a - b).reshape(windows, _WINDOW).sum(axis=1)
+    return Instance(
+        int_args=(py, pa, pb, n, _WINDOW),
+        check=lambda mem: exact_check(mem, py, expected),
+        work_items=n,
+    )
+
+
+WORKLOAD = Workload(
+    name="sad",
+    category=REGULAR,
+    description="windowed sum of absolute differences (integer media kernel)",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=0,
+)

@@ -1,0 +1,45 @@
+"""saxpy — scaled vector update (regular; the canonical streaming
+kernel used throughout the DySER papers' introductory examples)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Instance, REGULAR, Workload, allclose_check, scaled
+
+SOURCE = """
+kernel saxpy(out float y[], float x[], int n, float a) {
+    for (int i = 0; i < n; i = i + 1) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+"""
+
+_SIZES = scaled({"tiny": 32, "small": 256, "medium": 2048})
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    n = _SIZES(scale)
+    a = 2.5
+    rng = np.random.default_rng(seed)
+    x = rng.random(n)
+    y = rng.random(n)
+    py = memory.alloc_numpy(y)
+    px = memory.alloc_numpy(x)
+    expected = a * x + y
+    return Instance(
+        int_args=(py, px, n),
+        fp_args=(a,),
+        check=lambda mem: allclose_check(mem, py, expected),
+        work_items=n,
+    )
+
+
+WORKLOAD = Workload(
+    name="saxpy",
+    category=REGULAR,
+    description="y = a*x + y in-place streaming update",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=2,
+)

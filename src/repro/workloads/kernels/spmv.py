@@ -1,0 +1,74 @@
+"""spmv — CSR sparse matrix-vector product (irregular but
+compute-intense; the indirect ``x[col[idx]]`` access is the classic
+irregular pattern the DySER compiler still extracts well)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import (
+    IRREGULAR_COMPUTE,
+    Instance,
+    Workload,
+    allclose_check,
+    scaled,
+)
+
+SOURCE = """
+kernel spmv(out float y[], float vals[], int cols[], int rowptr[],
+            float x[], int nrows) {
+    for (int r = 0; r < nrows; r = r + 1) {
+        float acc = 0.0;
+        int end = rowptr[r + 1];
+        for (int idx = rowptr[r]; idx < end; idx = idx + 1) {
+            acc = acc + vals[idx] * x[cols[idx]];
+        }
+        y[r] = acc;
+    }
+}
+"""
+
+_SIZES = scaled({"tiny": 16, "small": 48, "medium": 160})
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    nrows = _SIZES(scale)
+    rng = np.random.default_rng(seed)
+    density = 0.25
+    dense = rng.random((nrows, nrows))
+    dense[rng.random((nrows, nrows)) > density] = 0.0
+    # Guarantee at least one nonzero per row (and some empty rows too,
+    # to exercise zero-trip inner loops — keep row 3 empty when possible).
+    for r in range(nrows):
+        if r == 3:
+            dense[r, :] = 0.0
+        elif not dense[r].any():
+            dense[r, r % nrows] = 1.0
+    x = rng.random(nrows)
+    vals, cols, rowptr = [], [], [0]
+    for r in range(nrows):
+        nz = np.nonzero(dense[r])[0]
+        vals.extend(dense[r, nz])
+        cols.extend(int(c) for c in nz)
+        rowptr.append(len(vals))
+    py = memory.alloc(nrows)
+    pvals = memory.alloc_numpy(np.array(vals))
+    pcols = memory.alloc_numpy(np.array(cols, dtype=np.int64))
+    prow = memory.alloc_numpy(np.array(rowptr, dtype=np.int64))
+    px = memory.alloc_numpy(x)
+    expected = dense @ x
+    return Instance(
+        int_args=(py, pvals, pcols, prow, px, nrows),
+        check=lambda mem: allclose_check(mem, py, expected, rtol=1e-9),
+        work_items=len(vals),
+    )
+
+
+WORKLOAD = Workload(
+    name="spmv",
+    category=IRREGULAR_COMPUTE,
+    description="CSR sparse matrix-vector product (indirect gather)",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=2,
+)

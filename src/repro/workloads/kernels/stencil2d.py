@@ -1,0 +1,56 @@
+"""stencil2d — 5-point Jacobi sweep (regular)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Instance, REGULAR, Workload, allclose_check, scaled
+
+SOURCE = """
+kernel stencil2d(out float B[], float A[], int n, float w) {
+    for (int i = 1; i < n - 1; i = i + 1) {
+        for (int j = 1; j < n - 1; j = j + 1) {
+            B[i * n + j] = w * (A[i * n + j]
+                + A[(i - 1) * n + j] + A[(i + 1) * n + j]
+                + A[i * n + j - 1] + A[i * n + j + 1]);
+        }
+    }
+}
+"""
+
+_SIZES = scaled({"tiny": 8, "small": 18, "medium": 40})
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    n = _SIZES(scale)
+    w = 0.2
+    rng = np.random.default_rng(seed)
+    a = rng.random((n, n))
+    pb = memory.alloc(n * n)
+    pa = memory.alloc_numpy(a)
+    expected = np.zeros((n, n))
+    expected[1:-1, 1:-1] = w * (
+        a[1:-1, 1:-1] + a[:-2, 1:-1] + a[2:, 1:-1]
+        + a[1:-1, :-2] + a[1:-1, 2:])
+
+    def check(mem):
+        got = mem.read_numpy(pb, n * n).reshape(n, n)
+        return bool(np.allclose(got[1:-1, 1:-1], expected[1:-1, 1:-1],
+                                rtol=1e-9))
+
+    return Instance(
+        int_args=(pb, pa, n),
+        fp_args=(w,),
+        check=check,
+        work_items=(n - 2) * (n - 2),
+    )
+
+
+WORKLOAD = Workload(
+    name="stencil2d",
+    category=REGULAR,
+    description="5-point 2D Jacobi stencil sweep",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=5,
+)

@@ -1,0 +1,61 @@
+"""tpacf_bin — angular-correlation binning (irregular-control in effect:
+all of the kernel's arithmetic feeds the bin *address*, so the
+access/execute partition leaves (almost) nothing for the fabric — the
+non-computationally-intense irregular case of the paper's finding ii)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import (
+    IRREGULAR_CONTROL,
+    Instance,
+    Workload,
+    exact_check,
+    scaled,
+)
+
+SOURCE = """
+kernel tpacf_bin(out int h[], float d1[], float d2[], int n, int bins) {
+    for (int i = 0; i < n; i = i + 1) {
+        float dot = d1[i] * d2[i];
+        int b = int((dot + 1.0) * 0.5 * float(bins));
+        b = min(b, bins - 1);
+        b = max(b, 0);
+        h[b] = h[b] + 1;
+    }
+}
+"""
+
+_SIZES = scaled({"tiny": 32, "small": 128, "medium": 512})
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    n = _SIZES(scale)
+    bins = 16
+    rng = np.random.default_rng(seed)
+    d1 = rng.random(n) * 2.0 - 1.0
+    d2 = rng.random(n) * 2.0 - 1.0
+    ph = memory.alloc(bins)
+    pd1 = memory.alloc_numpy(d1)
+    pd2 = memory.alloc_numpy(d2)
+    dot = d1 * d2
+    b = ((dot + 1.0) * 0.5 * bins).astype(np.int64)
+    b = np.clip(b, 0, bins - 1)
+    expected = np.bincount(b, minlength=bins).astype(np.int64)
+    return Instance(
+        int_args=(ph, pd1, pd2, n, bins),
+        check=lambda mem: exact_check(mem, ph, expected),
+        work_items=n,
+    )
+
+
+WORKLOAD = Workload(
+    name="tpacf_bin",
+    category=IRREGULAR_CONTROL,
+    description="correlation binning (compute feeds the address; "
+                "no execute slice survives)",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=3,
+)

@@ -1,0 +1,43 @@
+"""vecadd — the sanity-check streaming kernel (regular)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Instance, REGULAR, Workload, allclose_check, scaled
+
+SOURCE = """
+kernel vecadd(out float c[], float a[], float b[], int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        c[i] = a[i] + b[i];
+    }
+}
+"""
+
+_SIZES = scaled({"tiny": 32, "small": 256, "medium": 2048})
+
+
+def prepare(memory, scale: str, seed: int) -> Instance:
+    n = _SIZES(scale)
+    rng = np.random.default_rng(seed)
+    a = rng.random(n)
+    b = rng.random(n)
+    pc = memory.alloc(n)
+    pa = memory.alloc_numpy(a)
+    pb = memory.alloc_numpy(b)
+    expected = a + b
+    return Instance(
+        int_args=(pc, pa, pb, n),
+        check=lambda mem: allclose_check(mem, pc, expected),
+        work_items=n,
+    )
+
+
+WORKLOAD = Workload(
+    name="vecadd",
+    category=REGULAR,
+    description="element-wise vector add (streaming sanity check)",
+    source=SOURCE,
+    prepare=prepare,
+    flops_per_item=1,
+)

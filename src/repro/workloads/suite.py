@@ -1,0 +1,77 @@
+"""The benchmark suite registry.
+
+Mirrors the paper's methodology: Parboil/Rodinia-style throughput
+kernels, split into the three characterization categories the compiler
+study uses (regular, computationally-intense irregular, and
+non-computationally-intense irregular / curtailing-shape code).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.base import (
+    CATEGORIES,
+    IRREGULAR_COMPUTE,
+    IRREGULAR_CONTROL,
+    REGULAR,
+    Instance,
+    Workload,
+)
+from repro.workloads.kernels import (
+    collatz_diamonds,
+    conv2d,
+    dotprod,
+    fft_stage,
+    fir,
+    hist_weighted,
+    kmeans,
+    mm,
+    mriq,
+    nbody,
+    needle,
+    newton_lcd,
+    sad,
+    saxpy,
+    spmv,
+    stencil2d,
+    tpacf_bin,
+    vecadd,
+)
+
+_MODULES = (
+    vecadd, saxpy, dotprod, mm, stencil2d, conv2d, fft_stage, nbody,
+    mriq, sad, fir, spmv, kmeans, needle, hist_weighted, newton_lcd,
+    collatz_diamonds, tpacf_bin,
+)
+
+#: name -> Workload for the whole suite.
+SUITE: dict[str, Workload] = {m.WORKLOAD.name: m.WORKLOAD for m in _MODULES}
+
+
+def get(name: str) -> Workload:
+    try:
+        return SUITE[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; have {sorted(SUITE)}") from None
+
+
+def names(category: str | None = None) -> list[str]:
+    """Workload names, optionally filtered by category."""
+    if category is None:
+        return list(SUITE)
+    if category not in CATEGORIES:
+        raise WorkloadError(f"unknown category {category!r}")
+    return [n for n, w in SUITE.items() if w.category == category]
+
+
+__all__ = [
+    "IRREGULAR_COMPUTE",
+    "IRREGULAR_CONTROL",
+    "Instance",
+    "REGULAR",
+    "SUITE",
+    "Workload",
+    "get",
+    "names",
+]

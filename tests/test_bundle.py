@@ -1,0 +1,110 @@
+"""Tests for program bundles: compiled artifacts round-trip through JSON
+and execute identically."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_dyser
+from repro.cpu import Core, Memory
+from repro.dyser import DyserDevice, Fabric, FabricGeometry
+from repro.errors import ReproError
+from repro.harness import bundle_from_dict, bundle_to_dict, load_bundle, save_bundle
+from repro.workloads import get
+
+FABRIC = Fabric(FabricGeometry(8, 8))
+
+
+def run_program(program, workload_name, seed=7):
+    workload = get(workload_name)
+    memory = Memory(1 << 22)
+    instance = workload.prepare(memory, "tiny", seed)
+    device = DyserDevice(fabric=FABRIC) if program.uses_dyser() else None
+    core = Core(program, memory, dyser=device)
+    core.set_args(instance.int_args, instance.fp_args)
+    stats = core.run()
+    return instance.check(memory), stats
+
+
+class TestBundle:
+    def roundtrip(self, name="saxpy", tmp_path=None):
+        program = compile_dyser(get(name).source).program
+        if tmp_path is not None:
+            path = tmp_path / f"{name}.bundle.json"
+            save_bundle(program, path)
+            return program, load_bundle(path, FABRIC)
+        data = bundle_to_dict(program)
+        return program, bundle_from_dict(
+            json.loads(json.dumps(data)), FABRIC)
+
+    def test_roundtrip_executes_correctly(self, tmp_path):
+        _original, loaded = self.roundtrip("saxpy", tmp_path)
+        correct, _stats = run_program(loaded, "saxpy")
+        assert correct
+
+    def test_roundtrip_cycle_identical(self):
+        original, loaded = self.roundtrip("dotprod")
+        ok1, stats1 = run_program(original, "dotprod")
+        ok2, stats2 = run_program(loaded, "dotprod")
+        assert ok1 and ok2
+        assert stats1.cycles == stats2.cycles
+
+    def test_roundtrip_preserves_spills(self):
+        from repro.compiler import compile_scalar
+
+        decls = "\n".join(
+            f"float v{i} = x[{i}] * {i + 1}.0;" for i in range(30))
+        uses = " + ".join(f"v{i}" for i in range(30))
+        program = compile_scalar(
+            f"kernel p(out float y[], float x[]) {{ {decls} "
+            f"y[0] = {uses}; }}").program
+        clone = bundle_from_dict(bundle_to_dict(program), FABRIC)
+        assert clone.spill_words == program.spill_words
+
+    def test_multi_config_bundle(self):
+        source = """
+        kernel two(out float y[], float a[], float b[], int n, int m) {
+            for (int t = 0; t < m; t = t + 1) {
+                for (int i = 0; i < n; i = i + 1) {
+                    y[i] = y[i] + a[i] * a[i];
+                }
+                for (int i = 0; i < n; i = i + 1) {
+                    y[i] = y[i] * b[i] + 0.5;
+                }
+            }
+        }
+        """
+        program = compile_dyser(source).program
+        assert len(program.dyser_configs) == 2
+        clone = bundle_from_dict(bundle_to_dict(program), FABRIC)
+        assert sorted(clone.dyser_configs) == sorted(program.dyser_configs)
+        # Execute the clone end to end.
+        n, m = 16, 3
+        rng = np.random.default_rng(5)
+        a, b = rng.random(n), rng.random(n)
+        y = rng.random(n)
+        expected = y.copy()
+        for _ in range(m):
+            expected = expected + a * a
+            expected = expected * b + 0.5
+        memory = Memory(1 << 22)
+        py = memory.alloc_numpy(y)
+        pa, pb = memory.alloc_numpy(a), memory.alloc_numpy(b)
+        core = Core(clone, memory, dyser=DyserDevice(fabric=FABRIC))
+        core.set_args((py, pa, pb, n, m))
+        core.run()
+        np.testing.assert_allclose(memory.read_numpy(py, n), expected,
+                                   rtol=1e-9)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ReproError, match="not a program bundle"):
+            bundle_from_dict({"format": "something-else"}, FABRIC)
+
+    def test_bundle_is_json_document(self, tmp_path):
+        program = compile_dyser(get("vecadd").source).program
+        path = tmp_path / "v.json"
+        save_bundle(program, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-bundle-v1"
+        assert "dinit" in data["assembly"]

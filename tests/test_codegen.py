@@ -1,0 +1,147 @@
+"""Tests for the code generator: immediate peepholes, branch layout,
+prologue, spill code, and DySER instruction lowering."""
+
+import pytest
+
+from repro.compiler import compile_dyser, compile_scalar
+from repro.cpu import Core, Memory
+from repro.isa import Opcode
+
+
+def ops_of(program):
+    return [i.op for i in program.instructions]
+
+
+class TestPeepholes:
+    def test_add_const_becomes_addi(self):
+        result = compile_scalar(
+            "kernel f(out int y[], int a) { y[0] = a + 5; }")
+        ops = ops_of(result.program)
+        assert Opcode.ADDI in ops
+        # No LI materialization of the 5 needed.
+        li_values = [i.imm for i in result.program
+                     if i.op is Opcode.LI]
+        assert 5 not in li_values
+
+    def test_sub_const_becomes_addi_negative(self):
+        result = compile_scalar(
+            "kernel f(out int y[], int a) { y[0] = a - 3; }")
+        addis = [i for i in result.program if i.op is Opcode.ADDI]
+        assert any(i.imm == -3 for i in addis)
+
+    def test_commuted_const_folds_into_imm_form(self):
+        result = compile_scalar(
+            "kernel f(out int y[], int a) { y[0] = 7 * a; }")
+        assert Opcode.MULI in ops_of(result.program)
+
+    def test_shift_for_addressing(self):
+        result = compile_scalar(
+            "kernel f(out int y[], int a[], int i) { y[0] = a[i]; }")
+        assert Opcode.SLLI in ops_of(result.program)
+
+    def test_float_constant_materialized_with_fli(self):
+        result = compile_scalar(
+            "kernel f(out float y[], float a) { y[0] = a * 2.5; }")
+        flis = [i for i in result.program if i.op is Opcode.FLI]
+        assert any(i.imm == 2.5 for i in flis)
+
+
+class TestBranchLayout:
+    SRC = """
+    kernel f(out int y[], int n) {
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) { s = s + i; }
+        y[0] = s;
+    }
+    """
+
+    def test_loop_has_single_conditional_branch(self):
+        result = compile_scalar(self.SRC)
+        ops = ops_of(result.program)
+        conditional = [o for o in ops if o in (Opcode.BEQ, Opcode.BNE)]
+        assert len(conditional) == 1
+
+    def test_fallthrough_avoids_redundant_jumps(self):
+        result = compile_scalar(self.SRC)
+        ops = ops_of(result.program)
+        # One back-edge jump; no jump-to-next-instruction.
+        for idx, insn in enumerate(result.program.instructions):
+            if insn.op is Opcode.J:
+                assert insn.target_index != idx + 1
+
+    def test_every_block_label_resolvable(self):
+        result = compile_scalar(self.SRC)
+        result.program.validate()
+
+
+class TestSpillCode:
+    def make_pressure(self, n=30):
+        decls = "\n".join(
+            f"float v{i} = x[{i}] * {i + 1}.0;" for i in range(n))
+        uses = " + ".join(f"v{i}" for i in range(n))
+        return (f"kernel p(out float y[], float x[]) {{ {decls} "
+                f"y[0] = {uses}; }}")
+
+    def test_spill_slots_addressed_off_r28(self):
+        result = compile_scalar(self.make_pressure())
+        assert result.program.spill_words > 0
+        spill_stores = [
+            i for i in result.program
+            if i.op in (Opcode.FST, Opcode.ST) and i.rs1 == 28
+        ]
+        spill_loads = [
+            i for i in result.program
+            if i.op in (Opcode.FLD, Opcode.LD) and i.rs1 == 28
+        ]
+        assert spill_stores and spill_loads
+
+    def test_spill_offsets_within_reserved_area(self):
+        result = compile_scalar(self.make_pressure())
+        limit = result.program.spill_words * 8
+        for insn in result.program:
+            if insn.op in (Opcode.FST, Opcode.ST, Opcode.FLD, Opcode.LD) \
+                    and insn.rs1 == 28:
+                assert 0 <= insn.imm < limit
+
+    def test_core_reserves_spill_area(self):
+        result = compile_scalar(self.make_pressure())
+        memory = Memory(1 << 20)
+        import numpy as np
+
+        py = memory.alloc(1)
+        px = memory.alloc_numpy(np.ones(30))
+        core = Core(result.program, memory)
+        core.set_args((py, px))
+        core.run()
+        assert core.iregs.read(28) > 0
+
+
+class TestDyserLowering:
+    SRC = """
+    kernel f(out float y[], float a[], float b[], int n) {
+        for (int i = 0; i < n; i = i + 1) { y[i] = a[i] * b[i] + 1.0; }
+    }
+    """
+
+    def test_dinit_before_loop_body(self):
+        result = compile_dyser(self.SRC)
+        ops = ops_of(result.program)
+        dinit_at = ops.index(Opcode.DINIT)
+        first_transfer = min(
+            i for i, o in enumerate(ops)
+            if o in (Opcode.DFLDW, Opcode.DFLD, Opcode.DFSEND))
+        assert dinit_at < first_transfer
+
+    def test_wide_ops_carry_counts(self):
+        result = compile_dyser(self.SRC)
+        wide = [i for i in result.program if i.op is Opcode.DFLDW]
+        assert wide and all(i.imm > 1 for i in wide)
+
+    def test_no_scalar_fp_compute_left_in_loop(self):
+        result = compile_dyser(self.SRC)
+        # The unrolled main loop must contain no FMUL/FADD — only the
+        # remainder loop keeps scalar FP code.
+        listing = result.program.listing()
+        main_loop = listing.split(".remh")[0].split(".hyper")[-1]
+        assert "fmul" not in main_loop
+        assert "fadd" not in main_loop

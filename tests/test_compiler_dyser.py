@@ -1,0 +1,296 @@
+"""Tests for the DySER compilation pipeline: region selection,
+if-conversion, unrolling, vectorization, scheduling, and scalar-vs-DySER
+execution equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilerOptions, compile_dyser, compile_scalar
+from repro.cpu import Core, Memory
+from repro.dyser import DyserDevice, Fabric, FabricGeometry
+from repro.isa import InsnClass
+
+VECSCALE = """
+kernel vecscale(out float c[], float a[], float b[], int n) {
+    for (int i = 0; i < n; i = i + 1) { c[i] = 2.0 * a[i] + b[i] * b[i]; }
+}
+"""
+
+DOTLIKE = """
+kernel dot(out float y[], float a[], float b[], int n) {
+    float acc = 0.0;
+    for (int i = 0; i < n; i = i + 1) { acc = acc + a[i] * b[i]; }
+    y[0] = acc;
+}
+"""
+
+CLIPPED = """
+kernel clipped(out float c[], float a[], int n, float lo, float hi) {
+    for (int i = 0; i < n; i = i + 1) {
+        float v = a[i] * a[i];
+        if (v < lo) { v = lo; }
+        if (v > hi) { v = hi; }
+        c[i] = v;
+    }
+}
+"""
+
+HISTOGRAM = """
+kernel hist(out float h[], int x[], float w[], int n, int bins) {
+    for (int i = 0; i < n; i = i + 1) {
+        int b = x[i] % bins;
+        h[b] = h[b] + w[i] * w[i];
+    }
+}
+"""
+
+CONVERGE = """
+kernel converge(out float y[], float x0, float eps, int cap) {
+    float x = x0;
+    int it = 0;
+    while (x * x - 2.0 > eps && it < cap) {
+        x = 0.5 * (x + 2.0 / x);
+        it = it + 1;
+    }
+    y[0] = x;
+}
+"""
+
+
+def run_both(src, int_args=(), fp_args=(), n_out=1, out_dtype=np.float64,
+             options=None, mem_size=1 << 20, setup=None):
+    """Compile scalar and DySER, run both, return (out_s, out_d, stats)."""
+    outs, stats = [], []
+    results = []
+    for mode in ("scalar", "dyser"):
+        mem = Memory(mem_size)
+        args = setup(mem) if setup else tuple(int_args)
+        if mode == "scalar":
+            res = compile_scalar(src)
+            dev = None
+        else:
+            res = compile_dyser(src, options)
+            dev = DyserDevice(fabric=(options.fabric if options
+                                      else Fabric(FabricGeometry(8, 8))))
+        core = Core(res.program, mem, dyser=dev)
+        core.set_args(args, fp_args)
+        stats.append(core.run())
+        outs.append(mem.read_numpy(args[0], n_out, dtype=out_dtype))
+        results.append(res)
+    return outs, stats, results
+
+
+class TestRegionSelection:
+    def test_vecscale_offloaded_unrolled_vectorized(self):
+        res = compile_dyser(VECSCALE)
+        (region,) = res.regions
+        assert region.accepted
+        assert region.shape == "straight"
+        assert region.unrolled == 8
+        assert region.vectorized
+        assert region.execute_ops == 24  # 3 ops x 8 lanes
+
+    def test_config_attached_to_program(self):
+        res = compile_dyser(VECSCALE)
+        assert 0 in res.program.dyser_configs
+        config = res.program.dyser_configs[0]
+        config.validate()
+        assert config.placement is not None
+        assert config.routes is not None
+
+    def test_reduction_offloaded_with_chained_accumulator(self):
+        res = compile_dyser(DOTLIKE)
+        (region,) = res.regions
+        assert region.accepted
+        assert region.unrolled == 8
+        # One output (the accumulator), not eight.
+        assert region.output_ports == 1
+        dfg = res.program.dyser_configs[0].dfg
+        # Reassociation turns the 8-term serial accumulation into a
+        # balanced tree: mul + 3 tree levels + final accumulate.
+        assert dfg.depth() == 5
+
+    def test_conditional_region_if_converted(self):
+        res = compile_dyser(CLIPPED)
+        (region,) = res.regions
+        assert region.accepted
+        assert region.shape == "diamond"
+        dump = res.ir_dump
+        assert "fsel" in dump or "fsel" in str(
+            res.program.dyser_configs[0].dfg.describe())
+
+    def test_histogram_not_unrolled(self):
+        # h[b] = h[b]+1 carries a may-alias dependence across iterations:
+        # the unrolled attempt must fall back to unroll=1.
+        res = compile_dyser(HISTOGRAM)
+        (region,) = res.regions
+        assert region.accepted
+        assert region.unrolled == 1
+
+    def test_loop_carried_control_shape(self):
+        res = compile_dyser(CONVERGE)
+        shapes = {r.shape for r in res.regions}
+        assert "loop_carried_control" in shapes
+
+    def test_min_region_ops_rejects_trivial(self):
+        src = """
+        kernel copy(out float c[], float a[], int n) {
+            for (int i = 0; i < n; i = i + 1) { c[i] = a[i]; }
+        }
+        """
+        res = compile_dyser(src)
+        assert all(not r.accepted for r in res.regions)
+
+    def test_tiny_fabric_falls_back_to_scalar(self):
+        options = CompilerOptions(fabric=Fabric(FabricGeometry(1, 1)),
+                                  unroll=4)
+        res = compile_dyser(VECSCALE, options)
+        (region,) = res.regions
+        # 1x1 fabric: the unrolled (12-op) and scalar (3-op) slices both
+        # exceed one FU; region must be rejected, program stays scalar.
+        assert not region.accepted
+        assert not res.program.uses_dyser()
+
+    def test_unroll_disabled(self):
+        options = CompilerOptions(unroll=1)
+        res = compile_dyser(VECSCALE, options)
+        (region,) = res.regions
+        assert region.accepted
+        assert region.unrolled == 1
+        assert not region.vectorized
+
+
+class TestExecutionEquivalence:
+    def check(self, src, setup, n_out, out_dtype=np.float64, fp_args=(),
+              options=None, rtol=1e-9):
+        (out_s, out_d), (stat_s, stat_d), _ = run_both(
+            src, setup=setup, n_out=n_out, out_dtype=out_dtype,
+            fp_args=fp_args, options=options)
+        if out_dtype == np.float64:
+            np.testing.assert_allclose(out_d, out_s, rtol=rtol)
+        else:
+            np.testing.assert_array_equal(out_d, out_s)
+        return stat_s, stat_d
+
+    def test_vecscale_matches(self):
+        n = 50
+
+        def setup(mem):
+            pc = mem.alloc(n)
+            pa = mem.alloc_numpy(np.linspace(0, 1, n))
+            pb = mem.alloc_numpy(np.linspace(2, 3, n))
+            return (pc, pa, pb, n)
+
+        stat_s, stat_d = self.check(VECSCALE, setup, n)
+        assert stat_d.cycles < stat_s.cycles
+
+    def test_dot_matches(self):
+        n = 37
+
+        def setup(mem):
+            py = mem.alloc(1)
+            pa = mem.alloc_numpy(np.linspace(0, 1, n))
+            pb = mem.alloc_numpy(np.linspace(1, 2, n))
+            return (py, pa, pb, n)
+
+        self.check(DOTLIKE, setup, 1)
+
+    def test_clipped_matches(self):
+        n = 41
+
+        def setup(mem):
+            pc = mem.alloc(n)
+            pa = mem.alloc_numpy(np.linspace(-2, 2, n))
+            return (pc, pa, n)
+
+        self.check(CLIPPED, setup, n, fp_args=(0.5, 3.0))
+
+    def test_histogram_matches(self):
+        n, bins = 60, 5
+
+        def setup(mem):
+            ph = mem.alloc(bins)
+            px = mem.alloc_numpy(np.abs(np.arange(n) * 7919) % 100)
+            pw = mem.alloc_numpy(np.linspace(0.5, 1.5, n))
+            return (ph, px, pw, n, bins)
+
+        self.check(HISTOGRAM, setup, bins)
+
+    def test_converge_matches(self):
+        # Int args are (y, cap); fp args are (x0, eps).
+        def setup(mem):
+            return (mem.alloc(1), 50)
+
+        self.check(CONVERGE, setup, 1, fp_args=(3.0, 1e-9))
+
+    def test_remainder_boundaries(self):
+        # Exercise n % unroll in {0,1,2,3} and n < unroll.
+        for n in (1, 2, 3, 4, 5, 7, 8, 16, 19):
+            def setup(mem, n=n):
+                pc = mem.alloc(max(n, 1))
+                pa = mem.alloc_numpy(np.linspace(0, 1, n))
+                pb = mem.alloc_numpy(np.linspace(2, 3, n))
+                return (pc, pa, pb, n)
+
+            self.check(VECSCALE, setup, n)
+
+    def test_zero_trip_loop(self):
+        def setup(mem):
+            pc = mem.alloc(4)
+            pa = mem.alloc_numpy(np.zeros(4))
+            pb = mem.alloc_numpy(np.zeros(4))
+            return (pc, pa, pb, 0)
+
+        self.check(VECSCALE, setup, 4)
+
+
+class TestDyserCodeProperties:
+    def test_fewer_dynamic_instructions(self):
+        n = 64
+        mem_s, mem_d = Memory(1 << 20), Memory(1 << 20)
+        a = np.linspace(0, 1, n)
+        b = np.linspace(2, 3, n)
+
+        def load(mem):
+            return (mem.alloc(n), mem.alloc_numpy(a), mem.alloc_numpy(b), n)
+
+        scalar = compile_scalar(VECSCALE)
+        core_s = Core(scalar.program, mem_s)
+        core_s.set_args(load(mem_s))
+        stat_s = core_s.run()
+
+        dyser = compile_dyser(VECSCALE)
+        core_d = Core(dyser.program, mem_d,
+                      dyser=DyserDevice(fabric=Fabric(FabricGeometry(8, 8))))
+        core_d.set_args(load(mem_d))
+        stat_d = core_d.run()
+        assert stat_d.instructions < stat_s.instructions / 2
+        assert stat_d.class_count(InsnClass.FPU) < \
+            stat_s.class_count(InsnClass.FPU)
+        assert stat_d.dyser_invocations == n // 8
+
+    def test_dinit_in_preheader_runs_once(self):
+        n = 32
+        mem = Memory(1 << 20)
+        res = compile_dyser(VECSCALE)
+        core = Core(res.program, mem,
+                    dyser=DyserDevice(fabric=Fabric(FabricGeometry(8, 8))))
+        core.set_args((mem.alloc(n), mem.alloc_numpy(np.ones(n)),
+                       mem.alloc_numpy(np.ones(n)), n))
+        stats = core.run()
+        assert stats.dyser_config_loads == 1
+
+    def test_wide_transfers_used(self):
+        res = compile_dyser(VECSCALE)
+        mnemonics = {i.op.value for i in res.program}
+        assert "dfldw" in mnemonics
+        assert "dfstw" in mnemonics
+
+    def test_listing_roundtrips_through_assembler(self):
+        from repro.isa import assemble
+
+        res = compile_dyser(VECSCALE)
+        text = res.program.listing()
+        p2 = assemble(text)
+        assert [i.text() for i in p2] == [
+            i.text() for i in res.program]

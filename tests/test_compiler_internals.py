@@ -1,0 +1,340 @@
+"""Focused unit tests for compiler internals: CFG analyses, LICM, CSE,
+affine analysis, if-conversion, unrolling, reassociation, regalloc
+components, and the shape classifier."""
+
+import pytest
+
+from repro.compiler.affine import Affine, AffineAnalysis, induction_step
+from repro.compiler.cfg import dominators, innermost_loops, loop_exits, natural_loops
+from repro.compiler.driver import frontend
+from repro.compiler.ir import Compute, Const, Load, Store, Value
+from repro.compiler.passes import licm, local_cse
+from repro.compiler.regalloc import (
+    ALLOCATABLE_INT,
+    allocate,
+    block_liveness,
+    lower_phis,
+)
+from repro.compiler.reassoc import rebalance
+from repro.compiler.shapes import Shape, classify_region
+from repro.compiler.types import Scalar
+from repro.dyser import Dfg, FuOp, FunctionalEvaluator, PortRef
+from repro.dyser.dfg import ConstRef
+
+NESTED = """
+kernel f(out float y[], float a[], int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        float s = 0.0;
+        for (int j = 0; j < n - 1; j = j + 1) {
+            s = s + a[i * n + j];
+        }
+        y[i] = s;
+    }
+}
+"""
+
+BRANCHY = """
+kernel g(out int y[], int x[], int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        int v = x[i];
+        if (v > 10) { v = v - 10; } else { v = v + 1; }
+        y[i] = v;
+    }
+}
+"""
+
+
+class TestCfgAnalyses:
+    def test_dominators_entry_dominates_all(self):
+        func = frontend(NESTED)
+        dom = dominators(func)
+        for block, doms in dom.items():
+            assert func.entry in doms
+            assert block in doms
+
+    def test_natural_loops_nesting(self):
+        func = frontend(NESTED)
+        loops = natural_loops(func)
+        assert len(loops) == 2
+        outer = max(loops, key=lambda lp: len(lp.blocks))
+        inner = min(loops, key=lambda lp: len(lp.blocks))
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert inner.depth == 2 and outer.depth == 1
+
+    def test_innermost_detection(self):
+        func = frontend(NESTED)
+        inner = innermost_loops(func)
+        assert len(inner) == 1
+        assert inner[0].is_innermost()
+
+    def test_loop_exits(self):
+        func = frontend(NESTED)
+        for loop in natural_loops(func):
+            exits = loop_exits(func, loop)
+            assert len(exits) == 1
+            assert exits[0][0] == loop.header
+
+
+class TestLicm:
+    def test_invariant_bound_hoisted(self):
+        func = frontend(NESTED)  # frontend already runs licm
+        inner = innermost_loops(func)[0]
+        header = func.blocks[inner.header]
+        # The n-1 bound must not be recomputed in the inner header.
+        sub_in_header = [
+            i for i in header.instrs
+            if isinstance(i, Compute) and i.op is FuOp.ADD
+            and any(isinstance(a, Const) and a.value == -1
+                    for a in i.args)
+        ]
+        assert not sub_in_header
+
+    def test_licm_idempotent(self):
+        func = frontend(NESTED)
+        assert not licm(func)  # already at fixed point
+        func.verify()
+
+
+class TestLocalCse:
+    def test_duplicate_loads_merged(self):
+        func = frontend("""
+        kernel f(out float y[], float a[], int n) {
+            for (int i = 0; i < n; i = i + 1) {
+                y[i] = a[i] * a[i];
+            }
+        }
+        """)
+        loads = [
+            i for b in func.blocks.values() for i in b.instrs
+            if isinstance(i, Load)
+        ]
+        assert len(loads) == 1
+
+    def test_store_invalidates_load_cse(self):
+        func = frontend("""
+        kernel f(out float y[], int n) {
+            for (int i = 0; i < n; i = i + 1) {
+                float a = y[0];
+                y[i] = a + 1.0;
+                float b = y[0];
+                y[i] = a + b;
+            }
+        }
+        """)
+        loads = [
+            i for b in func.blocks.values() for i in b.instrs
+            if isinstance(i, Load)
+        ]
+        # The second y[0] load must survive: the store may alias it.
+        assert len(loads) == 2
+
+
+class TestAffineAnalysis:
+    def test_address_difference(self):
+        func = frontend("""
+        kernel f(out float y[], float a[], int n) {
+            for (int i = 0; i < n; i = i + 1) {
+                y[i] = a[i] + a[i + 2];
+            }
+        }
+        """)
+        body_loads = []
+        for block in func.blocks.values():
+            analysis = AffineAnalysis()
+            analysis.visit_block(block)
+            for instr in block.instrs:
+                if isinstance(instr, Load):
+                    body_loads.append(analysis.form_of(instr.addr))
+        assert len(body_loads) == 2
+        assert abs(body_loads[0].difference(body_loads[1])) == 16
+
+    def test_nonaffine_mul_is_opaque(self):
+        v1, v2 = Value(1, Scalar.INT), Value(2, Scalar.INT)
+        analysis = AffineAnalysis()
+        from repro.compiler.ir import Block
+
+        block = Block("b")
+        r = Value(3, Scalar.INT)
+        block.instrs.append(Compute(result=r, op=FuOp.MUL, args=[v1, v2]))
+        analysis.visit_block(block)
+        # Opaque: the result's form is itself.
+        assert analysis.form_of(r) == Affine.of(r)
+
+    def test_induction_step_detection(self):
+        i = Value(1, Scalar.INT)
+        nxt = Value(2, Scalar.INT)
+        analysis = AffineAnalysis()
+        analysis.forms[nxt] = Affine.of(i).add(Affine.constant(3))
+        assert induction_step(analysis, i, nxt) == 3
+        assert induction_step(analysis, i, Const(5, Scalar.INT)) is None
+
+
+class TestShapes:
+    def loop_of(self, src):
+        func = frontend(src)
+        loop = innermost_loops(func)[0]
+        from repro.compiler.region import _loop_inductions
+
+        return func, loop, _loop_inductions(func, loop)
+
+    def test_straight(self):
+        func, loop, ind = self.loop_of(
+            "kernel f(out float y[], float a[], int n) {"
+            " for (int i = 0; i < n; i = i + 1) { y[i] = a[i] * 2.0; } }")
+        assert classify_region(func, loop, ind).shape is Shape.STRAIGHT
+
+    def test_diamond(self):
+        func, loop, ind = self.loop_of(BRANCHY)
+        report = classify_region(func, loop, ind)
+        assert report.shape is Shape.DIAMOND
+        assert report.diamonds == 1
+
+    def test_multi_exit(self):
+        func, loop, ind = self.loop_of("""
+        kernel f(out int y[], int x[], int n) {
+            for (int i = 0; i < n; i = i + 1) {
+                if (x[i] < 0) { break; }
+                y[i] = x[i];
+            }
+        }
+        """)
+        assert classify_region(func, loop, ind).shape is Shape.MULTI_EXIT
+
+    def test_loop_carried_control(self):
+        func, loop, ind = self.loop_of("""
+        kernel f(out float y[], float x0, int cap) {
+            float x = x0;
+            int i = 0;
+            while (x > 1.0 && i < cap) {
+                x = x * 0.5;
+                i = i + 1;
+            }
+            y[0] = x;
+        }
+        """)
+        report = classify_region(func, loop, ind)
+        assert report.shape is Shape.LOOP_CARRIED_CONTROL
+        assert report.carried_control
+        assert report.curtails_compiler
+
+    def test_induction_only_control_is_not_carried(self):
+        func, loop, ind = self.loop_of(BRANCHY)
+        assert not classify_region(func, loop, ind).carried_control
+
+
+class TestReassociation:
+    def chain_dfg(self, op, n):
+        dfg = Dfg("chain")
+        acc = PortRef(0)
+        for k in range(1, n + 1):
+            acc = dfg.add_node(op, [acc, PortRef(k)])
+        dfg.set_output(0, acc)
+        return dfg
+
+    def test_depth_reduced_to_log(self):
+        dfg = self.chain_dfg(FuOp.ADD, 8)
+        assert dfg.depth() == 8
+        assert rebalance(dfg)
+        assert dfg.depth() == 4
+        dfg.validate()
+
+    def test_semantics_preserved_exactly_for_ints(self):
+        dfg = self.chain_dfg(FuOp.ADD, 7)
+        inputs = {p: (p + 1) * 11 for p in range(8)}
+        before = FunctionalEvaluator(dfg)(inputs)
+        rebalance(dfg)
+        after = FunctionalEvaluator(dfg)(inputs)
+        assert before == after
+
+    def test_output_port_preserved(self):
+        dfg = self.chain_dfg(FuOp.FMUL, 6)
+        root = dfg.outputs[0]
+        rebalance(dfg)
+        assert dfg.outputs[0] is root
+
+    def test_short_chains_untouched(self):
+        dfg = self.chain_dfg(FuOp.ADD, 2)
+        assert not rebalance(dfg)
+
+    def test_non_associative_untouched(self):
+        dfg = Dfg()
+        a = dfg.add_node(FuOp.SUB, [PortRef(0), PortRef(1)])
+        b = dfg.add_node(FuOp.SUB, [a, PortRef(2)])
+        c = dfg.add_node(FuOp.SUB, [b, PortRef(3)])
+        dfg.set_output(0, c)
+        assert not rebalance(dfg)
+
+    def test_multi_consumer_interior_blocks_chain(self):
+        dfg = Dfg()
+        a = dfg.add_node(FuOp.ADD, [PortRef(0), PortRef(1)])
+        b = dfg.add_node(FuOp.ADD, [a, PortRef(2)])
+        c = dfg.add_node(FuOp.ADD, [b, PortRef(3)])
+        dfg.set_output(0, c)
+        dfg.set_output(1, b)  # b observable: must not be deleted
+        rebalance(dfg)
+        dfg.validate()
+        out = FunctionalEvaluator(dfg)({0: 1, 1: 2, 2: 3, 3: 4})
+        assert out == {0: 10, 1: 6}
+
+    def test_constants_participate(self):
+        dfg = Dfg()
+        a = dfg.add_node(FuOp.MUL, [PortRef(0), ConstRef(2)])
+        b = dfg.add_node(FuOp.MUL, [a, PortRef(1)])
+        c = dfg.add_node(FuOp.MUL, [b, ConstRef(3)])
+        d = dfg.add_node(FuOp.MUL, [c, PortRef(2)])
+        dfg.set_output(0, d)
+        rebalance(dfg)
+        dfg.validate()
+        assert FunctionalEvaluator(dfg)({0: 1, 1: 5, 2: 7})[0] == 210
+
+
+class TestRegallocComponents:
+    def test_liveness_loop_carried_value_live_out(self):
+        func = frontend("""
+        kernel f(out int y[], int n) {
+            int s = 0;
+            for (int i = 0; i < n; i = i + 1) { s = s + i; }
+            y[0] = s;
+        }
+        """)
+        lower_phis(func)
+        live_out = block_liveness(func)
+        # Some block has the accumulator live-out around the back edge.
+        assert any(live_out[b] for b in live_out)
+
+    def test_allocation_no_register_clash(self):
+        """Any two values with overlapping intervals must get different
+        registers (within a file)."""
+        func = frontend(NESTED)
+        lower_phis(func)
+        from repro.compiler.regalloc import build_intervals
+
+        intervals, _ = build_intervals(func)
+        alloc = allocate(func)
+        by_reg: dict[tuple, list] = {}
+        for iv in intervals:
+            if iv.value in alloc.regs:
+                by_reg.setdefault(
+                    (iv.value.scalar, alloc.regs[iv.value]), []
+                ).append(iv)
+        for (_scalar, _reg), ivs in by_reg.items():
+            ivs.sort(key=lambda iv: iv.start)
+            for a, b in zip(ivs, ivs[1:]):
+                assert a.end < b.start, (a, b)
+
+    def test_spilled_values_get_distinct_slots(self):
+        decls = "\n".join(
+            f"float v{i} = x[{i}] * {i + 1}.0;" for i in range(30))
+        uses = " + ".join(f"v{i}" for i in range(30))
+        func = frontend(
+            f"kernel p(out float y[], float x[]) {{ {decls} "
+            f"y[0] = {uses}; }}")
+        lower_phis(func)
+        alloc = allocate(func)
+        assert alloc.spill_words == len(set(alloc.spills.values()))
+        assert alloc.spill_words > 0
+
+    def test_allocatable_pool_avoids_reserved(self):
+        reserved = {0, 28, 29, 30, 31} | set(range(8, 16))
+        assert not (set(ALLOCATABLE_INT) & reserved)

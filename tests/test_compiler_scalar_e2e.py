@@ -1,0 +1,263 @@
+"""End-to-end scalar compilation: source -> Program -> Core -> results
+checked against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_scalar
+from repro.cpu import Core, Memory
+from repro.compiler.types import Scalar
+
+
+def run_kernel(source, memory, int_args=(), fp_args=()):
+    result = compile_scalar(source)
+    core = Core(result.program, memory)
+    core.set_args(int_args, fp_args)
+    stats = core.run()
+    return core, stats
+
+
+class TestScalarExecution:
+    def test_vecadd(self):
+        src = """
+        kernel vecadd(out float c[], float a[], float b[], int n) {
+            for (int i = 0; i < n; i = i + 1) { c[i] = a[i] + b[i]; }
+        }
+        """
+        mem = Memory(1 << 18)
+        n = 20
+        a = np.linspace(0.0, 1.0, n)
+        b = np.linspace(2.0, 3.0, n)
+        pc = mem.alloc(n)
+        pa = mem.alloc_numpy(a)
+        pb = mem.alloc_numpy(b)
+        run_kernel(src, mem, int_args=(pc, pa, pb, n))
+        np.testing.assert_allclose(mem.read_numpy(pc, n), a + b)
+
+    def test_matrix_multiply(self):
+        src = """
+        kernel mm(out float C[], float A[], float B[], int n) {
+            for (int i = 0; i < n; i = i + 1) {
+                for (int j = 0; j < n; j = j + 1) {
+                    float acc = 0.0;
+                    for (int k = 0; k < n; k = k + 1) {
+                        acc = acc + A[i * n + k] * B[k * n + j];
+                    }
+                    C[i * n + j] = acc;
+                }
+            }
+        }
+        """
+        mem = Memory(1 << 18)
+        n = 6
+        rng = np.random.default_rng(1)
+        a = rng.random((n, n))
+        b = rng.random((n, n))
+        pc = mem.alloc(n * n)
+        pa = mem.alloc_numpy(a)
+        pb = mem.alloc_numpy(b)
+        run_kernel(src, mem, int_args=(pc, pa, pb, n))
+        got = mem.read_numpy(pc, n * n).reshape(n, n)
+        np.testing.assert_allclose(got, a @ b, rtol=1e-12)
+
+    def test_conditional_abs_clip(self):
+        src = """
+        kernel clip(out float y[], float x[], int n, float lo, float hi) {
+            for (int i = 0; i < n; i = i + 1) {
+                float v = x[i];
+                if (v < lo) { v = lo; }
+                if (v > hi) { v = hi; }
+                y[i] = v;
+            }
+        }
+        """
+        mem = Memory(1 << 18)
+        n = 17
+        x = np.linspace(-3.0, 3.0, n)
+        py = mem.alloc(n)
+        px = mem.alloc_numpy(x)
+        run_kernel(src, mem, int_args=(py, px, n), fp_args=(-1.0, 1.0))
+        np.testing.assert_allclose(
+            mem.read_numpy(py, n), np.clip(x, -1.0, 1.0))
+
+    def test_integer_histogram(self):
+        src = """
+        kernel hist(out int h[], int x[], int n, int bins) {
+            for (int i = 0; i < n; i = i + 1) {
+                int b = x[i] % bins;
+                if (b < 0) { b = b + bins; }
+                h[b] = h[b] + 1;
+            }
+        }
+        """
+        mem = Memory(1 << 18)
+        n, bins = 50, 7
+        rng = np.random.default_rng(2)
+        x = rng.integers(-20, 20, n)
+        ph = mem.alloc(bins)
+        px = mem.alloc_numpy(x)
+        run_kernel(src, mem, int_args=(ph, px, n, bins))
+        expected = np.bincount(np.mod(x, bins), minlength=bins)
+        np.testing.assert_array_equal(
+            mem.read_numpy(ph, bins, dtype=np.int64), expected)
+
+    def test_while_loop_gcd(self):
+        src = """
+        kernel gcd(out int y[], int a, int b) {
+            while (b != 0) {
+                int t = b;
+                b = a % b;
+                a = t;
+            }
+            y[0] = a;
+        }
+        """
+        mem = Memory(1 << 16)
+        py = mem.alloc(1)
+        run_kernel(src, mem, int_args=(py, 252, 105))
+        assert mem.load_word(py) == 21
+
+    def test_break_and_continue(self):
+        src = """
+        kernel f(out int y[], int n) {
+            int s = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                if (i == 3) { continue; }
+                if (i == 7) { break; }
+                s = s + i;
+            }
+            y[0] = s;
+        }
+        """
+        mem = Memory(1 << 16)
+        py = mem.alloc(1)
+        run_kernel(src, mem, int_args=(py, 100))
+        assert mem.load_word(py) == 0 + 1 + 2 + 4 + 5 + 6
+
+    def test_sqrt_distance(self):
+        src = """
+        kernel dist(out float d[], float x[], float y[], int n) {
+            for (int i = 0; i < n; i = i + 1) {
+                d[i] = sqrt(x[i] * x[i] + y[i] * y[i]);
+            }
+        }
+        """
+        mem = Memory(1 << 18)
+        n = 9
+        x = np.linspace(1.0, 2.0, n)
+        y = np.linspace(-1.0, 1.0, n)
+        pd = mem.alloc(n)
+        px = mem.alloc_numpy(x)
+        py = mem.alloc_numpy(y)
+        run_kernel(src, mem, int_args=(pd, px, py, n))
+        np.testing.assert_allclose(
+            mem.read_numpy(pd, n), np.hypot(x, y), rtol=1e-12)
+
+    def test_min_max_intrinsics(self):
+        src = """
+        kernel mm(out int y[], int a, int b) {
+            y[0] = min(a, b);
+            y[1] = max(a, b);
+            y[2] = abs(a - b);
+        }
+        """
+        mem = Memory(1 << 16)
+        py = mem.alloc(3)
+        run_kernel(src, mem, int_args=(py, 12, 45))
+        assert mem.load_block(py, 3) == [12, 45, 33]
+
+    def test_nested_conditionals(self):
+        src = """
+        kernel sign3(out int y[], int x[], int n) {
+            for (int i = 0; i < n; i = i + 1) {
+                int s = 0;
+                if (x[i] > 0) { s = 1; }
+                else {
+                    if (x[i] < 0) { s = -1; }
+                }
+                y[i] = s;
+            }
+        }
+        """
+        mem = Memory(1 << 16)
+        x = np.array([-5, 0, 7, -1, 2, 0])
+        py = mem.alloc(len(x))
+        px = mem.alloc_numpy(x)
+        run_kernel(src, mem, int_args=(py, px, len(x)))
+        np.testing.assert_array_equal(
+            mem.read_numpy(py, len(x), dtype=np.int64), np.sign(x))
+
+    def test_logical_ops(self):
+        src = """
+        kernel f(out int y[], int a, int b) {
+            y[0] = a > 0 && b > 0;
+            y[1] = a > 0 || b > 0;
+            y[2] = !(a > 0);
+        }
+        """
+        mem = Memory(1 << 16)
+        py = mem.alloc(3)
+        run_kernel(src, mem, int_args=(py, 5, -3))
+        assert mem.load_block(py, 3) == [0, 1, 0]
+
+    def test_register_pressure_spills(self):
+        # Force more than 19 simultaneously-live values.
+        decls = "\n".join(
+            f"float v{i} = x[{i}] * {i + 1}.0;" for i in range(30))
+        uses = " + ".join(f"v{i}" for i in range(30))
+        src = f"""
+        kernel pressure(out float y[], float x[]) {{
+            {decls}
+            y[0] = {uses};
+        }}
+        """
+        result = compile_scalar(src)
+        mem = Memory(1 << 18)
+        x = np.linspace(1.0, 2.0, 30)
+        py = mem.alloc(1)
+        px = mem.alloc_numpy(x)
+        core = Core(result.program, mem)
+        core.set_args((py, px))
+        core.run()
+        expected = sum(x[i] * (i + 1) for i in range(30))
+        assert mem.load_word(py) == pytest.approx(expected)
+
+    def test_spills_actually_happened(self):
+        decls = "\n".join(
+            f"float v{i} = x[{i}] * {i + 1}.0;" for i in range(30))
+        uses = " + ".join(f"v{i}" for i in range(30))
+        src = f"""
+        kernel pressure(out float y[], float x[]) {{
+            {decls}
+            y[0] = {uses};
+        }}
+        """
+        result = compile_scalar(src)
+        assert result.program.spill_words > 0
+
+    def test_two_dimensional_stencil(self):
+        src = """
+        kernel stencil(out float B[], float A[], int n) {
+            for (int i = 1; i < n - 1; i = i + 1) {
+                for (int j = 1; j < n - 1; j = j + 1) {
+                    B[i * n + j] = 0.2 * (A[i * n + j]
+                        + A[(i - 1) * n + j] + A[(i + 1) * n + j]
+                        + A[i * n + j - 1] + A[i * n + j + 1]);
+                }
+            }
+        }
+        """
+        mem = Memory(1 << 20)
+        n = 8
+        rng = np.random.default_rng(3)
+        a = rng.random((n, n))
+        pb = mem.alloc(n * n)
+        pa = mem.alloc_numpy(a)
+        run_kernel(src, mem, int_args=(pb, pa, n))
+        expected = np.zeros((n, n))
+        expected[1:-1, 1:-1] = 0.2 * (
+            a[1:-1, 1:-1] + a[:-2, 1:-1] + a[2:, 1:-1]
+            + a[1:-1, :-2] + a[1:-1, 2:])
+        got = mem.read_numpy(pb, n * n).reshape(n, n)
+        np.testing.assert_allclose(got[1:-1, 1:-1], expected[1:-1, 1:-1],
+                                   rtol=1e-12)

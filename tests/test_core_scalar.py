@@ -1,0 +1,276 @@
+"""Tests for the host core: functional correctness and timing behaviour."""
+
+import pytest
+
+from repro.cpu import Core, CoreConfig, Memory, StallCause
+from repro.errors import SimulationError
+from repro.isa import assemble
+
+
+def run(source, memory=None, int_args=(), fp_args=(), config=None):
+    memory = memory or Memory(1 << 16)
+    core = Core(assemble(source), memory, config=config)
+    core.set_args(int_args, fp_args)
+    stats = core.run()
+    return core, stats
+
+
+class TestFunctional:
+    def test_arithmetic(self):
+        core, _ = run("""
+            li  r1, 7
+            li  r2, 3
+            add r3, r1, r2
+            sub r4, r1, r2
+            mul r5, r1, r2
+            div r6, r1, r2
+            rem r7, r1, r2
+            halt
+        """)
+        r = core.iregs.read
+        assert (r(3), r(4), r(5), r(6), r(7)) == (10, 4, 21, 2, 1)
+
+    def test_negative_division_truncates(self):
+        core, _ = run("""
+            li  r1, -7
+            li  r2, 3
+            div r3, r1, r2
+            rem r4, r1, r2
+            halt
+        """)
+        assert core.iregs.read(3) == -2
+        assert core.iregs.read(4) == -1
+
+    def test_logic_and_shifts(self):
+        core, _ = run("""
+            li   r1, 12
+            li   r2, 10
+            and  r3, r1, r2
+            or   r4, r1, r2
+            xor  r5, r1, r2
+            slli r6, r1, 2
+            srai r7, r1, 2
+            halt
+        """)
+        r = core.iregs.read
+        assert (r(3), r(4), r(5), r(6), r(7)) == (8, 14, 6, 48, 3)
+
+    def test_compare_and_select(self):
+        core, _ = run("""
+            li  r1, 5
+            li  r2, 9
+            slt r3, r1, r2
+            seq r4, r1, r2
+            sel r5, r3, r1, r2
+            sel r6, r4, r1, r2
+            min r7, r1, r2
+            max r8, r1, r2
+            halt
+        """)
+        r = core.iregs.read
+        assert (r(3), r(4), r(5), r(6), r(7), r(8)) == (1, 0, 5, 9, 5, 9)
+
+    def test_fp_ops(self):
+        core, _ = run("""
+            fli   f1, 2.0
+            fli   f2, 8.0
+            fadd  f3, f1, f2
+            fmul  f4, f1, f2
+            fdiv  f5, f2, f1
+            fsqrt f6, f2
+            flt   r1, f1, f2
+            fsel  f7, r1, f1, f2
+            halt
+        """)
+        f = core.fregs.read
+        assert f(3) == 10.0
+        assert f(4) == 16.0
+        assert f(5) == 4.0
+        assert f(6) == pytest.approx(2.8284271247461903)
+        assert core.iregs.read(1) == 1
+        assert f(7) == 2.0
+
+    def test_conversions(self):
+        core, _ = run("""
+            li  r1, 3
+            i2f f1, r1
+            fli f2, 2.75
+            f2i r2, f2
+            halt
+        """)
+        assert core.fregs.read(1) == 3.0
+        assert core.iregs.read(2) == 2
+
+    def test_loads_and_stores(self):
+        mem = Memory(1 << 16)
+        addr = mem.alloc_array([11, 22, 33])
+        core, _ = run(f"""
+            li r1, {addr}
+            ld r2, r1, 8
+            addi r2, r2, 1
+            st r2, r1, 16
+            halt
+        """, memory=mem)
+        assert mem.load_word(addr + 16) == 23
+
+    def test_fp_memory(self):
+        mem = Memory(1 << 16)
+        addr = mem.alloc_array([1.5, 0.0])
+        run(f"""
+            li  r1, {addr}
+            fld f1, r1, 0
+            fadd f1, f1, f1
+            fst f1, r1, 8
+            halt
+        """, memory=mem)
+        assert mem.load_word(addr + 8) == 3.0
+
+    def test_loop_sums_array(self):
+        mem = Memory(1 << 16)
+        addr = mem.alloc_array(list(range(1, 11)))
+        core, _ = run(f"""
+            li  r1, {addr}
+            li  r2, {addr + 80}
+            li  r3, 0
+        loop:
+            ld  r4, r1, 0
+            add r3, r3, r4
+            addi r1, r1, 8
+            blt r1, r2, loop
+            halt
+        """, memory=mem)
+        assert core.iregs.read(3) == 55
+
+    def test_branch_variants(self):
+        core, _ = run("""
+            li r1, 5
+            li r2, 5
+            li r10, 0
+            beq r1, r2, t1
+            j end
+        t1:
+            addi r10, r10, 1
+            bge r1, r2, t2
+            j end
+        t2:
+            addi r10, r10, 1
+            bgt r1, r2, bad
+            ble r1, r2, t3
+        bad:
+            j end
+        t3:
+            addi r10, r10, 1
+        end:
+            halt
+        """)
+        assert core.iregs.read(10) == 3
+
+    def test_kernel_arguments(self):
+        core, _ = run("""
+            add r1, r8, r9
+            fadd f1, f8, f9
+            halt
+        """, int_args=(4, 5), fp_args=(0.5, 0.25))
+        assert core.iregs.read(1) == 9
+        assert core.fregs.read(1) == 0.75
+
+    def test_runaway_guard(self):
+        cfg = CoreConfig(max_instructions=100)
+        with pytest.raises(SimulationError, match="instruction limit"):
+            run("loop:\nj loop\nhalt", config=cfg)
+
+    def test_fall_off_end(self):
+        mem = Memory(1 << 16)
+        program = assemble("nop\nhalt")
+        # Mutate to remove halt's effect by branching past it.
+        with pytest.raises(SimulationError):
+            core = Core(assemble("j skip\nhalt\nskip:\nnop\nhalt"), mem)
+            program2 = core.program
+            del program2.instructions[-1]
+            core.run()
+
+
+class TestTiming:
+    def test_straightline_alu_is_one_ipc(self):
+        _, stats = run("\n".join(["addi r1, r1, 1"] * 50 + ["halt"]))
+        # 51 instructions, no hazards beyond 1-cycle ALU bypass: every
+        # non-issue cycle must be an I$ cold-miss bubble.
+        assert stats.instructions == 51
+        assert stats.cycles == 51 + stats.stall_cycles.get(
+            StallCause.FETCH_MISS, 0)
+        assert stats.stall_cycles.get(StallCause.DATA_HAZARD, 0) == 0
+
+    def test_mul_latency_creates_hazard(self):
+        spacer = "nop\n" * 10
+        _, fast = run(f"li r1, 3\nmul r2, r1, r1\n{spacer}add r3, r2, r2\nhalt")
+        _, slow = run("li r1, 3\nmul r2, r1, r1\nadd r3, r2, r2\nhalt")
+        assert slow.stall_cycles.get(StallCause.DATA_HAZARD, 0) > 0
+        assert fast.stall_cycles.get(StallCause.DATA_HAZARD, 0) == 0
+
+    def test_taken_branch_penalty(self):
+        cfg = CoreConfig(branch_taken_penalty=3)
+        _, taken = run("li r1, 1\nli r2, 1\nbeq r1, r2, end\nend:\nhalt",
+                       config=cfg)
+        _, untaken = run("li r1, 1\nli r2, 2\nbeq r1, r2, end\nend:\nhalt",
+                         config=cfg)
+        assert taken.cycles == untaken.cycles + 3
+        assert taken.stall_cycles[StallCause.BRANCH] == 3
+
+    def test_load_miss_exposed_on_use(self):
+        mem = Memory(1 << 16)
+        addr = mem.alloc_array([1.0])
+        src = f"""
+            li  r1, {addr}
+            fld f1, r1, 0
+            fadd f2, f1, f1
+            halt
+        """
+        _, stats = run(src, memory=mem)
+        assert stats.stall_cycles.get(StallCause.LOAD_MISS, 0) > 0
+
+    def test_load_hit_after_warm(self):
+        mem = Memory(1 << 16)
+        addr = mem.alloc_array([1.0, 2.0])
+        src = f"""
+            li  r1, {addr}
+            fld f1, r1, 0
+            fld f2, r1, 8
+            fadd f3, f2, f2
+            halt
+        """
+        _, stats = run(src, memory=mem)
+        # Second load hits the same line: its consumer sees no miss stall
+        # beyond the first load's fill.
+        assert stats.dcache_hits >= 1
+
+    def test_unpipelined_fpu_structural_stall(self):
+        src = "fli f1, 1.0\nfli f2, 2.0\n" + \
+              "fadd f3, f1, f2\nfadd f4, f1, f2\nfadd f5, f1, f2\nhalt"
+        _, unpiped = run(src, config=CoreConfig(fpu_pipelined=False))
+        _, piped = run(src, config=CoreConfig(fpu_pipelined=True))
+        assert unpiped.cycles > piped.cycles
+        assert unpiped.stall_cycles.get(StallCause.STRUCTURAL_FPU, 0) > 0
+        assert piped.stall_cycles.get(StallCause.STRUCTURAL_FPU, 0) == 0
+
+    def test_cycle_accounting_closes(self):
+        mem = Memory(1 << 16)
+        addr = mem.alloc_array(list(range(64)))
+        src = f"""
+            li  r1, {addr}
+            li  r2, {addr + 512}
+            li  r3, 0
+        loop:
+            ld  r4, r1, 0
+            mul r4, r4, r4
+            add r3, r3, r4
+            addi r1, r1, 8
+            blt r1, r2, loop
+            halt
+        """
+        _, stats = run(src, memory=mem)
+        assert stats.issue_cycles == stats.instructions
+        assert stats.cycles == stats.instructions + stats.total_stalls
+
+    def test_ipc_below_one(self):
+        _, stats = run("li r1, 2\nmul r2, r1, r1\nmul r3, r2, r2\nhalt")
+        assert stats.ipc < 1.0

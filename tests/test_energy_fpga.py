@@ -1,0 +1,111 @@
+"""Tests for the energy model and FPGA resource model."""
+
+import pytest
+
+from repro.dyser import Fabric, FabricGeometry
+from repro.energy import EnergyModel, EnergyParams
+from repro.fpga import (
+    FpgaCostTable,
+    ResourceVector,
+    dyser_resources,
+    sparc_core_resources,
+    system_report,
+    utilization_table,
+)
+from repro.harness import run_workload
+
+
+class TestEnergyModel:
+    def run_stats(self, mode):
+        return run_workload("saxpy", mode=mode, scale="tiny")
+
+    def test_breakdown_covers_core_and_dyser(self):
+        result = self.run_stats("dyser")
+        bd = result.energy.breakdown_nj
+        assert any(k.startswith("core.") for k in bd)
+        assert any(k.startswith("dyser.") for k in bd)
+        assert result.energy.total_nj > 0
+
+    def test_scalar_run_has_no_dyser_energy(self):
+        result = self.run_stats("scalar")
+        assert result.energy.dyser_power_mw == 0.0
+
+    def test_power_is_energy_over_time(self):
+        result = self.run_stats("dyser")
+        e = result.energy
+        assert e.avg_power_mw == pytest.approx(
+            e.total_j / e.runtime_s * 1e3)
+
+    def test_dyser_power_in_paper_band(self):
+        """Abstract anchor: DySER consumes ~200 mW.
+
+        Checked on a compute-heavy kernel at the default calibration;
+        the E5 bench reports the per-benchmark values.
+        """
+        result = run_workload("mriq", mode="dyser", scale="small")
+        assert 100 <= result.energy.dyser_power_mw <= 300
+
+    def test_dyser_wins_energy_on_compute_kernels(self):
+        scalar = run_workload("mriq", mode="scalar", scale="tiny")
+        dyser = run_workload("mriq", mode="dyser", scale="tiny")
+        assert dyser.energy.total_j < scalar.energy.total_j
+        assert (dyser.energy.energy_delay_product()
+                < scalar.energy.energy_delay_product())
+
+    def test_static_energy_scales_with_runtime(self):
+        params = EnergyParams()
+        model = EnergyModel(params)
+        from repro.cpu.statistics import ExecStats
+
+        short = ExecStats(cycles=1000, instructions=500)
+        long = ExecStats(cycles=2000, instructions=500)
+        assert (model.account(long).breakdown_nj["core.static"]
+                == 2 * model.account(short).breakdown_nj["core.static"])
+
+    def test_summary_mentions_power(self):
+        result = self.run_stats("dyser")
+        assert "mW" in result.energy.summary()
+
+
+class TestFpgaModel:
+    def test_resource_vector_addition(self):
+        a = ResourceVector(1, 2, 3, 4)
+        b = ResourceVector(10, 20, 30, 40)
+        c = a + b
+        assert (c.luts, c.ffs, c.brams, c.dsps) == (11, 22, 33, 44)
+        s = a.scale(3)
+        assert (s.luts, s.dsps) == (3, 12)
+
+    def test_dyser_area_scales_with_fabric(self):
+        small = dyser_resources(Fabric(FabricGeometry(2, 2)))
+        big = dyser_resources(Fabric(FabricGeometry(8, 8)))
+        assert big.resources.luts > 4 * small.resources.luts
+
+    def test_dyser_64fu_comparable_to_core(self):
+        """Prototype-report shape: a 64-FU DySER is core-sized or less."""
+        dyser = dyser_resources(Fabric(FabricGeometry(8, 8)))
+        core = sparc_core_resources()
+        assert 0.5 < dyser.resources.luts / core.resources.luts < 1.6
+
+    def test_system_fmax_limited_by_core(self):
+        rows = system_report(Fabric(FabricGeometry(8, 8)))
+        by_name = {r.name: r for r in rows}
+        system = by_name["sparc_dyser_system"]
+        assert system.fmax_mhz == min(r.fmax_mhz for r in rows)
+        assert system.fmax_mhz == by_name["sparc_core"].fmax_mhz
+
+    def test_dyser_fmax_shrinks_with_diameter(self):
+        f2 = dyser_resources(Fabric(FabricGeometry(2, 2))).fmax_mhz
+        f8 = dyser_resources(Fabric(FabricGeometry(8, 8))).fmax_mhz
+        assert f8 < f2
+
+    def test_utilization_table_formats(self):
+        text = utilization_table(Fabric(FabricGeometry(4, 4)))
+        assert "sparc_core" in text
+        assert "dyser_4x4" in text
+        assert "LUTs" in text
+
+    def test_dsps_follow_capability_profile(self):
+        table = FpgaCostTable()
+        uniform_small = dyser_resources(Fabric(FabricGeometry(2, 2)), table)
+        assert uniform_small.resources.dsps > 0

@@ -1,0 +1,32 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples")
+    .glob("*.py")
+)
+
+
+def load_module(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    module = load_module(path)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} produced no output"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "compiler_explorer", "design_space",
+            "custom_kernel"} <= names

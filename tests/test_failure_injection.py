@@ -1,0 +1,141 @@
+"""Failure-injection tests: the integrated system must fail loudly and
+precisely when the hardware/software contract is violated."""
+
+import pytest
+
+from repro.cpu import Core, CoreConfig, Memory
+from repro.dyser import (
+    Dfg,
+    DyserConfig,
+    DyserDevice,
+    Fabric,
+    FabricGeometry,
+    FuOp,
+    PortRef,
+)
+from repro.errors import DyserError, MemoryFault, SimulationError
+from repro.isa import assemble
+
+
+def add_config(config_id=0, fabric=None) -> DyserConfig:
+    dfg = Dfg("add")
+    n = dfg.add_node(FuOp.ADD, [PortRef(0), PortRef(1)])
+    dfg.set_output(0, n)
+    return DyserConfig(config_id, dfg, fabric or Fabric(FabricGeometry(4, 4)))
+
+
+def run_asm(source, configs=(), memory=None, int_args=()):
+    memory = memory or Memory(1 << 16)
+    program = assemble(source)
+    for config in configs:
+        program.dyser_configs[config.config_id] = config
+    device = DyserDevice(fabric=Fabric(FabricGeometry(4, 4))) \
+        if configs else None
+    core = Core(program, memory, dyser=device)
+    core.set_args(int_args)
+    return core.run()
+
+
+class TestCoreFaults:
+    def test_dyser_op_without_device(self):
+        with pytest.raises(SimulationError, match="without DySER"):
+            run_asm("dinit 0\nhalt")
+
+    def test_unregistered_config(self):
+        with pytest.raises(DyserError, match="unregistered"):
+            run_asm("dinit 7\nhalt", configs=[add_config(0)])
+
+    def test_send_before_init(self):
+        with pytest.raises(DyserError, match="no configuration"):
+            run_asm("dsend p0, r1\nhalt", configs=[add_config(0)])
+
+    def test_send_to_unused_port(self):
+        with pytest.raises(DyserError, match="does not use"):
+            run_asm("dinit 0\ndsend p9, r1\nhalt",
+                    configs=[add_config(0)])
+
+    def test_recv_without_complete_invocation(self):
+        # Only one of the two inputs sent: the recv must not hang or
+        # invent data — it raises.
+        with pytest.raises(DyserError, match="no pending invocation"):
+            run_asm("dinit 0\ndsend p0, r1\ndrecv r2, p0\nhalt",
+                    configs=[add_config(0)])
+
+    def test_reconfigure_with_pending_inputs(self):
+        configs = [add_config(0), add_config(1)]
+        with pytest.raises(DyserError, match="still pending"):
+            run_asm("dinit 0\ndsend p0, r1\ndinit 1\nhalt",
+                    configs=configs)
+
+    def test_reconfigure_with_unread_outputs(self):
+        configs = [add_config(0), add_config(1)]
+        with pytest.raises(DyserError, match="unread"):
+            run_asm(
+                "dinit 0\ndsend p0, r1\ndsend p1, r2\ndinit 1\nhalt",
+                configs=configs)
+
+    def test_wild_load_faults(self):
+        with pytest.raises(MemoryFault):
+            run_asm("li r1, 0x7ffff8\nld r2, r1, 64\nhalt",
+                    memory=Memory(1 << 16))
+
+    def test_misaligned_access_faults(self):
+        with pytest.raises(MemoryFault, match="misaligned"):
+            run_asm("li r1, 12\nld r2, r1, 0\nhalt")
+
+    def test_vector_transfer_out_of_range(self):
+        config = add_config(0)
+        with pytest.raises(MemoryFault):
+            run_asm(
+                f"dinit 0\nli r1, {(1 << 16) - 16}\ndldv p0, r1, 8\nhalt",
+                configs=[config], memory=Memory(1 << 16))
+
+    def test_instruction_limit_stops_runaway(self):
+        program = assemble("loop:\nj loop\nhalt")
+        core = Core(program, Memory(1 << 12),
+                    config=CoreConfig(has_dyser=False,
+                                      max_instructions=500))
+        with pytest.raises(SimulationError, match="instruction limit"):
+            core.run()
+
+
+class TestConfigContract:
+    def test_config_for_bigger_fabric_rejected_on_small_device(self):
+        # Config references ports that only exist on a bigger fabric.
+        big = Fabric(FabricGeometry(8, 8))
+        dfg = Dfg("wide")
+        n = dfg.add_node(FuOp.ADD, [PortRef(30), PortRef(31)])
+        dfg.set_output(0, n)
+        config = DyserConfig(0, dfg, big)
+        device = DyserDevice(fabric=Fabric(FabricGeometry(2, 2)))
+        from repro.errors import ConfigurationError
+
+        config.validate()  # fine on its own fabric
+        small_config = DyserConfig(0, dfg, device.fabric)
+        with pytest.raises(ConfigurationError):
+            device.register_config(small_config)
+
+    def test_device_rejects_invalid_config_at_register(self):
+        from repro.errors import ConfigurationError
+
+        dfg = Dfg("empty")
+        dfg.add_node(FuOp.ADD, [PortRef(0), PortRef(1)])
+        # No outputs declared.
+        config = DyserConfig(0, dfg, Fabric(FabricGeometry(2, 2)))
+        device = DyserDevice(fabric=Fabric(FabricGeometry(2, 2)))
+        with pytest.raises(ConfigurationError, match="no outputs"):
+            device.register_config(config)
+
+
+class TestHarnessChecksCatchCorruption:
+    def test_wrong_output_detected(self):
+        """If the program writes the wrong answer, Instance.check says so
+        (the harness surfaces correct=False rather than silently
+        benchmarking garbage)."""
+        from repro.workloads import get
+
+        workload = get("vecadd")
+        memory = Memory(1 << 20)
+        instance = workload.prepare(memory, "tiny", 7)
+        # Do not run anything: the output array still holds zeros.
+        assert instance.check(memory) is False

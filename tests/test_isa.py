@@ -1,0 +1,173 @@
+"""Tests for the ISA layer: opcodes, instructions, programs, assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError, IsaError
+from repro.isa import (
+    OP_INFO,
+    Instruction,
+    InsnClass,
+    Opcode,
+    Program,
+    assemble,
+    disassemble,
+)
+
+
+class TestOpcodeTable:
+    def test_every_opcode_has_info(self):
+        for op in Opcode:
+            assert op in OP_INFO
+
+    def test_signatures_are_tuples_of_known_kinds(self):
+        known = {"rd", "rs1", "rs2", "rs3", "fd", "fs1", "fs2", "fs3",
+                 "imm", "port", "label"}
+        for info in OP_INFO.values():
+            assert set(info.signature) <= known
+
+    def test_branch_classification(self):
+        assert OP_INFO[Opcode.BEQ].is_branch
+        assert OP_INFO[Opcode.J].is_branch
+        assert not OP_INFO[Opcode.ADD].is_branch
+
+    def test_dyser_classification(self):
+        for op in (Opcode.DINIT, Opcode.DSEND, Opcode.DRECV, Opcode.DLDV):
+            assert OP_INFO[op].is_dyser
+        assert not OP_INFO[Opcode.LD].is_dyser
+
+    def test_memory_classification(self):
+        for op in (Opcode.LD, Opcode.ST, Opcode.FLD, Opcode.DLD, Opcode.DSTV):
+            assert OP_INFO[op].is_memory
+        assert not OP_INFO[Opcode.DSEND].is_memory
+
+
+class TestInstruction:
+    def test_valid_instruction(self):
+        insn = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+        assert insn.text() == "add r1, r2, r3"
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.ADD, rd=1, rs1=2)
+
+    def test_register_out_of_range(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.ADD, rd=32, rs1=0, rs2=0)
+
+    def test_negative_port_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.DSEND, port=-1, rs1=1)
+
+    def test_fp_text_rendering(self):
+        insn = Instruction(Opcode.FADD, rd=1, rs1=2, rs2=3)
+        assert insn.text() == "fadd f1, f2, f3"
+
+    def test_branch_text(self):
+        insn = Instruction(Opcode.BLT, rs1=1, rs2=2, target="loop")
+        assert insn.text() == "blt r1, r2, loop"
+
+
+class TestProgram:
+    def test_link_resolves_targets(self):
+        p = Program()
+        p.add_label("start")
+        p.add(Instruction(Opcode.J, target="end"))
+        p.add(Instruction(Opcode.NOP))
+        p.add_label("end")
+        p.add(Instruction(Opcode.HALT))
+        p.link()
+        assert p.instructions[0].target_index == 2
+
+    def test_undefined_label_raises(self):
+        p = Program()
+        p.add(Instruction(Opcode.J, target="nowhere"))
+        with pytest.raises(IsaError, match="undefined label"):
+            p.link()
+
+    def test_duplicate_label_raises(self):
+        p = Program()
+        p.add_label("x")
+        with pytest.raises(IsaError, match="duplicate"):
+            p.add_label("x")
+
+    def test_validate_requires_halt(self):
+        p = Program()
+        p.add(Instruction(Opcode.NOP))
+        p.link()
+        with pytest.raises(IsaError, match="no HALT"):
+            p.validate()
+
+    def test_static_mix(self):
+        p = Program()
+        p.add(Instruction(Opcode.ADD, rd=1, rs1=1, rs2=1))
+        p.add(Instruction(Opcode.LD, rd=1, rs1=1, imm=0))
+        p.add(Instruction(Opcode.HALT))
+        mix = p.static_mix()
+        assert mix[InsnClass.ALU] == 1
+        assert mix[InsnClass.LOAD] == 1
+
+
+class TestAssembler:
+    SAMPLE = """
+    ; dot-product style fragment
+    start:
+        li   r1, 0
+        li   r2, 8
+    loop:
+        fld  f1, r1, 0
+        fadd f2, f2, f1
+        addi r1, r1, 8
+        blt  r1, r2, loop
+        halt
+    """
+
+    def test_roundtrip(self):
+        p = assemble(self.SAMPLE)
+        text = disassemble(p)
+        p2 = assemble(text)
+        assert [i.text() for i in p] == [i.text() for i in p2]
+        assert p2.labels == p.labels
+
+    def test_labels_resolved(self):
+        p = assemble(self.SAMPLE)
+        blt = p.instructions[-2]
+        assert blt.op is Opcode.BLT
+        assert blt.target_index == p.labels["loop"]
+
+    def test_comments_and_blank_lines_ignored(self):
+        p = assemble("nop ; trailing\n\n# full line\nhalt")
+        assert len(p) == 2
+
+    def test_hex_immediates(self):
+        p = assemble("li r1, 0x10\nhalt")
+        assert p.instructions[0].imm == 16
+
+    def test_float_immediates(self):
+        p = assemble("fli f1, 2.5\nhalt")
+        assert p.instructions[0].imm == 2.5
+
+    def test_negative_immediates(self):
+        p = assemble("addi r1, r1, -8\nhalt")
+        assert p.instructions[0].imm == -8
+
+    def test_dyser_syntax(self):
+        p = assemble("dinit 3\ndsend p0, r1\ndrecv r2, p1\ndldv p2, r3, 4\nhalt")
+        assert p.instructions[0].imm == 3
+        assert p.instructions[1].port == 0
+        assert p.instructions[3].imm == 4
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expected"):
+            assemble("add r1, r2")
+
+    def test_wrong_register_kind(self):
+        with pytest.raises(AssemblerError, match="expected fp register"):
+            assemble("fadd r1, f2, f3")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("nop\nbogus op\nhalt")

@@ -1,0 +1,164 @@
+"""Tests for memory, register files and the cache timing model."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import Cache, CacheConfig, FpRegFile, IntRegFile, Memory, wrap64
+from repro.errors import MemoryFault
+
+
+class TestMemory:
+    def test_word_roundtrip(self):
+        m = Memory(1024)
+        m.store_word(64, 42)
+        assert m.load_word(64) == 42
+
+    def test_float_word(self):
+        m = Memory(1024)
+        m.store_word(8, 2.5)
+        assert m.load_word(8) == 2.5
+
+    def test_misaligned_access_faults(self):
+        m = Memory(1024)
+        with pytest.raises(MemoryFault, match="misaligned"):
+            m.load_word(3)
+
+    def test_out_of_range_faults(self):
+        m = Memory(1024)
+        with pytest.raises(MemoryFault):
+            m.load_word(1024)
+        with pytest.raises(MemoryFault):
+            m.load_word(-8)
+
+    def test_block_roundtrip(self):
+        m = Memory(1024)
+        m.store_block(16, [1, 2, 3.5])
+        assert m.load_block(16, 3) == [1, 2, 3.5]
+
+    def test_block_overflow_faults(self):
+        m = Memory(64)
+        with pytest.raises(MemoryFault):
+            m.store_block(56, [1, 2])
+
+    def test_alloc_is_word_aligned_and_disjoint(self):
+        m = Memory(1024)
+        a = m.alloc(4)
+        b = m.alloc(4)
+        assert a % 8 == 0 and b % 8 == 0
+        assert b >= a + 32
+
+    def test_alloc_exhaustion(self):
+        m = Memory(64)
+        with pytest.raises(MemoryFault, match="out of memory"):
+            m.alloc(100)
+
+    def test_address_zero_reserved(self):
+        m = Memory(1024)
+        assert m.alloc(1) != 0
+
+    def test_numpy_roundtrip(self):
+        m = Memory(4096)
+        data = np.arange(10, dtype=np.float64) * 1.5
+        addr = m.alloc_numpy(data)
+        out = m.read_numpy(addr, 10)
+        np.testing.assert_allclose(out, data)
+
+    def test_numpy_int_roundtrip(self):
+        m = Memory(4096)
+        data = np.arange(-5, 5, dtype=np.int64)
+        addr = m.alloc_numpy(data)
+        out = m.read_numpy(addr, 10, dtype=np.int64)
+        np.testing.assert_array_equal(out, data)
+
+
+class TestRegFiles:
+    def test_r0_reads_zero_and_ignores_writes(self):
+        rf = IntRegFile()
+        rf.write(0, 99)
+        assert rf.read(0) == 0
+
+    def test_int_wraps_to_64_bits(self):
+        rf = IntRegFile()
+        rf.write(1, 1 << 64)
+        assert rf.read(1) == 0
+        rf.write(1, (1 << 63))
+        assert rf.read(1) == -(1 << 63)
+
+    def test_wrap64_identity_in_range(self):
+        assert wrap64(12345) == 12345
+        assert wrap64(-12345) == -12345
+
+    def test_fp_file_stores_floats(self):
+        rf = FpRegFile()
+        rf.write(3, 7)
+        assert rf.read(3) == 7.0
+        assert isinstance(rf.read(3), float)
+
+
+class TestCache:
+    def small(self, **kw):
+        defaults = dict(name="t", size_bytes=512, ways=2, line_bytes=32,
+                        hit_latency=1, miss_latency=20)
+        defaults.update(kw)
+        return Cache(CacheConfig(**defaults))
+
+    def test_first_access_misses_then_hits(self):
+        c = self.small()
+        assert c.access(0) == 20
+        assert c.access(0) == 1
+        assert c.access(24) == 1  # same line
+
+    def test_distinct_lines_miss_separately(self):
+        c = self.small()
+        c.access(0)
+        assert c.access(32) == 20
+
+    def test_lru_eviction(self):
+        c = self.small()  # 512B/2way/32B = 8 sets; set 0: lines 0,256,512..
+        c.access(0)
+        c.access(256)
+        c.access(512)     # evicts line 0
+        assert c.access(0) == 20
+        assert c.stats.misses == 4
+
+    def test_lru_touch_order(self):
+        c = self.small()
+        c.access(0)
+        c.access(256)
+        c.access(0)       # 0 becomes MRU
+        c.access(512)     # evicts 256, not 0
+        assert c.access(0) == 1
+
+    def test_write_through_no_allocate(self):
+        c = self.small()
+        c.access(0, is_write=True)
+        assert c.stats.write_misses == 1
+        assert c.access(0) == 20  # write did not allocate
+
+    def test_write_allocate_mode(self):
+        c = self.small(write_allocate=True)
+        c.access(0, is_write=True)
+        assert c.access(0) == 1
+
+    def test_probe_does_not_modify(self):
+        c = self.small()
+        assert not c.probe(0)
+        c.access(0)
+        assert c.probe(0)
+        assert c.stats.accesses == 1
+
+    def test_flush(self):
+        c = self.small()
+        c.access(0)
+        c.flush()
+        assert not c.probe(0)
+
+    def test_miss_rate(self):
+        c = self.small()
+        c.access(0)
+        c.access(0)
+        assert c.stats.miss_rate == pytest.approx(0.5)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=500, ways=2, line_bytes=32)

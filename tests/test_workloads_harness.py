@@ -1,0 +1,121 @@
+"""Tests for the workload suite and the experiment harness.
+
+The execution-equivalence test here is the suite's backbone: every
+workload runs scalar AND DySER at tiny scale and must pass its numpy
+reference check in both modes.
+"""
+
+import pytest
+
+from repro.cpu import Memory
+from repro.errors import WorkloadError
+from repro.harness import compare, format_series, format_table, geomean, run_workload
+from repro.workloads import (
+    CATEGORIES,
+    IRREGULAR_COMPUTE,
+    IRREGULAR_CONTROL,
+    REGULAR,
+    SUITE,
+    get,
+    names,
+)
+
+ALL_NAMES = sorted(SUITE)
+
+
+class TestSuiteStructure:
+    def test_suite_has_expected_breadth(self):
+        assert len(SUITE) >= 14
+        for category in CATEGORIES:
+            assert len(names(category)) >= 3, category
+
+    def test_every_workload_compiles_scalar(self):
+        from repro.compiler import compile_scalar
+
+        for name in ALL_NAMES:
+            program = compile_scalar(get(name).source).program
+            program.validate()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            get("not_a_kernel")
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown category"):
+            names("bogus")
+
+    def test_unknown_scale_rejected(self):
+        workload = get("vecadd")
+        with pytest.raises(WorkloadError, match="unknown scale"):
+            workload.prepare(Memory(1 << 20), "galactic", 1)
+
+    def test_prepare_is_seed_deterministic(self):
+        workload = get("dotprod")
+        m1, m2 = Memory(1 << 20), Memory(1 << 20)
+        i1 = workload.prepare(m1, "tiny", 5)
+        i2 = workload.prepare(m2, "tiny", 5)
+        assert i1.int_args == i2.int_args
+        a = m1.load_block(i1.int_args[1], 8)
+        b = m2.load_block(i2.int_args[1], 8)
+        assert a == b
+
+
+class TestExecutionAcrossSuite:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_scalar_matches_reference(self, name):
+        result = run_workload(name, mode="scalar", scale="tiny")
+        assert result.correct, f"{name} scalar output wrong"
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_dyser_matches_reference(self, name):
+        result = run_workload(name, mode="dyser", scale="tiny")
+        assert result.correct, f"{name} DySER output wrong"
+
+    def test_regular_kernels_speed_up(self):
+        for name in names(REGULAR):
+            c = compare(name, scale="tiny")
+            assert c.speedup > 1.0, f"{name}: {c.speedup}"
+
+    def test_curtailing_shapes_gain_little(self):
+        """Paper finding ii: the two control-flow shapes curtail the
+        compiler — speedups stay far below the regular kernels'."""
+        curtailing = ("newton_lcd", "tpacf_bin")
+        for name in curtailing:
+            c = compare(name, scale="tiny")
+            assert c.speedup < 2.0, f"{name}: {c.speedup}"
+
+    def test_seed_changes_inputs_not_correctness(self):
+        for seed in (1, 2, 3):
+            result = run_workload("kmeans", mode="dyser", scale="tiny",
+                                  seed=seed)
+            assert result.correct
+
+
+class TestHarness:
+    def test_comparison_metrics(self):
+        c = compare("saxpy", scale="tiny")
+        assert c.speedup == c.scalar.cycles / c.dyser.cycles
+        assert c.energy_ratio > 0
+        assert c.edp_ratio > c.energy_ratio / 2
+
+    def test_run_result_throughput(self):
+        r = run_workload("vecadd", mode="dyser", scale="tiny")
+        assert r.work_items == 32
+        assert r.cycles_per_item == r.cycles / 32
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown mode"):
+            run_workload("vecadd", mode="quantum")
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+
+    def test_format_table(self):
+        text = format_table(["name", "x"], [["a", 1.5], ["b", 123.4]],
+                            title="T")
+        assert "T" in text and "a" in text and "123" in text
+
+    def test_format_series(self):
+        text = format_series("s", [1, 2], [0.5, 1.0])
+        assert "#" in text
