@@ -11,47 +11,55 @@ Shape: each step is a clear multiplier on regular code; the irregular-
 control kernels stay flat across all three.
 """
 
-from common import SCALE, emit, once
+from common import SCALE, emit, engine_kwargs, once
 
-from repro.compiler import CompilerOptions
-from repro.dyser import Fabric, FabricGeometry
-from repro.harness import compare, format_table
+from repro.engine import JobSpec, run_jobs
+from repro.harness import format_table
 
 KERNELS = ("vecadd", "saxpy", "dotprod", "mm", "newton_lcd")
 
+#: (label, unroll factor, wide port transfers).
 VARIANTS = (
-    ("base", CompilerOptions(unroll=1, vectorize=False)),
-    ("+unroll", CompilerOptions(unroll=8, vectorize=False)),
-    ("+vector", CompilerOptions(unroll=8, vectorize=True)),
+    ("base", 1, False),
+    ("+unroll", 8, False),
+    ("+vector", 8, True),
 )
 
 
-def _with_fabric(options: CompilerOptions) -> CompilerOptions:
-    options.fabric = Fabric(FabricGeometry(8, 8))
-    return options
-
-
 def sweep():
-    results: dict[str, dict[str, float]] = {}
+    """Ablation grid through the engine: one batched submission.
+
+    Scalar baselines do not depend on the DySER transform knobs, so the
+    engine collapses them to one run per kernel.
+    """
+    specs = []
     for name in KERNELS:
+        specs.append(JobSpec(name, mode="scalar", scale=SCALE))
+        for _label, unroll, vectorize in VARIANTS:
+            specs.append(JobSpec(name, mode="dyser", scale=SCALE,
+                                 unroll=unroll, vectorize=vectorize))
+    report = run_jobs(specs, **engine_kwargs())
+    report.raise_on_failure()
+    results: dict[str, dict[str, float]] = {}
+    stride = 1 + len(VARIANTS)
+    for i, name in enumerate(KERNELS):
+        scalar = report.results[i * stride]
         results[name] = {}
-        for label, options in VARIANTS:
-            c = compare(name, scale=SCALE, options=_with_fabric(
-                CompilerOptions(unroll=options.unroll,
-                                vectorize=options.vectorize)))
-            assert c.scalar.correct and c.dyser.correct, (name, label)
-            results[name][label] = c.speedup
+        for j, (label, _unroll, _vectorize) in enumerate(VARIANTS):
+            dyser = report.results[i * stride + 1 + j]
+            assert scalar.correct and dyser.correct, (name, label)
+            results[name][label] = scalar.cycles / dyser.cycles
     return results
 
 
 def test_e10_vectorization(benchmark):
     results = once(benchmark, sweep)
     rows = [
-        [name, *(f"{results[name][label]:.2f}x" for label, _o in VARIANTS)]
+        [name, *(f"{results[name][label]:.2f}x" for label, _u, _v in VARIANTS)]
         for name in KERNELS
     ]
     table = format_table(
-        ["benchmark", *(label for label, _o in VARIANTS)],
+        ["benchmark", *(label for label, _u, _v in VARIANTS)],
         rows,
         title="E10: unrolling and wide-transfer ablation",
     )

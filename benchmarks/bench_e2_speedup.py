@@ -9,16 +9,18 @@ shapes sit near 1x, and the compute-kernel geomean lands in the
 mid-single digits.
 """
 
-from common import SCALE, emit, once
+from common import SCALE, emit, engine_kwargs, once
 
-from repro.harness import compare, format_series, geomean
+from repro.engine import run_comparisons
+from repro.harness import format_series, geomean
 from repro.workloads import IRREGULAR_COMPUTE, IRREGULAR_CONTROL, REGULAR, SUITE, get
 
 
 def sweep():
+    comparisons, _report = run_comparisons(
+        sorted(SUITE), scale=SCALE, **engine_kwargs())
     results = {}
-    for name in sorted(SUITE):
-        c = compare(name, scale=SCALE)
+    for name, c in comparisons.items():
         assert c.scalar.correct and c.dyser.correct, name
         results[name] = c.speedup
     return results

@@ -11,15 +11,16 @@ configuration cache addresses:
    configuration reload; a small cache removes nearly all of it.
 """
 
-from common import SCALE, emit, once
+from common import SCALE, emit, engine_kwargs, once
 
 import numpy as np
 
-from repro.compiler import CompilerOptions, compile_dyser
+from repro.compiler import compile_dyser
 from repro.cpu import Core, Memory
 from repro.dyser import DyserDevice, Fabric, FabricGeometry
 from repro.dyser.config_cache import ConfigCacheParams
-from repro.harness import compare, format_series, format_table
+from repro.engine import JobSpec, run_jobs
+from repro.harness import format_series, format_table
 
 GEOMETRIES = ((2, 2), (4, 4), (6, 6), (8, 8))
 KERNELS = ("saxpy", "mriq", "nbody")
@@ -41,14 +42,27 @@ kernel twophase(out float y[], float a[], float b[], int n, int m) {
 
 
 def fabric_sweep():
+    """Geometry grid through the engine: one batched submission.
+
+    The scalar baselines are geometry-independent, so the engine
+    deduplicates them to a single run per kernel.
+    """
+    scalar_specs = [JobSpec(name, mode="scalar", scale=SCALE)
+                    for name in KERNELS]
+    dyser_specs = [
+        JobSpec(name, mode="dyser", scale=SCALE, geometry=geometry)
+        for geometry in GEOMETRIES for name in KERNELS
+    ]
+    report = run_jobs(scalar_specs + dyser_specs, **engine_kwargs())
+    report.raise_on_failure()
+    scalar = dict(zip(KERNELS, report.results[:len(KERNELS)]))
     results: dict[str, list[float]] = {name: [] for name in KERNELS}
-    for width, height in GEOMETRIES:
-        options = CompilerOptions(
-            fabric=Fabric(FabricGeometry(width, height)))
-        for name in KERNELS:
-            c = compare(name, scale=SCALE, options=options)
-            assert c.scalar.correct and c.dyser.correct, name
-            results[name].append(c.speedup)
+    for offset, _geometry in enumerate(GEOMETRIES):
+        base = len(KERNELS) * (offset + 1)
+        for j, name in enumerate(KERNELS):
+            dyser = report.results[base + j]
+            assert scalar[name].correct and dyser.correct, name
+            results[name].append(scalar[name].cycles / dyser.cycles)
     return results
 
 

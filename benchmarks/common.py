@@ -7,6 +7,7 @@ a single run of ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
@@ -17,12 +18,32 @@ SCALE = "small"
 
 
 def emit(experiment: str, text: str) -> None:
-    """Print a reproduced table/figure and archive it in results/."""
+    """Print a reproduced table/figure and archive it in results/.
+
+    The archive write is atomic (temp file + rename) so a parallel sweep
+    interrupted mid-write can never leave a truncated ``results/*.txt``.
+    """
     banner = f"\n===== {experiment} =====\n{text}\n"
     print(banner)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{experiment.split(':')[0].lower()}.txt").write_text(
-        text + "\n")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    target = RESULTS_DIR / f"{experiment.split(':')[0].lower()}.txt"
+    tmp = target.with_name(f"{target.name}.tmp{os.getpid()}")
+    tmp.write_text(text + "\n")
+    os.replace(tmp, target)
+
+
+def engine_kwargs() -> dict:
+    """Engine settings for benchmark sweeps, overridable via environment.
+
+    ``REPRO_ENGINE_JOBS`` (default 1) selects worker count;
+    ``REPRO_ENGINE_CACHE=0`` disables the persistent artifact cache.
+    ``--jobs 1`` with or without cache produces byte-identical tables.
+    """
+    from repro.engine import ArtifactCache
+
+    jobs = int(os.environ.get("REPRO_ENGINE_JOBS", "1") or "1")
+    use_cache = os.environ.get("REPRO_ENGINE_CACHE", "1") != "0"
+    return {"jobs": jobs, "cache": ArtifactCache() if use_cache else None}
 
 
 def once(benchmark, fn):

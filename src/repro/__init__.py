@@ -13,7 +13,10 @@ compiler, microarchitecture, and hardware implementation" (ISPASS 2015):
 - :mod:`repro.energy` / :mod:`repro.fpga` — power and FPGA resource models;
 - :mod:`repro.workloads` — the benchmark suite;
 - :mod:`repro.harness` — experiment runner reproducing the paper's
-  tables and figures.
+  tables and figures;
+- :mod:`repro.engine` — parallel sweep engine with a persistent,
+  content-addressed artifact cache (the substrate for design-space
+  exploration).
 """
 
 from repro.cpu import Core, CoreConfig, ExecStats, Memory

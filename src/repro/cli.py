@@ -5,8 +5,16 @@ Subcommands::
     python -m repro list                     # the workload suite
     python -m repro run mriq --mode dyser    # run one workload
     python -m repro compile mriq --dump-ir   # show compiler output
-    python -m repro suite --scale tiny       # scalar-vs-DySER sweep
+    python -m repro suite --scale tiny --jobs 4   # scalar-vs-DySER sweep
+    python -m repro sweep saxpy mm --geometry 4x4 8x8 --jobs 4
+    python -m repro cache --clear            # artifact-cache maintenance
     python -m repro fpga --width 8 --height 8
+
+``suite`` and ``sweep`` run through :mod:`repro.engine`: jobs are
+deduplicated, served from the persistent artifact cache when warm, and
+fanned out over ``--jobs`` worker processes.  Tables on stdout are
+byte-identical between ``--jobs 1`` and ``--jobs N``; engine accounting
+goes to stderr.
 """
 
 from __future__ import annotations
@@ -14,7 +22,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.harness import compare, format_table, geomean, run_workload
+from repro.errors import WorkloadError
+from repro.harness import format_table, geomean, run_workload
 from repro.workloads import SUITE, get
 
 
@@ -65,11 +74,29 @@ def _cmd_compile(args) -> int:
     return 0
 
 
+def _engine_cache(args):
+    from repro.engine import ArtifactCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    return ArtifactCache(getattr(args, "cache_dir", None))
+
+
 def _cmd_suite(args) -> int:
+    from repro.engine import EngineFailure, run_comparisons
+
+    try:
+        comps, report = run_comparisons(
+            sorted(SUITE), scale=args.scale, seed=args.seed,
+            jobs=args.jobs, cache=_engine_cache(args),
+            timeout=args.timeout, retries=args.retries)
+    except EngineFailure as exc:
+        print(exc, file=sys.stderr)
+        return 1
     rows = []
     speedups = []
     for name in sorted(SUITE):
-        c = compare(name, scale=args.scale, seed=args.seed)
+        c = comps[name]
         ok = c.scalar.correct and c.dyser.correct
         rows.append([
             name, c.scalar.cycles, c.dyser.cycles,
@@ -82,7 +109,127 @@ def _cmd_suite(args) -> int:
          "energy gain", "check"],
         rows, title=f"suite @ {args.scale}"))
     print(f"\ngeomean speedup: {geomean(speedups):.2f}x")
+    print(report.summary(), file=sys.stderr)
     return 0 if all(r[-1] == "ok" for r in rows) else 1
+
+
+def _parse_geometry(text: str) -> tuple[int, int]:
+    try:
+        width, height = text.lower().split("x")
+        return (int(width), int(height))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"geometry must look like 8x8, got {text!r}") from None
+
+
+#: sweep axis flags -> JobSpec field names.
+_SWEEP_AXES = (
+    ("geometry", "geometry"),
+    ("unroll", "unroll"),
+    ("vectorize", "vectorize"),
+    ("fifo_depth", "input_fifo_depth"),
+    ("port_width", "vector_port_words_per_cycle"),
+    ("config_cache", "config_cache_capacity"),
+)
+
+
+def _cmd_sweep(args) -> int:
+    import itertools
+
+    from repro.engine import JobSpec, run_jobs
+
+    workloads = args.workloads or sorted(SUITE)
+    try:
+        for name in workloads:
+            get(name)  # validate early, with the library's error message
+    except WorkloadError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    axes = {}
+    for flag, fieldname in _SWEEP_AXES:
+        values = getattr(args, flag)
+        if values:
+            axes[fieldname] = values
+
+    grid = list(itertools.product(*axes.values())) or [()]
+    axis_names = list(axes)
+    row_plan = []  # (workload, overrides, spec indices by mode)
+    specs: list[JobSpec] = []
+
+    def submit(spec: JobSpec) -> int:
+        specs.append(spec)
+        return len(specs) - 1
+
+    modes = ("scalar", "dyser") if args.mode == "both" else (args.mode,)
+    for name in workloads:
+        for point in grid:
+            overrides = dict(zip(axis_names, point))
+            indices = {
+                mode: submit(JobSpec(
+                    workload=name, mode=mode, scale=args.scale,
+                    seed=args.seed, **overrides))
+                for mode in modes
+            }
+            row_plan.append((name, overrides, indices))
+
+    report = run_jobs(specs, jobs=args.jobs, cache=_engine_cache(args),
+                      timeout=args.timeout, retries=args.retries)
+
+    axis_titles = [flag.replace("_", " ") for flag, f in _SWEEP_AXES
+                   if f in axes]
+    headers = ["benchmark", *axis_titles]
+    if "scalar" in modes:
+        headers.append("scalar cycles")
+    if "dyser" in modes:
+        headers.append("dyser cycles")
+    if len(modes) == 2:
+        headers.append("speedup")
+    headers.append("check")
+
+    rows = []
+    ok = True
+    for name, overrides, indices in row_plan:
+        row = [name]
+        for fieldname in axis_names:
+            value = overrides[fieldname]
+            row.append("x".join(map(str, value))
+                       if isinstance(value, tuple) else value)
+        results = {m: report.results[i] for m, i in indices.items()}
+        if any(r is None for r in results.values()):
+            row += ["-"] * (len(headers) - len(row) - 1) + ["FAILED"]
+            ok = False
+            rows.append(row)
+            continue
+        if "scalar" in results:
+            row.append(results["scalar"].cycles)
+        if "dyser" in results:
+            row.append(results["dyser"].cycles)
+        if len(modes) == 2:
+            row.append(f"{results['scalar'].cycles / results['dyser'].cycles:.2f}x")
+        correct = all(r.correct for r in results.values())
+        ok = ok and correct
+        row.append("ok" if correct else "WRONG")
+        rows.append(row)
+
+    print(format_table(headers, rows,
+                       title=f"sweep @ {args.scale} ({len(specs)} jobs)"))
+    print(report.summary(), file=sys.stderr)
+    for record in report.failures:
+        print(f"FAILED {record.spec.describe()}: {record.error}",
+              file=sys.stderr)
+    return 0 if ok and not report.failures else 1
+
+
+def _cmd_cache(args) -> int:
+    from repro.engine import ArtifactCache
+
+    cache = ArtifactCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.root}")
+        return 0
+    print(cache.describe())
+    return 0
 
 
 def _cmd_fpga(args) -> int:
@@ -121,11 +268,57 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument("--dump-ir", action="store_true")
     compile_p.set_defaults(func=_cmd_compile)
 
-    suite_p = sub.add_parser("suite", help="scalar-vs-DySER sweep")
+    def add_engine_flags(p) -> None:
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial, in-process)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent artifact cache")
+        p.add_argument("--cache-dir", default=None,
+                       help="artifact cache root (default: "
+                            "$REPRO_CACHE_DIR or .repro-cache/)")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-job timeout in seconds (pooled runs)")
+        p.add_argument("--retries", type=int, default=1,
+                       help="retries per failed/crashed job")
+
+    suite_p = sub.add_parser(
+        "suite", help="scalar-vs-DySER sweep (engine-backed)")
     suite_p.add_argument("--scale", default="tiny",
                          choices=("tiny", "small", "medium"))
     suite_p.add_argument("--seed", type=int, default=7)
+    add_engine_flags(suite_p)
     suite_p.set_defaults(func=_cmd_suite)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="design-space sweep over compiler/fabric knobs",
+        description="Cartesian sweep through the parallel engine, e.g.: "
+                    "repro sweep saxpy mm --geometry 4x4 8x8 "
+                    "--unroll 1 8 --jobs 4 --scale tiny")
+    sweep_p.add_argument("workloads", nargs="*", metavar="workload",
+                         help="workloads to sweep (default: whole suite)")
+    sweep_p.add_argument("--mode", choices=("both", "dyser", "scalar"),
+                         default="both")
+    sweep_p.add_argument("--scale", default="tiny",
+                         choices=("tiny", "small", "medium"))
+    sweep_p.add_argument("--seed", type=int, default=7)
+    sweep_p.add_argument("--geometry", nargs="+", type=_parse_geometry,
+                         metavar="WxH", help="fabric geometries, e.g. 4x4")
+    sweep_p.add_argument("--unroll", nargs="+", type=int)
+    sweep_p.add_argument("--vectorize", nargs="+", type=int,
+                         choices=(0, 1), help="wide port transfers on/off")
+    sweep_p.add_argument("--fifo-depth", nargs="+", type=int,
+                         help="input port FIFO depth")
+    sweep_p.add_argument("--port-width", nargs="+", type=int,
+                         help="vector port words per cycle")
+    sweep_p.add_argument("--config-cache", nargs="+", type=int,
+                         help="configuration cache capacity")
+    add_engine_flags(sweep_p)
+    sweep_p.set_defaults(func=_cmd_sweep)
+
+    cache_p = sub.add_parser("cache", help="inspect/clear artifact cache")
+    cache_p.add_argument("--cache-dir", default=None)
+    cache_p.add_argument("--clear", action="store_true")
+    cache_p.set_defaults(func=_cmd_cache)
 
     fpga_p = sub.add_parser("fpga", help="FPGA utilization table")
     fpga_p.add_argument("--width", type=int, default=8)

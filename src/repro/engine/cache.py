@@ -1,0 +1,262 @@
+"""Persistent, content-addressed artifact cache.
+
+Two kinds of entries, both JSON files on disk:
+
+- ``run`` entries — finished :class:`repro.harness.RunResult` summaries
+  (cycle counters, energy breakdown, correctness, region metadata),
+  keyed by :attr:`JobSpec.job_hash`;
+- ``compile`` entries — compiled program bundles
+  (:mod:`repro.harness.bundle`) plus region reports, keyed by
+  :attr:`JobSpec.compile_hash` (which includes the kernel source hash).
+
+Every entry additionally lives under a *code-version fingerprint*
+directory — a hash of every ``.py`` file in ``src/repro`` — so editing
+the simulator/compiler invalidates all stale entries wholesale.  The
+cache root is, in order of precedence:
+
+1. ``$REPRO_CACHE_DIR``;
+2. ``<repo root>/.repro-cache`` when running from a source checkout;
+3. ``~/.cache/repro`` otherwise.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers
+racing on the same key can never corrupt an entry; the last writer wins
+with identical content.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from collections import Counter
+
+import repro
+from repro.compiler import CompileResult, RegionReport
+from repro.cpu import ExecStats, StallCause
+from repro.energy import EnergyReport
+from repro.harness.bundle import bundle_from_dict, bundle_to_dict
+from repro.harness.runner import RunResult
+from repro.isa.opcodes import InsnClass
+
+from repro.engine.jobs import JobSpec
+
+_PACKAGE_DIR = pathlib.Path(repro.__file__).resolve().parent
+
+#: Memoized fingerprints, keyed by package dir (one per process).
+_FINGERPRINTS: dict[pathlib.Path, str] = {}
+
+
+def code_fingerprint() -> str:
+    """Hash of every Python source file under ``src/repro``.
+
+    Any edit to the simulator, compiler, or models changes this value
+    and thereby orphans all previously cached artifacts.
+    """
+    cached = _FINGERPRINTS.get(_PACKAGE_DIR)
+    if cached is not None:
+        return cached
+    import hashlib
+
+    digest = hashlib.sha256()
+    for path in sorted(_PACKAGE_DIR.rglob("*.py")):
+        digest.update(str(path.relative_to(_PACKAGE_DIR)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    value = digest.hexdigest()
+    _FINGERPRINTS[_PACKAGE_DIR] = value
+    return value
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Resolve the cache root (see module docstring for precedence)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    repo_root = _PACKAGE_DIR.parent.parent
+    if (repo_root / "pyproject.toml").exists():
+        return repo_root / ".repro-cache"
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+# ---------------------------------------------------------------------
+# RunResult (de)serialization
+# ---------------------------------------------------------------------
+
+_RESULT_FORMAT = "repro-run-v1"
+
+_STATS_SCALARS = (
+    "cycles", "instructions", "branches_taken", "dyser_invocations",
+    "dyser_values_sent", "dyser_values_received", "dyser_config_loads",
+    "dyser_config_hits", "dyser_fu_ops", "dyser_switch_hops",
+    "dyser_config_words", "dcache_hits", "dcache_misses", "icache_misses",
+)
+
+
+def _stats_to_dict(stats: ExecStats) -> dict:
+    data = {name: getattr(stats, name) for name in _STATS_SCALARS}
+    data["insn_mix"] = {k.name: v for k, v in stats.insn_mix.items()}
+    data["stall_cycles"] = {k.name: v for k, v in stats.stall_cycles.items()}
+    return data
+
+
+def _stats_from_dict(data: dict) -> ExecStats:
+    stats = ExecStats(**{name: data[name] for name in _STATS_SCALARS})
+    stats.insn_mix = Counter(
+        {InsnClass[k]: v for k, v in data["insn_mix"].items()})
+    stats.stall_cycles = Counter(
+        {StallCause[k]: v for k, v in data["stall_cycles"].items()})
+    return stats
+
+
+def _regions_to_list(regions) -> list[dict]:
+    return [
+        {
+            "loop_header": r.loop_header, "accepted": r.accepted,
+            "reason": r.reason, "execute_ops": r.execute_ops,
+            "input_ports": r.input_ports, "output_ports": r.output_ports,
+            "unrolled": r.unrolled, "vectorized": r.vectorized,
+            "shape": r.shape,
+        }
+        for r in regions
+    ]
+
+
+def _regions_from_list(data) -> list[RegionReport]:
+    return [RegionReport(**entry) for entry in data]
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """Serialize a run summary (everything but the executable program)."""
+    return {
+        "format": _RESULT_FORMAT,
+        "workload": result.workload,
+        "mode": result.mode,
+        "scale": result.scale,
+        "correct": result.correct,
+        "work_items": result.work_items,
+        "stats": _stats_to_dict(result.stats),
+        "energy": {
+            "cycles": result.energy.cycles,
+            "runtime_s": result.energy.runtime_s,
+            "breakdown_nj": result.energy.breakdown_nj,
+        },
+        "regions": _regions_to_list(result.compile_result.regions
+                                    if result.compile_result else []),
+    }
+
+
+def result_from_dict(data: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` summary.
+
+    The reconstructed ``compile_result`` carries the region reports but
+    ``program=None`` — cached results are for accounting (cycles,
+    energy, correctness), not for re-execution.
+    """
+    if data.get("format") != _RESULT_FORMAT:
+        raise ValueError(f"not a run summary: {data.get('format')!r}")
+    energy = data["energy"]
+    return RunResult(
+        workload=data["workload"],
+        mode=data["mode"],
+        scale=data["scale"],
+        correct=bool(data["correct"]),
+        stats=_stats_from_dict(data["stats"]),
+        energy=EnergyReport(
+            cycles=energy["cycles"],
+            runtime_s=energy["runtime_s"],
+            breakdown_nj=dict(energy["breakdown_nj"]),
+        ),
+        compile_result=CompileResult(
+            program=None, ir_dump="",
+            regions=_regions_from_list(data["regions"])),
+        work_items=data["work_items"],
+    )
+
+
+# ---------------------------------------------------------------------
+# The cache proper
+# ---------------------------------------------------------------------
+
+
+class ArtifactCache:
+    """On-disk store for run summaries and compiled-program bundles.
+
+    Instances hold only a path and a fingerprint string, so they pickle
+    cleanly into :mod:`repro.engine.pool` worker processes.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None,
+                 fingerprint: str | None = None) -> None:
+        self.root = pathlib.Path(root) if root else default_cache_dir()
+        self.fingerprint = fingerprint or code_fingerprint()
+
+    def _path(self, kind: str, key: str) -> pathlib.Path:
+        return self.root / self.fingerprint[:16] / kind / f"{key}.json"
+
+    # -- raw entries ---------------------------------------------------
+
+    def load(self, kind: str, key: str) -> dict | None:
+        path = self._path(kind, key)
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None  # missing or truncated entry == miss
+
+    def store(self, kind: str, key: str, data: dict) -> None:
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(data))
+        os.replace(tmp, path)
+
+    # -- typed helpers -------------------------------------------------
+
+    def load_run(self, spec: JobSpec) -> dict | None:
+        return self.load("run", spec.job_hash)
+
+    def store_run(self, spec: JobSpec, payload: dict) -> None:
+        self.store("run", spec.job_hash, payload)
+
+    def load_compile(self, spec: JobSpec) -> CompileResult | None:
+        data = self.load("compile", spec.compile_hash)
+        if data is None:
+            return None
+        try:
+            program = bundle_from_dict(data["bundle"],
+                                       spec.options().fabric)
+        except Exception:
+            return None  # unreadable bundle == miss, recompile
+        return CompileResult(
+            program=program, ir_dump="",
+            regions=_regions_from_list(data.get("regions", [])))
+
+    def store_compile(self, spec: JobSpec, compiled: CompileResult) -> None:
+        self.store("compile", spec.compile_hash, {
+            "bundle": bundle_to_dict(compiled.program),
+            "regions": _regions_to_list(compiled.regions),
+        })
+
+    # -- maintenance ---------------------------------------------------
+
+    def entries(self) -> list[pathlib.Path]:
+        if not self.root.exists():
+            return []
+        return sorted(self.root.rglob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry (all fingerprints); returns count removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def describe(self) -> str:
+        entries = self.entries()
+        total = sum(p.stat().st_size for p in entries)
+        return (f"cache at {self.root} [code {self.fingerprint[:12]}]: "
+                f"{len(entries)} entries, {total / 1024:.1f} KiB")

@@ -1,0 +1,270 @@
+"""Declarative job specifications and sweep builders.
+
+A :class:`JobSpec` names one (workload, mode, scale, seed) point in the
+design space together with every knob that can change its outcome:
+compiler options, fabric geometry, FIFO depths, configuration-cache
+capacity, host-core port width, and energy-model overrides.  It is a
+frozen dataclass of plain values, so it pickles cleanly into worker
+processes and carries a stable content hash that keys the persistent
+artifact cache (:mod:`repro.engine.cache`).
+
+Sweep builders expand cartesian grids over those knobs — the E9/E10
+axes (geometry 2x2..8x8, unroll, vectorize, port width, FIFO depth,
+config-cache capacity) and anything else a future experiment sweeps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import MISSING, asdict, dataclass, fields, replace
+
+from repro.compiler import CompilerOptions
+from repro.cpu import CoreConfig
+from repro.dyser import DyserTimingParams, Fabric, FabricGeometry
+from repro.dyser.config_cache import ConfigCacheParams
+from repro.energy import EnergyParams
+from repro.errors import WorkloadError
+
+#: Bump when JobSpec semantics change in a way that must invalidate
+#: previously cached results even though field values look identical.
+SPEC_VERSION = "jobspec-v1"
+
+#: Fields that cannot affect a scalar-mode run.  They are normalized to
+#: their defaults in the canonical (hashed) form so the scalar baseline
+#: of a DySER knob sweep maps to one cache entry instead of many.
+_DYSER_ONLY_FIELDS = (
+    "geometry",
+    "min_region_ops",
+    "unroll",
+    "vectorize",
+    "reassociate",
+    "pipeline_invocations",
+    "if_convert",
+    "max_region_ops",
+    "input_fifo_depth",
+    "output_fifo_depth",
+    "initiation_interval",
+    "config_cache_capacity",
+    "vector_port_words_per_cycle",
+)
+
+#: Fields that determine the compiled artifact (independent of the
+#: simulated run's scale/seed/timing knobs).
+_COMPILE_FIELDS = (
+    "workload",
+    "mode",
+    "geometry",
+    "min_region_ops",
+    "unroll",
+    "vectorize",
+    "reassociate",
+    "pipeline_invocations",
+    "if_convert",
+    "max_region_ops",
+)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One fully specified experiment point."""
+
+    workload: str
+    mode: str = "dyser"
+    scale: str = "small"
+    seed: int = 7
+
+    # Compiler knobs (mirror repro.compiler.CompilerOptions defaults).
+    geometry: tuple = (8, 8)
+    min_region_ops: int = 2
+    unroll: int = 8
+    vectorize: bool = True
+    reassociate: bool = True
+    pipeline_invocations: bool = True
+    if_convert: bool = True
+    max_region_ops: int | None = None
+
+    # Fabric timing knobs (repro.dyser.DyserTimingParams).
+    input_fifo_depth: int = 4
+    output_fifo_depth: int = 4
+    initiation_interval: int = 1
+
+    # Configuration cache (repro.dyser.config_cache.ConfigCacheParams).
+    config_cache_capacity: int = 4
+
+    # Host-core integration knobs.
+    vector_port_words_per_cycle: int = 2
+
+    # Energy model overrides, as a sorted tuple of (field, value).
+    energy_overrides: tuple = ()
+
+    memory_bytes: int = 1 << 22
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("scalar", "dyser"):
+            raise WorkloadError(f"unknown mode {self.mode!r}")
+        geometry = tuple(int(v) for v in self.geometry)
+        if len(geometry) != 2 or min(geometry) < 1:
+            raise WorkloadError(f"bad geometry {self.geometry!r}")
+        object.__setattr__(self, "geometry", geometry)
+        # Normalize knob types so e.g. vectorize=1 and vectorize=True
+        # produce the same canonical form and content hash.
+        for name in ("vectorize", "reassociate", "pipeline_invocations",
+                     "if_convert"):
+            object.__setattr__(self, name, bool(getattr(self, name)))
+        for name in ("seed", "min_region_ops", "unroll",
+                     "input_fifo_depth", "output_fifo_depth",
+                     "initiation_interval", "config_cache_capacity",
+                     "vector_port_words_per_cycle", "memory_bytes"):
+            object.__setattr__(self, name, int(getattr(self, name)))
+        overrides = tuple(sorted(
+            (str(k), v) for k, v in tuple(self.energy_overrides)))
+        object.__setattr__(self, "energy_overrides", overrides)
+
+    # -- hashing -------------------------------------------------------
+
+    def canonical_dict(self) -> dict:
+        """Field dict with dyser-only knobs normalized away for scalar."""
+        data = asdict(self)
+        data["version"] = SPEC_VERSION
+        if self.mode == "scalar":
+            defaults = _FIELD_DEFAULTS
+            for name in _DYSER_ONLY_FIELDS:
+                data[name] = defaults[name]
+        data["geometry"] = list(data["geometry"])
+        data["energy_overrides"] = [list(p) for p in data["energy_overrides"]]
+        return data
+
+    @property
+    def job_hash(self) -> str:
+        """Stable content hash of the canonical spec (hex sha256)."""
+        blob = json.dumps(self.canonical_dict(), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    @property
+    def compile_hash(self) -> str:
+        """Hash of everything that determines the compiled artifact.
+
+        Includes a hash of the workload's *source text* so an edited
+        kernel can never be served a stale compiled program.
+        """
+        from repro.harness.runner import source_hash
+        from repro.workloads import get
+
+        data = self.canonical_dict()
+        data = {k: data[k] for k in _COMPILE_FIELDS}
+        data["version"] = SPEC_VERSION
+        data["source"] = source_hash(get(self.workload).source)
+        blob = json.dumps(data, sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    # -- parameter-object construction ---------------------------------
+
+    def options(self) -> CompilerOptions:
+        return CompilerOptions(
+            fabric=Fabric(FabricGeometry(*self.geometry)),
+            min_region_ops=self.min_region_ops,
+            unroll=self.unroll,
+            vectorize=self.vectorize,
+            reassociate=self.reassociate,
+            pipeline_invocations=self.pipeline_invocations,
+            if_convert=self.if_convert,
+            max_region_ops=self.max_region_ops,
+        )
+
+    def timing(self) -> DyserTimingParams:
+        return DyserTimingParams(
+            input_fifo_depth=self.input_fifo_depth,
+            output_fifo_depth=self.output_fifo_depth,
+            initiation_interval=self.initiation_interval,
+        )
+
+    def cache_params(self) -> ConfigCacheParams:
+        return ConfigCacheParams(capacity=self.config_cache_capacity)
+
+    def core_config(self) -> CoreConfig:
+        return CoreConfig(
+            has_dyser=(self.mode == "dyser"),
+            vector_port_words_per_cycle=self.vector_port_words_per_cycle,
+        )
+
+    def energy_params(self) -> EnergyParams:
+        params = EnergyParams(dyser_present=(self.mode == "dyser"))
+        if self.energy_overrides:
+            params = replace(params, **dict(self.energy_overrides))
+        return params
+
+    def run_kwargs(self) -> dict:
+        """Keyword arguments for :func:`repro.harness.run_workload`."""
+        return {
+            "name": self.workload,
+            "mode": self.mode,
+            "scale": self.scale,
+            "seed": self.seed,
+            "options": self.options(),
+            "core_config": self.core_config(),
+            "timing": self.timing(),
+            "cache_params": self.cache_params(),
+            "energy_params": self.energy_params(),
+            "memory_bytes": self.memory_bytes,
+        }
+
+    def describe(self) -> str:
+        w, h = self.geometry
+        return (f"{self.workload}/{self.mode}@{self.scale} "
+                f"g{w}x{h} u{self.unroll} "
+                f"v{int(self.vectorize)} cc{self.config_cache_capacity}")
+
+
+_FIELD_DEFAULTS = {
+    f.name: f.default for f in fields(JobSpec) if f.default is not MISSING
+}
+_FIELD_NAMES = frozenset(f.name for f in fields(JobSpec))
+
+
+def sweep(workloads, modes=("dyser",), base: dict | None = None,
+          **axes) -> list[JobSpec]:
+    """Expand a cartesian grid of :class:`JobSpec`.
+
+    ``axes`` maps JobSpec field names to iterables of values, e.g.::
+
+        sweep(["mm", "saxpy"], geometry=[(4, 4), (8, 8)], unroll=[1, 8])
+
+    ``base`` supplies fixed non-default values (scale, seed, ...).
+    Axis order is preserved, with the workload as the outermost loop,
+    so the returned list is deterministic.
+    """
+    base = dict(base or {})
+    for name in list(base) + list(axes):
+        if name not in _FIELD_NAMES:
+            raise WorkloadError(f"unknown JobSpec field {name!r}")
+    axis_names = list(axes)
+    axis_values = [list(axes[name]) for name in axis_names]
+    specs = []
+    for workload in workloads:
+        for mode in modes:
+            for values in itertools.product(*axis_values):
+                overrides = dict(zip(axis_names, values))
+                specs.append(JobSpec(workload=workload, mode=mode,
+                                     **{**base, **overrides}))
+    return specs
+
+
+def comparison_jobs(workloads, scale: str = "small", seed: int = 7,
+                    **knobs) -> list[JobSpec]:
+    """(scalar, dyser) spec pairs for each workload, in order."""
+    specs = []
+    for name in workloads:
+        specs.append(JobSpec(workload=name, mode="scalar", scale=scale,
+                             seed=seed, **knobs))
+        specs.append(JobSpec(workload=name, mode="dyser", scale=scale,
+                             seed=seed, **knobs))
+    return specs
+
+
+def suite_jobs(scale: str = "small", seed: int = 7) -> list[JobSpec]:
+    """Scalar+DySER specs for the whole registered workload suite."""
+    from repro.workloads import SUITE
+
+    return comparison_jobs(sorted(SUITE), scale=scale, seed=seed)

@@ -1,0 +1,231 @@
+"""Job execution: serial fallback and a fault-tolerant process pool.
+
+:func:`run_jobs` takes a list of :class:`JobSpec`, consults the
+persistent :class:`~repro.engine.cache.ArtifactCache`, deduplicates
+identical specs, and executes the remaining jobs either in-process
+(``jobs=1`` — byte-identical to the historical serial paths) or across
+a ``ProcessPoolExecutor`` with per-job timeout and bounded retry on
+worker crashes.  One failed design point never aborts the sweep; it is
+recorded in the returned :class:`~repro.engine.report.EngineReport`.
+
+The worker contract is a picklable callable ``worker(spec, cache) ->
+payload dict`` (see :func:`result_to_dict`); tests inject failing or
+sleeping workers to exercise the retry/timeout machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.harness.runner import Comparison, RunResult, run_workload
+
+from repro.engine.cache import ArtifactCache, result_from_dict, result_to_dict
+from repro.engine.jobs import JobSpec, comparison_jobs
+from repro.engine.report import (
+    DUPLICATE,
+    EXECUTED,
+    FAILED,
+    HIT,
+    EngineReport,
+    JobRecord,
+)
+
+
+def execute_job(spec: JobSpec, cache: ArtifactCache | None = None) -> RunResult:
+    """Run one job, reusing a cached compiled program when available."""
+    compiled = cache.load_compile(spec) if cache is not None else None
+    had_artifact = compiled is not None
+    result = run_workload(compiled=compiled, **spec.run_kwargs())
+    if cache is not None and not had_artifact:
+        cache.store_compile(spec, result.compile_result)
+    return result
+
+
+def _worker(spec: JobSpec, cache: ArtifactCache | None = None) -> dict:
+    """Default worker: execute and return a serialized run summary."""
+    return result_to_dict(execute_job(spec, cache))
+
+
+def run_jobs(
+    specs: list[JobSpec],
+    jobs: int = 1,
+    cache: ArtifactCache | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
+    worker=None,
+) -> EngineReport:
+    """Execute ``specs``; returns a report with results aligned to them.
+
+    ``jobs=1`` runs serially in-process (no pool, fully deterministic);
+    ``jobs>1`` fans out over worker processes.  ``timeout`` (seconds,
+    per job) and crash recovery apply to the pooled path; a job is
+    retried at most ``retries`` times before being recorded as FAILED.
+    """
+    worker = worker or _worker
+    started = time.perf_counter()
+    n = len(specs)
+    records = [JobRecord(spec=spec) for spec in specs]
+    results: list = [None] * n
+
+    # Cache probe + dedup (first occurrence of a hash is the primary).
+    primary: dict[str, int] = {}
+    dup_of: dict[int, int] = {}
+    pending: list[int] = []
+    for i, spec in enumerate(specs):
+        h = spec.job_hash
+        if h in primary:
+            dup_of[i] = primary[h]
+            records[i].status = DUPLICATE
+            continue
+        primary[h] = i
+        payload = cache.load_run(spec) if cache is not None else None
+        if payload is not None:
+            try:
+                results[i] = result_from_dict(payload)
+                records[i].status = HIT
+                continue
+            except (KeyError, ValueError):
+                pass  # stale/unreadable entry: treat as miss
+        pending.append(i)
+
+    if pending:
+        if jobs <= 1:
+            _run_serial(specs, pending, records, results, cache, retries,
+                        worker)
+        else:
+            _run_pooled(specs, pending, records, results, cache, jobs,
+                        timeout, retries, worker)
+
+    for i, j in dup_of.items():
+        results[i] = results[j]
+
+    return EngineReport(
+        jobs=max(1, jobs),
+        records=records,
+        results=results,
+        wall_s=time.perf_counter() - started,
+    )
+
+
+def _finish(index: int, payload: dict, specs, records, results, cache) -> bool:
+    """Decode one successful payload; returns False on a decode error."""
+    try:
+        results[index] = result_from_dict(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        records[index].status = FAILED
+        records[index].error = f"bad worker payload: {exc}"
+        return False
+    records[index].status = EXECUTED
+    if cache is not None:
+        cache.store_run(specs[index], payload)
+    return True
+
+
+def _run_serial(specs, pending, records, results, cache, retries,
+                worker) -> None:
+    for i in pending:
+        record = records[i]
+        t0 = time.perf_counter()
+        payload = None
+        while record.attempts <= retries:
+            record.attempts += 1
+            try:
+                payload = worker(specs[i], cache)
+                break
+            except Exception as exc:  # noqa: BLE001 — sweep must survive
+                record.error = f"{type(exc).__name__}: {exc}"
+        record.wall_s = time.perf_counter() - t0
+        if payload is None:
+            record.status = FAILED
+        else:
+            _finish(i, payload, specs, records, results, cache)
+
+
+def _run_pooled(specs, pending, records, results, cache, jobs, timeout,
+                retries, worker) -> None:
+    queue = list(pending)
+    while queue:
+        round_jobs, queue = queue, []
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(round_jobs)))
+        futures = {}
+        starts = {}
+        for i in round_jobs:
+            records[i].attempts += 1
+            starts[i] = time.perf_counter()
+            futures[pool.submit(worker, specs[i], cache)] = i
+        timed_out = False
+        for future, i in futures.items():
+            record = records[i]
+            try:
+                payload = future.result(timeout=timeout)
+            except FutureTimeout:
+                timed_out = True
+                future.cancel()
+                record.error = f"timed out after {timeout}s"
+                record.wall_s = time.perf_counter() - starts[i]
+                if record.attempts <= retries:
+                    queue.append(i)
+                else:
+                    record.status = FAILED
+                continue
+            except BrokenProcessPool:
+                # A worker died (segfault/os._exit); every unfinished
+                # future in this round reports broken.  Retry each such
+                # job in a fresh pool until its attempts run out.
+                record.error = "worker process crashed"
+                record.wall_s = time.perf_counter() - starts[i]
+                if record.attempts <= retries:
+                    queue.append(i)
+                else:
+                    record.status = FAILED
+                continue
+            except Exception as exc:  # noqa: BLE001 — sweep must survive
+                record.error = f"{type(exc).__name__}: {exc}"
+                record.wall_s = time.perf_counter() - starts[i]
+                if record.attempts <= retries:
+                    queue.append(i)
+                else:
+                    record.status = FAILED
+                continue
+            record.wall_s = time.perf_counter() - starts[i]
+            _finish(i, payload, specs, records, results, cache)
+        pool.shutdown(wait=not timed_out, cancel_futures=True)
+        if timed_out:
+            # Don't let a hung worker outlive its round.
+            for proc in getattr(pool, "_processes", None) or {}:
+                try:
+                    pool._processes[proc].terminate()
+                except Exception:  # pragma: no cover - best effort
+                    pass
+
+
+def run_comparisons(
+    workloads,
+    scale: str = "small",
+    seed: int = 7,
+    jobs: int = 1,
+    cache: ArtifactCache | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
+    **knobs,
+) -> tuple[dict[str, Comparison], EngineReport]:
+    """Scalar-vs-DySER comparisons for ``workloads`` through the engine.
+
+    Returns ``(comparisons by workload name, report)``.  Raises
+    :class:`~repro.engine.report.EngineFailure` if any job failed.
+    """
+    specs = comparison_jobs(workloads, scale=scale, seed=seed, **knobs)
+    report = run_jobs(specs, jobs=jobs, cache=cache, timeout=timeout,
+                      retries=retries)
+    report.raise_on_failure()
+    comparisons = {}
+    for i in range(0, len(specs), 2):
+        comparisons[specs[i].workload] = Comparison(
+            workload=specs[i].workload,
+            scalar=report.results[i],
+            dyser=report.results[i + 1],
+        )
+    return comparisons, report

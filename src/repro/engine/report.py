@@ -1,0 +1,99 @@
+"""Engine run accounting: per-job records and the sweep-level report.
+
+A sweep never aborts because one point failed; failures are recorded in
+the :class:`EngineReport` and surfaced at the end, the way a nightly
+design-space exploration wants it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+from repro.engine.jobs import JobSpec
+
+#: Job statuses.
+HIT = "hit"            # served from the persistent result cache
+EXECUTED = "executed"  # compiled/simulated this run
+DUPLICATE = "duplicate"  # identical spec earlier in the sweep; shared
+FAILED = "failed"      # exhausted retries (error recorded)
+
+
+class EngineFailure(ReproError):
+    """Raised by :meth:`EngineReport.raise_on_failure`."""
+
+
+@dataclass
+class JobRecord:
+    """Outcome of one submitted job."""
+
+    spec: JobSpec
+    status: str = "pending"
+    wall_s: float = 0.0
+    attempts: int = 0
+    error: str | None = None
+
+
+@dataclass
+class EngineReport:
+    """What a sweep did: results, cache traffic, failures, wall time."""
+
+    jobs: int = 1
+    records: list[JobRecord] = field(default_factory=list)
+    #: Aligned with the submitted spec list; ``None`` for failed jobs.
+    results: list = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.status == HIT)
+
+    @property
+    def cache_misses(self) -> int:
+        return self.executed + len(self.failures)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for r in self.records if r.status == EXECUTED)
+
+    @property
+    def duplicates(self) -> int:
+        return sum(1 for r in self.records if r.status == DUPLICATE)
+
+    @property
+    def failures(self) -> list[JobRecord]:
+        return [r for r in self.records if r.status == FAILED]
+
+    def result_for(self, spec: JobSpec):
+        """The result of the first record matching ``spec``'s hash."""
+        want = spec.job_hash
+        for record, result in zip(self.records, self.results):
+            if record.spec.job_hash == want:
+                return result
+        raise KeyError(spec.describe())
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.records)} jobs @ {self.jobs} worker"
+            f"{'s' if self.jobs != 1 else ''}",
+            f"{self.cache_hits} cache hits",
+            f"{self.executed} executed",
+        ]
+        if self.duplicates:
+            parts.append(f"{self.duplicates} deduplicated")
+        if self.failures:
+            parts.append(f"{len(self.failures)} FAILED")
+        parts.append(f"{self.wall_s:.2f}s wall")
+        return "engine: " + ", ".join(parts)
+
+    def raise_on_failure(self) -> None:
+        if not self.failures:
+            return
+        lines = [f"{len(self.failures)} job(s) failed:"]
+        lines += [
+            f"  {r.spec.describe()}: {r.error} "
+            f"(after {r.attempts} attempt{'s' if r.attempts != 1 else ''})"
+            for r in self.failures
+        ]
+        raise EngineFailure("\n".join(lines))

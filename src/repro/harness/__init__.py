@@ -7,13 +7,21 @@ from repro.harness.bundle import (
     save_bundle,
 )
 from repro.harness.report import format_series, format_table, geomean
-from repro.harness.runner import Comparison, RunResult, compare, run_workload
+from repro.harness.runner import (
+    Comparison,
+    RunResult,
+    clear_caches,
+    compare,
+    run_workload,
+    source_hash,
+)
 
 __all__ = [
     "Comparison",
     "RunResult",
     "bundle_from_dict",
     "bundle_to_dict",
+    "clear_caches",
     "compare",
     "format_series",
     "format_table",
@@ -21,4 +29,5 @@ __all__ = [
     "load_bundle",
     "run_workload",
     "save_bundle",
+    "source_hash",
 ]

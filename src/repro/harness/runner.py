@@ -11,6 +11,7 @@ Every run validates outputs against the workload's numpy reference;
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -75,14 +76,34 @@ class Comparison:
                 / self.dyser.energy.energy_delay_product())
 
 
+def source_hash(source: str) -> str:
+    """Stable hash of a kernel's source text (compile-cache key part)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
 @lru_cache(maxsize=256)
-def _compile(workload_name: str, mode: str,
+def _compile(workload_name: str, src_hash: str, mode: str,
              options_key: tuple) -> CompileResult:
+    # ``src_hash`` keys the cache on the workload's *source text*, not
+    # just its name: re-registering or editing a kernel in-session can
+    # never serve a stale compile.
     workload = get_workload(workload_name)
+    if source_hash(workload.source) != src_hash:  # pragma: no cover
+        raise WorkloadError(
+            f"{workload_name}: source changed between lookup and compile")
     if mode == "scalar":
         return compile_scalar(workload.source)
     options = _options_from_key(options_key)
     return compile_dyser(workload.source, options)
+
+
+def clear_caches() -> None:
+    """Drop all process-local memoized compiles.
+
+    The engine calls this in worker processes after code-fingerprint
+    changes, and tests use it to guarantee cold-compile behaviour.
+    """
+    _compile.cache_clear()
 
 
 def _options_key(options: CompilerOptions) -> tuple:
@@ -110,14 +131,21 @@ def run_workload(
     cache_params: ConfigCacheParams | None = None,
     energy_params: EnergyParams | None = None,
     memory_bytes: int = 1 << 22,
+    compiled: CompileResult | None = None,
 ) -> RunResult:
-    """Compile and run one workload; returns stats + energy + check."""
+    """Compile and run one workload; returns stats + energy + check.
+
+    ``compiled`` lets callers (the engine's artifact cache) supply a
+    pre-built :class:`CompileResult` and skip compilation entirely.
+    """
     if mode not in ("scalar", "dyser"):
         raise WorkloadError(f"unknown mode {mode!r}")
     workload = get_workload(name)
     options = options or CompilerOptions(
         fabric=Fabric(FabricGeometry(*DEFAULT_GEOMETRY)))
-    compiled = _compile(name, mode, _options_key(options))
+    if compiled is None:
+        compiled = _compile(name, source_hash(workload.source), mode,
+                            _options_key(options))
 
     memory = Memory(memory_bytes)
     instance = workload.prepare(memory, scale, seed)
