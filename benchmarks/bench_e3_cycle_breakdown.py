@@ -10,7 +10,7 @@ stay small.
 
 from common import SCALE, emit, once
 
-from repro.harness import format_table, run_workload
+from repro import RunConfig, format_table, run_workload
 
 KERNELS = ("saxpy", "dotprod", "mriq", "nbody", "newton_lcd")
 
@@ -20,7 +20,8 @@ def breakdowns():
     raw = {}
     for name in KERNELS:
         for mode in ("scalar", "dyser"):
-            result = run_workload(name, mode=mode, scale=SCALE)
+            result = run_workload(
+                RunConfig(workload=name, mode=mode, scale=SCALE))
             assert result.correct, (name, mode)
             bd = result.stats.breakdown()
             total = result.cycles

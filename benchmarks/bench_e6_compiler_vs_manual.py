@@ -25,7 +25,7 @@ from repro.dyser import (
     FuOp,
     PortRef,
 )
-from repro.harness import format_table, run_workload
+from repro.harness import RunConfig, format_table, run_workload
 from repro.isa import assemble
 from repro.workloads import get
 
@@ -158,8 +158,10 @@ def measure():
     ratios = {}
     manual = {"dotprod": run_manual_dot(), "saxpy": run_manual_saxpy()}
     for name, manual_cycles in manual.items():
-        auto = run_workload(name, mode="dyser", scale=SCALE)
-        scalar = run_workload(name, mode="scalar", scale=SCALE)
+        auto = run_workload(
+            RunConfig(workload=name, mode="dyser", scale=SCALE))
+        scalar = run_workload(
+            RunConfig(workload=name, mode="scalar", scale=SCALE))
         assert auto.correct and scalar.correct
         ratio = manual_cycles / auto.cycles
         ratios[name] = ratio

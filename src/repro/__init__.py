@@ -13,12 +13,26 @@ compiler, microarchitecture, and hardware implementation" (ISPASS 2015):
 - :mod:`repro.energy` / :mod:`repro.fpga` — power and FPGA resource models;
 - :mod:`repro.workloads` — the benchmark suite;
 - :mod:`repro.harness` — experiment runner reproducing the paper's
-  tables and figures;
+  tables and figures, behind the :class:`RunConfig` run API;
 - :mod:`repro.engine` — parallel sweep engine with a persistent,
   content-addressed artifact cache (the substrate for design-space
-  exploration).
+  exploration);
+- :mod:`repro.obs` — observability: structured tracing, named metrics,
+  Chrome/Perfetto timeline export, ``repro profile``.
+
+This module is the **stable public facade**: everything in ``__all__``
+is importable as ``from repro import ...`` and the CLI goes through it
+exclusively.  The canonical entry points::
+
+    from repro import RunConfig, run_workload, compare, trace_workload
+
+    result = run_workload(RunConfig(workload="mm", mode="dyser"))
+    traced = trace_workload("mm", scale="tiny")     # result.events set
 """
 
+# NOTE: repro.cpu must be imported before repro.compiler/repro.dyser —
+# the machine models participate in an import cycle (cpu.core ↔
+# dyser.interface) whose safe entry point is the cpu package.
 from repro.cpu import Core, CoreConfig, ExecStats, Memory
 from repro.dyser import (
     Dfg,
@@ -28,26 +42,114 @@ from repro.dyser import (
     Fabric,
     FabricGeometry,
 )
-from repro.errors import ReproError
+from repro.compiler import (
+    CompileResult,
+    CompilerOptions,
+    RegionReport,
+    compile_dyser,
+    compile_scalar,
+)
+from repro.energy import EnergyModel, EnergyParams, EnergyReport
+from repro.engine import (
+    ArtifactCache,
+    EngineFailure,
+    EngineReport,
+    JobSpec,
+    run_comparisons,
+    run_jobs,
+    suite_jobs,
+    sweep,
+)
+from repro.errors import ReproError, WorkloadError
+from repro.fpga import utilization_table
+from repro.harness import (
+    Comparison,
+    RunConfig,
+    RunResult,
+    TraceOptions,
+    compare,
+    execute,
+    format_series,
+    format_table,
+    geomean,
+    run_workload,
+)
 from repro.isa import Instruction, Opcode, Program, assemble
+from repro.obs import (
+    EventStream,
+    MetricsRegistry,
+    ProfileReport,
+    invocation_table,
+    profile_workload,
+    to_chrome_trace,
+    trace_workload,
+    write_chrome_trace,
+)
+from repro.workloads import SUITE, get as get_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # run API
+    "RunConfig",
+    "RunResult",
+    "Comparison",
+    "TraceOptions",
+    "run_workload",
+    "execute",
+    "compare",
+    # observability
+    "EventStream",
+    "MetricsRegistry",
+    "ProfileReport",
+    "trace_workload",
+    "profile_workload",
+    "invocation_table",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    # engine
+    "ArtifactCache",
+    "EngineFailure",
+    "EngineReport",
+    "JobSpec",
+    "run_comparisons",
+    "run_jobs",
+    "suite_jobs",
+    "sweep",
+    # compiler
+    "CompileResult",
+    "CompilerOptions",
+    "RegionReport",
+    "compile_dyser",
+    "compile_scalar",
+    # machine models
     "Core",
     "CoreConfig",
+    "ExecStats",
+    "Memory",
     "Dfg",
     "DyserConfig",
     "DyserDevice",
     "DyserTimingParams",
-    "ExecStats",
     "Fabric",
     "FabricGeometry",
+    "EnergyModel",
+    "EnergyParams",
+    "EnergyReport",
+    "utilization_table",
+    # ISA
     "Instruction",
-    "Memory",
     "Opcode",
     "Program",
-    "ReproError",
     "assemble",
+    # workloads + reporting
+    "SUITE",
+    "get_workload",
+    "format_series",
+    "format_table",
+    "geomean",
+    # errors
+    "ReproError",
+    "WorkloadError",
     "__version__",
 ]

@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro list                     # the workload suite
     python -m repro run mriq --mode dyser    # run one workload
+    python -m repro profile mm --scale tiny --export trace.json
     python -m repro compile mriq --dump-ir   # show compiler output
     python -m repro suite --scale tiny --jobs 4   # scalar-vs-DySER sweep
     python -m repro sweep saxpy mm --geometry 4x4 8x8 --jobs 4
@@ -14,7 +15,11 @@ Subcommands::
 deduplicated, served from the persistent artifact cache when warm, and
 fanned out over ``--jobs`` worker processes.  Tables on stdout are
 byte-identical between ``--jobs 1`` and ``--jobs N``; engine accounting
-goes to stderr.
+goes to stderr.  ``profile`` runs one workload with the structured
+event stream on and renders/exports the timeline (:mod:`repro.obs`).
+
+The CLI imports exclusively through the :mod:`repro` facade — it is a
+consumer of the public API, never of submodule internals.
 """
 
 from __future__ import annotations
@@ -22,9 +27,16 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import WorkloadError
-from repro.harness import format_table, geomean, run_workload
-from repro.workloads import SUITE, get
+from repro import (
+    RunConfig,
+    SUITE,
+    TraceOptions,
+    WorkloadError,
+    format_table,
+    geomean,
+    get_workload,
+    run_workload,
+)
 
 
 def _cmd_list(_args) -> int:
@@ -39,8 +51,9 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    result = run_workload(args.name, mode=args.mode, scale=args.scale,
-                          seed=args.seed)
+    result = run_workload(RunConfig(
+        workload=args.name, mode=args.mode, scale=args.scale,
+        seed=args.seed))
     print(f"{args.name} [{args.mode}, {args.scale}]: "
           f"{'OK' if result.correct else 'WRONG RESULT'}")
     print(result.stats.summary())
@@ -52,14 +65,30 @@ def _cmd_run(args) -> int:
     return 0 if result.correct else 1
 
 
+def _cmd_profile(args) -> int:
+    from repro import profile_workload
+
+    report = profile_workload(RunConfig(
+        workload=args.name, mode=args.mode, scale=args.scale,
+        seed=args.seed,
+        trace=TraceOptions(enabled=True, capacity=args.capacity,
+                           instructions=args.instructions)))
+    print(report.summary(limit=args.limit))
+    if args.export:
+        path = report.export(args.export)
+        print(f"\ntrace written to {path} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    return 0 if report.result.correct else 1
+
+
 def _cmd_compile(args) -> int:
-    from repro.compiler import compile_dyser, compile_scalar
+    from repro import compile_dyser, compile_scalar
 
     if args.file:
         with open(args.file) as handle:
             source = handle.read()
     else:
-        source = get(args.name).source
+        source = get_workload(args.name).source
     result = (compile_scalar(source) if args.scalar
               else compile_dyser(source))
     if args.dump_ir:
@@ -75,7 +104,7 @@ def _cmd_compile(args) -> int:
 
 
 def _engine_cache(args):
-    from repro.engine import ArtifactCache
+    from repro import ArtifactCache
 
     if getattr(args, "no_cache", False):
         return None
@@ -83,7 +112,7 @@ def _engine_cache(args):
 
 
 def _cmd_suite(args) -> int:
-    from repro.engine import EngineFailure, run_comparisons
+    from repro import EngineFailure, run_comparisons
 
     try:
         comps, report = run_comparisons(
@@ -136,12 +165,12 @@ _SWEEP_AXES = (
 def _cmd_sweep(args) -> int:
     import itertools
 
-    from repro.engine import JobSpec, run_jobs
+    from repro import JobSpec, run_jobs
 
     workloads = args.workloads or sorted(SUITE)
     try:
         for name in workloads:
-            get(name)  # validate early, with the library's error message
+            get_workload(name)  # validate early, with the library's message
     except WorkloadError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -221,7 +250,7 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_cache(args) -> int:
-    from repro.engine import ArtifactCache
+    from repro import ArtifactCache
 
     cache = ArtifactCache(args.cache_dir)
     if args.clear:
@@ -233,8 +262,7 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_fpga(args) -> int:
-    from repro.dyser import Fabric, FabricGeometry
-    from repro.fpga import utilization_table
+    from repro import Fabric, FabricGeometry, utilization_table
 
     print(utilization_table(Fabric(FabricGeometry(args.width,
                                                   args.height))))
@@ -258,6 +286,32 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("tiny", "small", "medium"))
     run_p.add_argument("--seed", type=int, default=7)
     run_p.set_defaults(func=_cmd_run)
+
+    profile_p = sub.add_parser(
+        "profile",
+        help="run one workload with tracing on and render the timeline",
+        description="Trace one workload through the structured event "
+                    "stream, print the cycle-attribution tables, and "
+                    "optionally export a Chrome/Perfetto trace, e.g.: "
+                    "repro profile mm --scale tiny --export trace.json")
+    profile_p.add_argument("name", choices=sorted(SUITE))
+    profile_p.add_argument("--mode", choices=("scalar", "dyser"),
+                           default="dyser")
+    profile_p.add_argument("--scale", default="tiny",
+                           choices=("tiny", "small", "medium"))
+    profile_p.add_argument("--seed", type=int, default=7)
+    profile_p.add_argument("--export", default=None, metavar="PATH",
+                           help="write Chrome trace_event JSON here "
+                                "(open in chrome://tracing or "
+                                "ui.perfetto.dev)")
+    profile_p.add_argument("--capacity", type=int, default=1_000_000,
+                           help="event ring-buffer capacity")
+    profile_p.add_argument("--instructions", action="store_true",
+                           help="also record one event per retired "
+                                "instruction (large traces)")
+    profile_p.add_argument("--limit", type=int, default=40,
+                           help="max rows in the per-invocation table")
+    profile_p.set_defaults(func=_cmd_profile)
 
     compile_p = sub.add_parser("compile", help="compile and disassemble")
     group = compile_p.add_mutually_exclusive_group(required=True)

@@ -17,6 +17,12 @@ from repro.compiler.parser import parse_kernel
 from repro.compiler.passes import optimize
 from repro.dyser.fabric import Fabric, FabricGeometry
 from repro.isa.program import Program
+from repro.obs.events import maybe_span
+
+
+def _ir_size(func) -> int:
+    """Instruction count of an SSA function (span size metadata)."""
+    return sum(len(b.all_instrs()) for b in func.blocks.values())
 
 
 @dataclass
@@ -56,6 +62,20 @@ class RegionReport:
     vectorized: bool = False
     shape: str = ""
 
+    def to_dict(self) -> dict:
+        return {
+            "loop_header": self.loop_header, "accepted": self.accepted,
+            "reason": self.reason, "execute_ops": self.execute_ops,
+            "input_ports": self.input_ports,
+            "output_ports": self.output_ports,
+            "unrolled": self.unrolled, "vectorized": self.vectorized,
+            "shape": self.shape,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegionReport":
+        return cls(**data)
+
 
 @dataclass
 class CompileResult:
@@ -70,28 +90,47 @@ class CompileResult:
         return sum(1 for r in self.regions if r.accepted)
 
 
-def frontend(source: str):
-    """Parse + lower + clean one kernel; returns optimized SSA."""
+def frontend(source: str, events=None):
+    """Parse + lower + clean one kernel; returns optimized SSA.
+
+    ``events`` (an :class:`repro.obs.events.EventStream` or ``None``)
+    records per-pass wall time and IR size deltas when tracing is on.
+    """
     from repro.compiler.passes import licm
 
-    kernel = parse_kernel(source)
-    func = lower_kernel(kernel)
-    func = optimize(func)
-    if licm(func):
+    with maybe_span(events, "parse", "compiler.pass") as info:
+        kernel = parse_kernel(source)
+        info["source_chars"] = len(source)
+    with maybe_span(events, "lower", "compiler.pass") as info:
+        func = lower_kernel(kernel)
+        info["ir_size"] = _ir_size(func)
+    with maybe_span(events, "optimize", "compiler.pass") as info:
+        before = _ir_size(func)
         func = optimize(func)
+        info["ir_size"] = _ir_size(func)
+        info["ir_delta"] = _ir_size(func) - before
+    with maybe_span(events, "licm", "compiler.pass") as info:
+        before = _ir_size(func)
+        if licm(func):
+            func = optimize(func)
+        info["ir_size"] = _ir_size(func)
+        info["ir_delta"] = _ir_size(func) - before
     return func
 
 
-def compile_scalar(source: str) -> CompileResult:
+def compile_scalar(source: str, events=None) -> CompileResult:
     """Compile for the baseline core (no DySER)."""
-    func = frontend(source)
+    func = frontend(source, events=events)
     ir_dump = func.dump()
-    program = generate(func)
+    with maybe_span(events, "codegen", "compiler.pass") as info:
+        program = generate(func)
+        info["instructions"] = len(program.instructions)
     return CompileResult(program=program, ir_dump=ir_dump)
 
 
 def compile_dyser(source: str,
-                  options: CompilerOptions | None = None) -> CompileResult:
+                  options: CompilerOptions | None = None,
+                  events=None) -> CompileResult:
     """Compile with DySER offload.
 
     Falls back to scalar code for every region that is rejected (too
@@ -101,11 +140,23 @@ def compile_dyser(source: str,
     from repro.compiler.region import offload_regions
 
     options = options or CompilerOptions()
-    func = frontend(source)
-    func, reports = offload_regions(func, options)
-    func = optimize(func)
+    func = frontend(source, events=events)
+    with maybe_span(events, "offload_regions", "compiler.pass") as info:
+        before = _ir_size(func)
+        func, reports = offload_regions(func, options)
+        info["ir_size"] = _ir_size(func)
+        info["ir_delta"] = _ir_size(func) - before
+        info["regions"] = len(reports)
+        info["accepted"] = sum(1 for r in reports if r.accepted)
+    with maybe_span(events, "optimize", "compiler.pass") as info:
+        before = _ir_size(func)
+        func = optimize(func)
+        info["ir_size"] = _ir_size(func)
+        info["ir_delta"] = _ir_size(func) - before
     ir_dump = func.dump()
-    program = generate(func)
+    with maybe_span(events, "codegen", "compiler.pass") as info:
+        program = generate(func)
+        info["instructions"] = len(program.instructions)
     for config in getattr(func, "dyser_configs", {}).values():
         program.dyser_configs[config.config_id] = config
     return CompileResult(program=program, ir_dump=ir_dump, regions=reports)

@@ -89,6 +89,8 @@ class Core:
         memory: Memory,
         dyser: DyserDevice | None = None,
         config: CoreConfig | None = None,
+        events=None,
+        trace_instructions: bool = False,
     ) -> None:
         if not program.is_linked:
             program.link()
@@ -111,6 +113,10 @@ class Core:
         self.stats = ExecStats()
         #: Execution trace (populated when config.trace_limit > 0).
         self.trace: list[tuple[int, int, str]] = []
+        #: Structured event stream (:mod:`repro.obs.events`) or None.
+        #: Every emit site is guarded, so a None stream costs nothing.
+        self.events = events
+        self.trace_instructions = trace_instructions
 
     # -- helpers -------------------------------------------------------------
 
@@ -175,10 +181,15 @@ class Core:
         cur_fetch_line = -1
         executed = 0
         O = Opcode
+        ev = self.events
+        ev_insn = ev if (ev is not None and self.trace_instructions) \
+            else None
 
         def charge(cause: StallCause, amount: int) -> None:
             if amount > 0:
                 stats.stall_cycles[cause] += amount
+                if ev is not None:
+                    ev.complete(cause.value, "cpu.stall", t, amount, pc=pc)
 
         def src_wait(regs_ready, regs_cause, indices, base: int):
             """Return (issue floor, dominating cause) for source regs."""
@@ -217,6 +228,7 @@ class Core:
             if cfg.trace_limit and len(self.trace) < cfg.trace_limit:
                 self.trace.append((t, pc, insn.text()))
             next_pc = pc + 1
+            t_issue = t
 
             # ---------------- integer ALU -------------------------------
             if iclass in (InsnClass.ALU, InsnClass.MUL, InsnClass.DIV):
@@ -346,6 +358,9 @@ class Core:
                     stats.branches_taken += 1
                     next_pc = insn.target_index
                     charge(StallCause.BRANCH, cfg.branch_taken_penalty)
+                    if ev is not None:
+                        ev.instant("branch_redirect", "cpu", issue,
+                                   pc=pc, target=next_pc)
                     t = issue + 1 + cfg.branch_taken_penalty
                 else:
                     t = issue + 1
@@ -354,6 +369,9 @@ class Core:
                 next_pc = insn.target_index
                 stats.branches_taken += 1
                 charge(StallCause.BRANCH, cfg.branch_taken_penalty)
+                if ev is not None:
+                    ev.instant("branch_redirect", "cpu", t,
+                               pc=pc, target=next_pc)
                 t = t + 1 + cfg.branch_taken_penalty
 
             # ---------------- DySER extension -----------------------------
@@ -376,8 +394,17 @@ class Core:
             else:  # pragma: no cover - every opcode is handled above
                 raise SimulationError(f"unhandled opcode {op}")
 
+            if ev_insn is not None:
+                ev_insn.complete(op.value, "cpu.issue", t_issue,
+                                 max(1, t - t_issue), pc=pc)
             pc = next_pc
 
+        if ev_insn is not None:
+            ev_insn.complete(op.value, "cpu.issue", t_issue,
+                             max(1, t - t_issue), pc=pc)
+        if ev is not None:
+            ev.complete("run", "cpu", 0, t,
+                        instructions=stats.instructions)
         stats.cycles = t
         self._finalize_stats()
         return stats
@@ -503,10 +530,14 @@ class Core:
         dev = self.dyser
         stats = self.stats
         op = insn.op
+        ev = self.events
 
         def charge(cause, amount):
             if amount > 0:
                 stats.stall_cycles[cause] += amount
+                if ev is not None:
+                    ev.complete(cause.value, "cpu.stall", t, amount,
+                                op=op.value)
 
         if op is O.DINIT:
             ready = dev.init_config(int(insn.imm), t)
@@ -668,3 +699,26 @@ class Core:
             stats.dyser_fu_ops = dstats.fu_ops
             stats.dyser_switch_hops = dstats.switch_hops
             stats.dyser_config_words = dstats.config_words_loaded
+            # Finer-grained counters ride the open-ended metrics
+            # registry instead of growing ExecStats' schema.
+            metrics = stats.metrics
+            if dstats.config_stall_cycles:
+                metrics.counter(
+                    "dyser.config.stall_cycles",
+                    "cycles the pipeline waited on configuration loads",
+                ).inc(dstats.config_stall_cycles)
+            if dstats.unresolved_flow_stalls:
+                metrics.counter(
+                    "dyser.flow.unresolved_stalls",
+                    "port flow-control waits with no resolution cycle",
+                ).inc(dstats.unresolved_flow_stalls)
+            for port, cyc in sorted(self.dyser.send_stall_cycles.items()):
+                metrics.counter(
+                    f"dyser.port.in{port}.stall_cycles",
+                    "send cycles lost to input FIFO backpressure",
+                ).inc(cyc)
+            for port, cyc in sorted(self.dyser.recv_stall_cycles.items()):
+                metrics.counter(
+                    f"dyser.port.out{port}.stall_cycles",
+                    "recv cycles spent waiting on fabric outputs",
+                ).inc(cyc)

@@ -9,9 +9,10 @@ from __future__ import annotations
 
 import enum
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.isa.opcodes import InsnClass
+from repro.obs.metrics import MetricsRegistry
 
 
 class StallCause(enum.Enum):
@@ -48,6 +49,11 @@ class ExecStats:
     dcache_hits: int = 0
     dcache_misses: int = 0
     icache_misses: int = 0
+    #: Open-ended subsystem counters (:mod:`repro.obs.metrics`): new
+    #: instrumentation registers named metrics here instead of growing
+    #: this dataclass and every serializer that mirrors it.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry,
+                                     compare=False, repr=False)
 
     @property
     def ipc(self) -> float:
@@ -86,6 +92,42 @@ class ExecStats:
                 InsnClass.DYSER_STORE,
             )
         )
+
+    # -- (de)serialization -------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe counters.
+
+        Scalar fields are discovered from the dataclass, so adding a
+        counter field (or registering a named metric) needs no
+        serializer edit.
+        """
+        data: dict = {}
+        for f in fields(self):
+            if f.name in ("insn_mix", "stall_cycles", "metrics"):
+                continue
+            data[f.name] = getattr(self, f.name)
+        data["insn_mix"] = {k.name: v for k, v in self.insn_mix.items()}
+        data["stall_cycles"] = {
+            k.name: v for k, v in self.stall_cycles.items()}
+        metrics = self.metrics.to_dict()
+        if metrics:
+            data["metrics"] = metrics
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecStats":
+        scalars = {
+            f.name: data[f.name] for f in fields(cls)
+            if f.name not in ("insn_mix", "stall_cycles", "metrics")
+        }
+        stats = cls(**scalars)
+        stats.insn_mix = Counter(
+            {InsnClass[k]: v for k, v in data["insn_mix"].items()})
+        stats.stall_cycles = Counter(
+            {StallCause[k]: v for k, v in data["stall_cycles"].items()})
+        stats.metrics = MetricsRegistry.from_dict(data.get("metrics", {}))
+        return stats
 
     def breakdown(self) -> dict[str, int]:
         """Cycle accounting: issue plus one entry per stall cause."""

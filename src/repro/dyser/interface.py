@@ -13,6 +13,7 @@ core can account stalls precisely.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.errors import DyserError
@@ -49,6 +50,13 @@ class DyserDevice:
         self.config_cache = ConfigCache(self.cache_params)
         self.engine: InvocationEngine | None = None
         self.stats = DyserStats()
+        #: Structured event stream (:mod:`repro.obs.events`) or None;
+        #: set by the harness when the run requests tracing.
+        self.events = None
+        #: Per-port stall cycles, folded into the run's metrics
+        #: registry by :meth:`repro.cpu.Core._finalize_stats`.
+        self.send_stall_cycles: Counter = Counter()
+        self.recv_stall_cycles: Counter = Counter()
 
     # -- setup ---------------------------------------------------------------
 
@@ -87,19 +95,35 @@ class DyserDevice:
             self.stats.config_words_loaded += config.config_words()
         ready = start + cycles
         self.stats.config_stall_cycles += ready - t
-        self.engine = InvocationEngine(config, self.timing)
+        if self.events is not None:
+            self.events.complete(
+                "config_load", "dyser.config", t, ready - t,
+                config=config_id, hit=hit,
+                words=config.config_words())
+        self.engine = InvocationEngine(config, self.timing,
+                                       events=self.events)
         return ready
 
     def send(self, port: int, value: int | float, t_ready: int) -> int:
         engine = self._require_engine("send")
         done = engine.send(port, value, t_ready)
         self.stats.values_sent += 1
+        if done > t_ready:
+            self.send_stall_cycles[port] += done - t_ready
+            if self.events is not None:
+                self.events.complete("send_stall", "dyser.port",
+                                     t_ready, done - t_ready, port=port)
         return done
 
     def recv(self, port: int, t_try: int) -> tuple[int | float, int]:
         engine = self._require_engine("recv")
         value, done = engine.recv(port, t_try)
         self.stats.values_received += 1
+        if done > t_try:
+            self.recv_stall_cycles[port] += done - t_try
+            if self.events is not None:
+                self.events.complete("recv_stall", "dyser.port",
+                                     t_try, done - t_try, port=port)
         return value, done
 
     # -- bookkeeping -------------------------------------------------------------

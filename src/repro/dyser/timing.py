@@ -28,12 +28,16 @@ class DyserTimingParams:
 class InvocationEngine:
     """Functional + timing state for one active configuration."""
 
-    def __init__(self, config: DyserConfig, params: DyserTimingParams) -> None:
+    def __init__(self, config: DyserConfig, params: DyserTimingParams,
+                 events=None) -> None:
         config.validate()
         self.config = config
         self.params = params
+        #: Structured event stream (:mod:`repro.obs.events`) or None.
+        self.events = events
         self.evaluator = FunctionalEvaluator(config.dfg)
         self.delays = config.path_delays()
+        self._max_delay = max(self.delays.values(), default=0)
         self.in_fifos = {
             p: InputPortFifo(p, params.input_fifo_depth)
             for p in config.dfg.input_ports
@@ -95,6 +99,12 @@ class InvocationEngine:
                 if space is not None:
                     fire_at = max(fire_at, space)
             self.fire_times.append(fire_at)
+            if self.events is not None:
+                self.events.complete(
+                    "invocation", "dyser.invoke", fire_at,
+                    self._max_delay,
+                    config=self.config.config_id,
+                    index=len(self.fire_times) - 1)
             outputs = self.evaluator(inputs)
             for port, value in outputs.items():
                 self.out_fifos[port].produce(

@@ -96,6 +96,21 @@ class EnergyReport:
         """EDP in joule-seconds — the paper's efficiency metric."""
         return self.total_j * self.runtime_s
 
+    def to_dict(self) -> dict:
+        return {
+            "cycles": self.cycles,
+            "runtime_s": self.runtime_s,
+            "breakdown_nj": dict(self.breakdown_nj),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyReport":
+        return cls(
+            cycles=data["cycles"],
+            runtime_s=data["runtime_s"],
+            breakdown_nj=dict(data["breakdown_nj"]),
+        )
+
     def summary(self) -> str:
         lines = [
             f"runtime {self.runtime_s * 1e3:.3f} ms, "

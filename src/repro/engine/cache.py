@@ -28,15 +28,11 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from collections import Counter
 
 import repro
 from repro.compiler import CompileResult, RegionReport
-from repro.cpu import ExecStats, StallCause
-from repro.energy import EnergyReport
 from repro.harness.bundle import bundle_from_dict, bundle_to_dict
 from repro.harness.runner import RunResult
-from repro.isa.opcodes import InsnClass
 
 from repro.engine.jobs import JobSpec
 
@@ -82,96 +78,20 @@ def default_cache_dir() -> pathlib.Path:
 # ---------------------------------------------------------------------
 # RunResult (de)serialization
 # ---------------------------------------------------------------------
-
-_RESULT_FORMAT = "repro-run-v1"
-
-_STATS_SCALARS = (
-    "cycles", "instructions", "branches_taken", "dyser_invocations",
-    "dyser_values_sent", "dyser_values_received", "dyser_config_loads",
-    "dyser_config_hits", "dyser_fu_ops", "dyser_switch_hops",
-    "dyser_config_words", "dcache_hits", "dcache_misses", "icache_misses",
-)
-
-
-def _stats_to_dict(stats: ExecStats) -> dict:
-    data = {name: getattr(stats, name) for name in _STATS_SCALARS}
-    data["insn_mix"] = {k.name: v for k, v in stats.insn_mix.items()}
-    data["stall_cycles"] = {k.name: v for k, v in stats.stall_cycles.items()}
-    return data
-
-
-def _stats_from_dict(data: dict) -> ExecStats:
-    stats = ExecStats(**{name: data[name] for name in _STATS_SCALARS})
-    stats.insn_mix = Counter(
-        {InsnClass[k]: v for k, v in data["insn_mix"].items()})
-    stats.stall_cycles = Counter(
-        {StallCause[k]: v for k, v in data["stall_cycles"].items()})
-    return stats
-
-
-def _regions_to_list(regions) -> list[dict]:
-    return [
-        {
-            "loop_header": r.loop_header, "accepted": r.accepted,
-            "reason": r.reason, "execute_ops": r.execute_ops,
-            "input_ports": r.input_ports, "output_ports": r.output_ports,
-            "unrolled": r.unrolled, "vectorized": r.vectorized,
-            "shape": r.shape,
-        }
-        for r in regions
-    ]
-
-
-def _regions_from_list(data) -> list[RegionReport]:
-    return [RegionReport(**entry) for entry in data]
+#
+# The payload schema is owned by the dataclasses themselves now
+# (``RunResult.to_dict``/``from_dict`` and friends); these module-level
+# names survive as the engine's public serialization entry points.
 
 
 def result_to_dict(result: RunResult) -> dict:
     """Serialize a run summary (everything but the executable program)."""
-    return {
-        "format": _RESULT_FORMAT,
-        "workload": result.workload,
-        "mode": result.mode,
-        "scale": result.scale,
-        "correct": result.correct,
-        "work_items": result.work_items,
-        "stats": _stats_to_dict(result.stats),
-        "energy": {
-            "cycles": result.energy.cycles,
-            "runtime_s": result.energy.runtime_s,
-            "breakdown_nj": result.energy.breakdown_nj,
-        },
-        "regions": _regions_to_list(result.compile_result.regions
-                                    if result.compile_result else []),
-    }
+    return result.to_dict()
 
 
 def result_from_dict(data: dict) -> RunResult:
-    """Rebuild a :class:`RunResult` summary.
-
-    The reconstructed ``compile_result`` carries the region reports but
-    ``program=None`` — cached results are for accounting (cycles,
-    energy, correctness), not for re-execution.
-    """
-    if data.get("format") != _RESULT_FORMAT:
-        raise ValueError(f"not a run summary: {data.get('format')!r}")
-    energy = data["energy"]
-    return RunResult(
-        workload=data["workload"],
-        mode=data["mode"],
-        scale=data["scale"],
-        correct=bool(data["correct"]),
-        stats=_stats_from_dict(data["stats"]),
-        energy=EnergyReport(
-            cycles=energy["cycles"],
-            runtime_s=energy["runtime_s"],
-            breakdown_nj=dict(energy["breakdown_nj"]),
-        ),
-        compile_result=CompileResult(
-            program=None, ir_dump="",
-            regions=_regions_from_list(data["regions"])),
-        work_items=data["work_items"],
-    )
+    """Rebuild a :class:`RunResult` summary (``program=None``)."""
+    return RunResult.from_dict(data)
 
 
 # ---------------------------------------------------------------------
@@ -229,12 +149,13 @@ class ArtifactCache:
             return None  # unreadable bundle == miss, recompile
         return CompileResult(
             program=program, ir_dump="",
-            regions=_regions_from_list(data.get("regions", [])))
+            regions=[RegionReport.from_dict(r)
+                     for r in data.get("regions", [])])
 
     def store_compile(self, spec: JobSpec, compiled: CompileResult) -> None:
         self.store("compile", spec.compile_hash, {
             "bundle": bundle_to_dict(compiled.program),
-            "regions": _regions_to_list(compiled.regions),
+            "regions": [r.to_dict() for r in compiled.regions],
         })
 
     # -- maintenance ---------------------------------------------------

@@ -196,7 +196,9 @@ class JobSpec:
         return params
 
     def run_kwargs(self) -> dict:
-        """Keyword arguments for :func:`repro.harness.run_workload`."""
+        """Keyword arguments for the *deprecated* kwargs form of
+        :func:`repro.harness.run_workload`.  Prefer
+        :meth:`to_run_config`."""
         return {
             "name": self.workload,
             "mode": self.mode,
@@ -209,6 +211,90 @@ class JobSpec:
             "energy_params": self.energy_params(),
             "memory_bytes": self.memory_bytes,
         }
+
+    # -- RunConfig bridge ----------------------------------------------
+
+    def to_run_config(self, trace=None):
+        """The :class:`repro.harness.RunConfig` this spec describes.
+
+        ``trace`` (a :class:`repro.obs.events.TraceOptions`) rides along
+        without affecting :attr:`job_hash` — observability never changes
+        a run's outcome, so traced and untraced runs share cache keys.
+        """
+        from repro.harness.config import RunConfig
+        from repro.obs.events import TraceOptions
+
+        return RunConfig(
+            workload=self.workload,
+            mode=self.mode,
+            scale=self.scale,
+            seed=self.seed,
+            options=self.options(),
+            core_config=self.core_config(),
+            timing=self.timing(),
+            cache_params=self.cache_params(),
+            energy_params=self.energy_params(),
+            memory_bytes=self.memory_bytes,
+            trace=trace or TraceOptions(),
+        )
+
+    @classmethod
+    def from_run_config(cls, config) -> "JobSpec":
+        """Recover the spec a :meth:`to_run_config` output came from.
+
+        Lossless for configs built by :meth:`to_run_config` (round-trip
+        preserves :attr:`job_hash`); configs with ``None`` parameter
+        objects map to the corresponding field defaults, mirroring how
+        the harness substitutes defaults at execution time.
+        """
+        from repro.energy import EnergyParams
+        from dataclasses import fields as dc_fields
+
+        options = config.options
+        timing = config.timing
+        cache_params = config.cache_params
+        core_config = config.core_config
+        data: dict = {
+            "workload": config.workload,
+            "mode": config.mode,
+            "scale": config.scale,
+            "seed": config.seed,
+            "memory_bytes": config.memory_bytes,
+        }
+        if options is not None:
+            g = options.fabric.geometry
+            data.update(
+                geometry=(g.width, g.height),
+                min_region_ops=options.min_region_ops,
+                unroll=options.unroll,
+                vectorize=options.vectorize,
+                reassociate=options.reassociate,
+                pipeline_invocations=options.pipeline_invocations,
+                if_convert=options.if_convert,
+                max_region_ops=options.max_region_ops,
+            )
+        if timing is not None:
+            data.update(
+                input_fifo_depth=timing.input_fifo_depth,
+                output_fifo_depth=timing.output_fifo_depth,
+                initiation_interval=timing.initiation_interval,
+            )
+        if cache_params is not None:
+            data["config_cache_capacity"] = cache_params.capacity
+        if core_config is not None:
+            data["vector_port_words_per_cycle"] = (
+                core_config.vector_port_words_per_cycle)
+        if config.energy_params is not None:
+            baseline = EnergyParams(
+                dyser_present=(config.mode == "dyser"))
+            overrides = tuple(
+                (f.name, getattr(config.energy_params, f.name))
+                for f in dc_fields(EnergyParams)
+                if f.name != "dyser_present"
+                and getattr(config.energy_params, f.name)
+                != getattr(baseline, f.name))
+            data["energy_overrides"] = overrides
+        return cls(**data)
 
     def describe(self) -> str:
         w, h = self.geometry

@@ -21,6 +21,7 @@ from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.harness.runner import Comparison, RunResult, run_workload
+from repro.obs.events import maybe_span
 
 from repro.engine.cache import ArtifactCache, result_from_dict, result_to_dict
 from repro.engine.jobs import JobSpec, comparison_jobs
@@ -34,11 +35,20 @@ from repro.engine.report import (
 )
 
 
-def execute_job(spec: JobSpec, cache: ArtifactCache | None = None) -> RunResult:
-    """Run one job, reusing a cached compiled program when available."""
-    compiled = cache.load_compile(spec) if cache is not None else None
+def execute_job(spec: JobSpec, cache: ArtifactCache | None = None,
+                trace=None) -> RunResult:
+    """Run one job, reusing a cached compiled program when available.
+
+    ``trace`` (a :class:`repro.obs.events.TraceOptions`) enables the
+    structured event stream for this execution; tracing bypasses the
+    compiled-artifact reuse so compiler passes appear in the timeline.
+    """
+    traced = trace is not None and trace.enabled
+    compiled = (cache.load_compile(spec)
+                if cache is not None and not traced else None)
     had_artifact = compiled is not None
-    result = run_workload(compiled=compiled, **spec.run_kwargs())
+    result = run_workload(spec.to_run_config(trace=trace),
+                          compiled=compiled)
     if cache is not None and not had_artifact:
         cache.store_compile(spec, result.compile_result)
     return result
@@ -56,6 +66,7 @@ def run_jobs(
     timeout: float | None = None,
     retries: int = 1,
     worker=None,
+    events=None,
 ) -> EngineReport:
     """Execute ``specs``; returns a report with results aligned to them.
 
@@ -63,12 +74,22 @@ def run_jobs(
     ``jobs>1`` fans out over worker processes.  ``timeout`` (seconds,
     per job) and crash recovery apply to the pooled path; a job is
     retried at most ``retries`` times before being recorded as FAILED.
+
+    ``events`` (an :class:`repro.obs.events.EventStream` or None)
+    records the job lifecycle — cache hits, dedups, executions and
+    failures — as wall-clock events for the timeline exporter.
     """
     worker = worker or _worker
     started = time.perf_counter()
     n = len(specs)
     records = [JobRecord(spec=spec) for spec in specs]
     results: list = [None] * n
+
+    def mark(name: str, spec: JobSpec) -> None:
+        if events is not None:
+            events.instant(name, "engine.job",
+                           time.perf_counter() * 1e6, domain="wall",
+                           spec=spec.describe())
 
     # Cache probe + dedup (first occurrence of a hash is the primary).
     primary: dict[str, int] = {}
@@ -79,6 +100,7 @@ def run_jobs(
         if h in primary:
             dup_of[i] = primary[h]
             records[i].status = DUPLICATE
+            mark("job_duplicate", spec)
             continue
         primary[h] = i
         payload = cache.load_run(spec) if cache is not None else None
@@ -86,6 +108,7 @@ def run_jobs(
             try:
                 results[i] = result_from_dict(payload)
                 records[i].status = HIT
+                mark("job_cache_hit", spec)
                 continue
             except (KeyError, ValueError):
                 pass  # stale/unreadable entry: treat as miss
@@ -94,10 +117,10 @@ def run_jobs(
     if pending:
         if jobs <= 1:
             _run_serial(specs, pending, records, results, cache, retries,
-                        worker)
+                        worker, events)
         else:
             _run_pooled(specs, pending, records, results, cache, jobs,
-                        timeout, retries, worker)
+                        timeout, retries, worker, events)
 
     for i, j in dup_of.items():
         results[i] = results[j]
@@ -125,18 +148,21 @@ def _finish(index: int, payload: dict, specs, records, results, cache) -> bool:
 
 
 def _run_serial(specs, pending, records, results, cache, retries,
-                worker) -> None:
+                worker, events=None) -> None:
     for i in pending:
         record = records[i]
         t0 = time.perf_counter()
         payload = None
-        while record.attempts <= retries:
-            record.attempts += 1
-            try:
-                payload = worker(specs[i], cache)
-                break
-            except Exception as exc:  # noqa: BLE001 — sweep must survive
-                record.error = f"{type(exc).__name__}: {exc}"
+        with maybe_span(events, specs[i].describe(), "engine.job") as info:
+            while record.attempts <= retries:
+                record.attempts += 1
+                try:
+                    payload = worker(specs[i], cache)
+                    break
+                except Exception as exc:  # noqa: BLE001 — must survive
+                    record.error = f"{type(exc).__name__}: {exc}"
+            info["attempts"] = record.attempts
+            info["status"] = "failed" if payload is None else "executed"
         record.wall_s = time.perf_counter() - t0
         if payload is None:
             record.status = FAILED
@@ -145,7 +171,7 @@ def _run_serial(specs, pending, records, results, cache, retries,
 
 
 def _run_pooled(specs, pending, records, results, cache, jobs, timeout,
-                retries, worker) -> None:
+                retries, worker, events=None) -> None:
     queue = list(pending)
     while queue:
         round_jobs, queue = queue, []
@@ -192,6 +218,11 @@ def _run_pooled(specs, pending, records, results, cache, jobs, timeout,
                 continue
             record.wall_s = time.perf_counter() - starts[i]
             _finish(i, payload, specs, records, results, cache)
+            if events is not None:
+                events.complete(specs[i].describe(), "engine.job",
+                                starts[i] * 1e6, record.wall_s * 1e6,
+                                domain="wall",
+                                attempts=record.attempts)
         pool.shutdown(wait=not timed_out, cancel_futures=True)
         if timed_out:
             # Don't let a hung worker outlive its round.

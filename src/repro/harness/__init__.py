@@ -6,23 +6,29 @@ from repro.harness.bundle import (
     load_bundle,
     save_bundle,
 )
+from repro.harness.config import RunConfig
 from repro.harness.report import format_series, format_table, geomean
 from repro.harness.runner import (
     Comparison,
     RunResult,
     clear_caches,
     compare,
+    execute,
     run_workload,
     source_hash,
 )
+from repro.obs.events import TraceOptions
 
 __all__ = [
     "Comparison",
+    "RunConfig",
     "RunResult",
+    "TraceOptions",
     "bundle_from_dict",
     "bundle_to_dict",
     "clear_caches",
     "compare",
+    "execute",
     "format_series",
     "format_table",
     "geomean",

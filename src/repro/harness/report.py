@@ -56,6 +56,7 @@ def format_series(name: str, xs: Sequence, ys: Sequence[float]) -> str:
     lines = [f"series {name}:"]
     peak = max((abs(y) for y in ys), default=1.0) or 1.0
     for x, y in zip(xs, ys):
-        bar = "#" * max(1, int(24 * abs(y) / peak))
-        lines.append(f"  {str(x):>10}  {y:10.3f}  {bar}")
+        # y == 0 renders an empty bar: a zero is data, not a sliver.
+        bar = "" if y == 0 else "#" * max(1, int(24 * abs(y) / peak))
+        lines.append(f"  {str(x):>10}  {y:10.3f}  {bar}".rstrip())
     return "\n".join(lines)

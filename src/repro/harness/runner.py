@@ -2,29 +2,44 @@
 
 The single entry point the E-series benchmarks use::
 
-    result = run_workload("mm", mode="dyser", scale="small")
+    result = run_workload(RunConfig(workload="mm", mode="dyser"))
     comparison = compare("mm", scale="small")
 
+A run is fully described by a :class:`~repro.harness.config.RunConfig`
+— workload, mode, scale, seed, every subsystem parameter object, and
+the observability request (``trace=TraceOptions(...)``).  The legacy
+``run_workload("mm", mode="dyser", ...)`` kwargs form still works but
+emits a :class:`DeprecationWarning` and simply builds a ``RunConfig``.
+
 Every run validates outputs against the workload's numpy reference;
-``RunResult.correct`` is part of the result, and the benchmarks assert it.
+``RunResult.correct`` is part of the result, and the benchmarks assert
+it.  When tracing is enabled the structured event stream is attached to
+the result as ``RunResult.events`` (never serialized).
 """
 
 from __future__ import annotations
 
 import hashlib
+import warnings
 from dataclasses import dataclass, field
 from functools import lru_cache
 
-from repro.compiler import CompileResult, CompilerOptions, compile_dyser, compile_scalar
+from repro.compiler import CompileResult, CompilerOptions, RegionReport
+from repro.compiler import compile_dyser, compile_scalar
 from repro.cpu import Core, CoreConfig, ExecStats, Memory
 from repro.dyser import DyserDevice, DyserTimingParams, Fabric, FabricGeometry
 from repro.dyser.config_cache import ConfigCacheParams
 from repro.energy import EnergyModel, EnergyParams, EnergyReport
 from repro.errors import WorkloadError
+from repro.harness.config import RunConfig
+from repro.obs.events import EventStream, TraceOptions
 from repro.workloads import get as get_workload
 
 #: The prototype's fabric: 8x8, heterogeneous.
 DEFAULT_GEOMETRY = (8, 8)
+
+#: Serialization format tag for run summaries (artifact cache entries).
+RESULT_FORMAT = "repro-run-v1"
 
 
 @dataclass
@@ -39,6 +54,10 @@ class RunResult:
     energy: EnergyReport
     compile_result: CompileResult
     work_items: int
+    #: The structured trace recorded during the run (None unless the
+    #: run's ``TraceOptions.enabled`` was set; never serialized).
+    events: EventStream | None = field(default=None, compare=False,
+                                       repr=False)
 
     @property
     def cycles(self) -> int:
@@ -51,6 +70,48 @@ class RunResult:
     @property
     def cycles_per_item(self) -> float:
         return self.cycles / self.work_items if self.work_items else 0.0
+
+    # -- (de)serialization --------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe run summary (everything but program + trace)."""
+        return {
+            "format": RESULT_FORMAT,
+            "workload": self.workload,
+            "mode": self.mode,
+            "scale": self.scale,
+            "correct": self.correct,
+            "work_items": self.work_items,
+            "stats": self.stats.to_dict(),
+            "energy": self.energy.to_dict(),
+            "regions": [r.to_dict() for r in
+                        (self.compile_result.regions
+                         if self.compile_result else [])],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Rebuild a run summary.
+
+        The reconstructed ``compile_result`` carries the region reports
+        but ``program=None`` — summaries are for accounting (cycles,
+        energy, correctness), not for re-execution.
+        """
+        if data.get("format") != RESULT_FORMAT:
+            raise ValueError(f"not a run summary: {data.get('format')!r}")
+        return cls(
+            workload=data["workload"],
+            mode=data["mode"],
+            scale=data["scale"],
+            correct=bool(data["correct"]),
+            stats=ExecStats.from_dict(data["stats"]),
+            energy=EnergyReport.from_dict(data["energy"]),
+            compile_result=CompileResult(
+                program=None, ir_dump="",
+                regions=[RegionReport.from_dict(r)
+                         for r in data["regions"]]),
+            work_items=data["work_items"],
+        )
 
 
 @dataclass
@@ -74,6 +135,21 @@ class Comparison:
     def edp_ratio(self) -> float:
         return (self.scalar.energy.energy_delay_product()
                 / self.dyser.energy.energy_delay_product())
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "scalar": self.scalar.to_dict(),
+            "dyser": self.dyser.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Comparison":
+        return cls(
+            workload=data["workload"],
+            scalar=RunResult.from_dict(data["scalar"]),
+            dyser=RunResult.from_dict(data["dyser"]),
+        )
 
 
 def source_hash(source: str) -> str:
@@ -120,7 +196,7 @@ def _options_from_key(key: tuple) -> CompilerOptions:
         if_convert=if_convert, max_region_ops=max_ops)
 
 
-def run_workload(
+def _legacy_config(
     name: str,
     mode: str = "dyser",
     scale: str = "small",
@@ -131,53 +207,117 @@ def run_workload(
     cache_params: ConfigCacheParams | None = None,
     energy_params: EnergyParams | None = None,
     memory_bytes: int = 1 << 22,
-    compiled: CompileResult | None = None,
-) -> RunResult:
+    trace: TraceOptions | None = None,
+) -> RunConfig:
+    """Map the historical kwargs signature onto a :class:`RunConfig`."""
+    return RunConfig(
+        workload=name, mode=mode, scale=scale, seed=seed,
+        options=options, core_config=core_config, timing=timing,
+        cache_params=cache_params, energy_params=energy_params,
+        memory_bytes=memory_bytes, trace=trace or TraceOptions(),
+    )
+
+
+def run_workload(config=None, /, compiled: CompileResult | None = None,
+                 **legacy_kwargs) -> RunResult:
     """Compile and run one workload; returns stats + energy + check.
+
+    ``config`` is a :class:`RunConfig`.  Passing a workload *name* plus
+    the historical keyword arguments still works but is deprecated::
+
+        run_workload(RunConfig(workload="mm", mode="dyser"))   # new
+        run_workload("mm", mode="dyser")                       # deprecated
 
     ``compiled`` lets callers (the engine's artifact cache) supply a
     pre-built :class:`CompileResult` and skip compilation entirely.
     """
-    if mode not in ("scalar", "dyser"):
-        raise WorkloadError(f"unknown mode {mode!r}")
-    workload = get_workload(name)
-    options = options or CompilerOptions(
-        fabric=Fabric(FabricGeometry(*DEFAULT_GEOMETRY)))
-    if compiled is None:
-        compiled = _compile(name, source_hash(workload.source), mode,
-                            _options_key(options))
+    if isinstance(config, RunConfig):
+        if legacy_kwargs:
+            raise TypeError(
+                "run_workload(RunConfig, ...) accepts no extra kwargs; "
+                f"got {sorted(legacy_kwargs)}")
+        return execute(config, compiled=compiled)
+    if config is None:
+        # Historical fully-keyword form: run_workload(name="mm", ...).
+        config = legacy_kwargs.pop("name", None)
+        if config is None:
+            raise TypeError("run_workload() needs a RunConfig or a "
+                            "workload name")
+    warnings.warn(
+        "run_workload(name, **kwargs) is deprecated; pass a "
+        "repro.RunConfig instead (run_workload(RunConfig(workload=...)))",
+        DeprecationWarning, stacklevel=2)
+    return execute(_legacy_config(config, **legacy_kwargs),
+                   compiled=compiled)
 
-    memory = Memory(memory_bytes)
-    instance = workload.prepare(memory, scale, seed)
+
+def execute(config: RunConfig,
+            compiled: CompileResult | None = None) -> RunResult:
+    """Run one fully specified :class:`RunConfig`."""
+    workload = get_workload(config.workload)
+    options = config.options or CompilerOptions(
+        fabric=Fabric(FabricGeometry(*DEFAULT_GEOMETRY)))
+    events = config.trace.stream()
+
+    if compiled is None:
+        if events is not None:
+            # Tracing wants per-pass wall times: compile fresh, outside
+            # the memo (a memo hit would have no passes to time).
+            with events.span("compile", "compiler",
+                             workload=config.workload, mode=config.mode):
+                compiled = (
+                    compile_scalar(workload.source, events=events)
+                    if config.mode == "scalar"
+                    else compile_dyser(workload.source, options,
+                                       events=events))
+        else:
+            compiled = _compile(config.workload,
+                                source_hash(workload.source),
+                                config.mode, _options_key(options))
+
+    memory = Memory(config.memory_bytes)
+    instance = workload.prepare(memory, config.scale, config.seed)
     device = None
-    if mode == "dyser":
+    if config.mode == "dyser":
         device = DyserDevice(
             fabric=options.fabric,
-            timing=timing or DyserTimingParams(),
-            cache_params=cache_params or ConfigCacheParams(),
+            timing=config.timing or DyserTimingParams(),
+            cache_params=config.cache_params or ConfigCacheParams(),
         )
-    config = core_config or CoreConfig(has_dyser=(mode == "dyser"))
-    core = Core(compiled.program, memory, dyser=device, config=config)
+        device.events = events
+    core_config = config.core_config or CoreConfig(
+        has_dyser=(config.mode == "dyser"))
+    core = Core(compiled.program, memory, dyser=device, config=core_config,
+                events=events,
+                trace_instructions=config.trace.instructions)
     core.set_args(instance.int_args, instance.fp_args)
     stats = core.run()
     correct = instance.check(memory)
+    if events is not None:
+        events.instant("run_end", "cpu", stats.cycles,
+                       correct=bool(correct))
 
-    eparams = energy_params or EnergyParams(
-        dyser_present=(mode == "dyser"))
+    eparams = config.energy_params or EnergyParams(
+        dyser_present=(config.mode == "dyser"))
     energy = EnergyModel(eparams).account(stats)
     return RunResult(
-        workload=name, mode=mode, scale=scale, correct=correct,
-        stats=stats, energy=energy, compile_result=compiled,
-        work_items=instance.work_items,
+        workload=config.workload, mode=config.mode, scale=config.scale,
+        correct=correct, stats=stats, energy=energy,
+        compile_result=compiled, work_items=instance.work_items,
+        events=events,
     )
 
 
 def compare(name: str, scale: str = "small", seed: int = 7,
             options: CompilerOptions | None = None,
-            core_config: CoreConfig | None = None) -> Comparison:
+            core_config: CoreConfig | None = None,
+            trace: TraceOptions | None = None) -> Comparison:
     """Run scalar and DySER builds of one workload on identical inputs."""
-    scalar = run_workload(name, mode="scalar", scale=scale, seed=seed,
-                          core_config=core_config)
-    dyser = run_workload(name, mode="dyser", scale=scale, seed=seed,
-                         options=options, core_config=core_config)
+    trace = trace or TraceOptions()
+    scalar = execute(RunConfig(
+        workload=name, mode="scalar", scale=scale, seed=seed,
+        core_config=core_config, trace=trace))
+    dyser = execute(RunConfig(
+        workload=name, mode="dyser", scale=scale, seed=seed,
+        options=options, core_config=core_config, trace=trace))
     return Comparison(workload=name, scalar=scalar, dyser=dyser)

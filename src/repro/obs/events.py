@@ -1,0 +1,226 @@
+"""Structured event stream: ring-buffered spans and instants.
+
+The observability substrate every instrumented subsystem writes into.
+Design constraints, in priority order:
+
+1. **Zero cost when disabled.**  Instrumented code never constructs an
+   :class:`EventStream` unless tracing was requested; every emit site is
+   guarded by an ``if events is not None`` check on a local, so a run
+   with tracing off executes exactly the same work it did before the
+   observability layer existed.
+2. **Bounded memory when enabled.**  Events land in a ring buffer
+   (``collections.deque(maxlen=...)``); once full, the oldest events are
+   dropped and counted in :attr:`EventStream.dropped`.  A runaway
+   workload can never exhaust memory through its trace.
+3. **Two clock domains.**  Simulator events are timestamped in *cycles*
+   (the scoreboard's issue cursor); host-side events (compiler passes,
+   engine job lifecycle) are timestamped in *wall-clock microseconds*.
+   Each event records its domain so the timeline exporter can place them
+   on separate tracks instead of conflating the clocks.
+
+The event model follows the Chrome ``trace_event`` phases we export to
+(:mod:`repro.obs.timeline`): complete events (``X``, with a duration),
+instant events (``i``), and counter samples (``C``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: Clock domains.
+CYCLES = "cycles"
+WALL = "wall"
+
+#: Event phases (mirroring Chrome trace_event).
+COMPLETE = "X"
+INSTANT = "i"
+COUNTER = "C"
+
+
+@dataclass(frozen=True)
+class TraceOptions:
+    """What to record during a run.  The default records nothing.
+
+    ``enabled=False`` is a hard off switch: no stream is allocated and
+    every instrumented hot path sees ``events is None``.
+    """
+
+    enabled: bool = False
+    #: Ring-buffer capacity (events); oldest events drop beyond this.
+    capacity: int = 1_000_000
+    #: Categories to record (empty tuple = record everything).  Category
+    #: names are dotted prefixes: ``cpu``, ``cpu.stall``, ``dyser``,
+    #: ``compiler``, ``engine``.
+    categories: tuple = ()
+    #: Also record one event per issued instruction (verbose; the
+    #: per-instruction track is the single largest event source).
+    instructions: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "categories",
+                           tuple(str(c) for c in self.categories))
+        object.__setattr__(self, "capacity", int(self.capacity))
+
+    def stream(self) -> "EventStream | None":
+        """The stream this configuration calls for (None when off)."""
+        if not self.enabled:
+            return None
+        return EventStream(capacity=self.capacity,
+                           categories=self.categories)
+
+    def to_dict(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "capacity": self.capacity,
+            "categories": list(self.categories),
+            "instructions": self.instructions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceOptions":
+        return cls(
+            enabled=bool(data.get("enabled", False)),
+            capacity=int(data.get("capacity", 1_000_000)),
+            categories=tuple(data.get("categories", ())),
+            instructions=bool(data.get("instructions", False)),
+        )
+
+
+@dataclass(frozen=True)
+class Event:
+    """One recorded event.
+
+    ``ts``/``dur`` are in the units of ``domain`` (cycles or wall-clock
+    microseconds).  ``args`` is a small dict of JSON-safe values.
+    """
+
+    name: str
+    category: str
+    phase: str
+    ts: float
+    dur: float = 0.0
+    domain: str = CYCLES
+    args: dict = field(default_factory=dict)
+
+
+class EventStream:
+    """Ring-buffered sink for structured events.
+
+    Instrumented code holds a reference (or ``None``) and calls
+    :meth:`complete` / :meth:`instant` / :meth:`counter` with explicit
+    timestamps, or uses the :meth:`span` context manager for wall-clock
+    phases.  The stream is append-only; export goes through
+    :mod:`repro.obs.timeline`.
+    """
+
+    def __init__(self, capacity: int = 1_000_000,
+                 categories: tuple = ()) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.categories = tuple(categories)
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self.emitted = 0      # total events offered (including dropped)
+
+    # -- predicates ----------------------------------------------------
+
+    def wants(self, category: str) -> bool:
+        """Is ``category`` recorded under the configured filter?"""
+        if not self.categories:
+            return True
+        return any(category == c or category.startswith(c + ".")
+                   for c in self.categories)
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring-buffer wraparound."""
+        return self.emitted - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    @property
+    def events(self) -> list[Event]:
+        return list(self._events)
+
+    # -- emit ----------------------------------------------------------
+
+    def _push(self, event: Event) -> None:
+        self.emitted += 1
+        self._events.append(event)
+
+    def complete(self, name: str, category: str, ts: float, dur: float,
+                 domain: str = CYCLES, **args) -> None:
+        """A span with an explicit start and duration."""
+        if not self.wants(category):
+            return
+        self._push(Event(name, category, COMPLETE, ts, dur, domain, args))
+
+    def instant(self, name: str, category: str, ts: float,
+                domain: str = CYCLES, **args) -> None:
+        """A point event (no duration)."""
+        if not self.wants(category):
+            return
+        self._push(Event(name, category, INSTANT, ts, 0.0, domain, args))
+
+    def counter(self, name: str, category: str, ts: float, value: float,
+                domain: str = CYCLES, **args) -> None:
+        """A sampled counter value (renders as a track in Perfetto)."""
+        if not self.wants(category):
+            return
+        self._push(Event(name, category, COUNTER, ts, 0.0, domain,
+                         {"value": value, **args}))
+
+    @contextmanager
+    def span(self, name: str, category: str, **args):
+        """Wall-clock span: times the enclosed block.
+
+        Yields a mutable dict merged into the event's args on exit, so
+        the body can attach results (IR sizes, counts) to the span::
+
+            with events.span("optimize", "compiler") as info:
+                func = optimize(func)
+                info["ops"] = func.op_count()
+        """
+        extra: dict = {}
+        start = time.perf_counter()
+        try:
+            yield extra
+        finally:
+            dur_us = (time.perf_counter() - start) * 1e6
+            if self.wants(category):
+                self._push(Event(name, category, COMPLETE,
+                                 start * 1e6, dur_us, WALL,
+                                 {**args, **extra}))
+
+    # -- queries (used by the exporters and tests) ---------------------
+
+    def by_category(self, category: str) -> list[Event]:
+        return [e for e in self._events
+                if e.category == category
+                or e.category.startswith(category + ".")]
+
+    def named(self, name: str) -> list[Event]:
+        return [e for e in self._events if e.name == name]
+
+
+@contextmanager
+def maybe_span(events: "EventStream | None", name: str, category: str,
+               **args):
+    """``events.span(...)`` when tracing, otherwise a free no-op.
+
+    The helper instrumented *cold* paths use (compiler passes, engine
+    job lifecycle) so they need no ``if events is not None`` boilerplate.
+    Hot paths (the core's issue loop) inline the guard instead.
+    """
+    if events is None:
+        yield {}
+        return
+    with events.span(name, category, **args) as extra:
+        yield extra

@@ -1,0 +1,214 @@
+"""Named metrics registry: counters, gauges, histograms.
+
+:class:`repro.cpu.ExecStats` predates this module and hard-codes its
+counters as dataclass fields; every new subsystem counter used to mean
+editing that dataclass and every (de)serializer that touches it.  The
+registry decouples that: a subsystem registers a named instrument once
+and bumps it; :class:`ExecStats` carries a registry in its ``metrics``
+field, so new counters ride along through serialization, the artifact
+cache, and reports without schema edits.
+
+Instrument names are namespaced with dots (``dyser.port.send_stalls``)
+and must be unique within a registry; re-requesting the same name with
+the same type returns the existing instrument, while a type conflict
+raises.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+
+class MetricError(ValueError):
+    """Registry misuse: duplicate name with a different type."""
+
+
+@dataclass
+class CounterMetric:
+    """Monotonically increasing count."""
+
+    name: str
+    help: str = ""
+    value: int = 0
+
+    kind = "counter"
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise MetricError(f"counter {self.name}: negative increment {n}")
+        self.value += n
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+
+@dataclass
+class GaugeMetric:
+    """Last-written value (can go up or down)."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    kind = "gauge"
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+
+#: Default histogram buckets: powers of two up to 4096 (cycle latencies).
+DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+@dataclass
+class HistogramMetric:
+    """Bucketed distribution with count/sum/min/max."""
+
+    name: str
+    help: str = ""
+    buckets: tuple = DEFAULT_BUCKETS
+    counts: list = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+    min: float | None = None
+    max: float | None = None
+
+    kind = "histogram"
+
+    def __post_init__(self) -> None:
+        self.buckets = tuple(sorted(self.buckets))
+        if not self.counts:
+            # One bin per bucket upper bound, plus overflow.
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation.
+
+        Bucket semantics follow Prometheus ``le``: ``counts[i]`` holds
+        observations ``<= buckets[i]``; ``counts[-1]`` is the overflow.
+        """
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        i = bisect_right(self.buckets, value)
+        if i > 0 and self.buckets[i - 1] == value:
+            i -= 1
+        self.counts[i] += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind, "help": self.help,
+            "buckets": list(self.buckets), "counts": list(self.counts),
+            "count": self.count, "sum": self.sum,
+            "min": self.min, "max": self.max,
+        }
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+_KINDS = {
+    "counter": CounterMetric,
+    "gauge": GaugeMetric,
+    "histogram": HistogramMetric,
+}
+
+
+class MetricsRegistry:
+    """A namespace of uniquely named instruments."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    # -- registration --------------------------------------------------
+
+    def _register(self, cls, name: str, help: str, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise MetricError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}")
+            return existing
+        metric = cls(name=name, help=help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> CounterMetric:
+        return self._register(CounterMetric, name, help)
+
+    def gauge(self, name: str, help: str = "") -> GaugeMetric:
+        return self._register(GaugeMetric, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple = DEFAULT_BUCKETS) -> HistogramMetric:
+        return self._register(HistogramMetric, name, help, buckets=buckets)
+
+    # -- access --------------------------------------------------------
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def value(self, name: str, default=0):
+        """Scalar value of a counter/gauge (histograms return count)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, HistogramMetric):
+            return metric.count
+        return metric.value
+
+    # -- (de)serialization --------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {name: self._metrics[name].to_dict()
+                for name in sorted(self._metrics)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        registry = cls()
+        for name, entry in (data or {}).items():
+            kind = entry.get("kind", "counter")
+            metric_cls = _KINDS.get(kind)
+            if metric_cls is None:
+                raise MetricError(f"unknown metric kind {kind!r}")
+            kwargs = {k: v for k, v in entry.items() if k != "kind"}
+            if kind == "histogram":
+                kwargs["buckets"] = tuple(kwargs.get("buckets",
+                                                     DEFAULT_BUCKETS))
+            metric = metric_cls(name=name, **kwargs)
+            registry._metrics[name] = metric
+        return registry
+
+    def format(self) -> str:
+        """Human-readable dump, one instrument per line."""
+        lines = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, HistogramMetric):
+                lines.append(
+                    f"{name:<36} histogram count={metric.count} "
+                    f"mean={metric.mean:.2f} min={metric.min} "
+                    f"max={metric.max}")
+            else:
+                lines.append(f"{name:<36} {metric.kind} "
+                             f"value={metric.value}")
+        return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""One-call workload profiling: traced runs plus renderable reports.
+
+``repro profile <workload>`` is a thin CLI veneer over this module::
+
+    from repro import profile_workload
+
+    report = profile_workload("mm", scale="tiny")
+    print(report.summary())                  # tables on stdout
+    report.export("trace.json")              # open in ui.perfetto.dev
+
+The heavy lifting lives elsewhere — :mod:`repro.harness` runs the
+workload with :class:`~repro.obs.events.TraceOptions` enabled, and
+:mod:`repro.obs.timeline` renders the recorded stream.  Imports of the
+harness are deferred to call time because the harness itself imports
+:mod:`repro.obs` (the observability layer sits *below* the run API).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, replace
+
+from repro.obs.events import EventStream, TraceOptions
+from repro.obs.timeline import (
+    invocation_table,
+    phase_table,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def trace_workload(config, /, **kwargs):
+    """Run one workload with tracing on; returns a ``RunResult`` whose
+    ``events`` attribute holds the recorded stream.
+
+    ``config`` is a workload name (with ``RunConfig`` fields as kwargs)
+    or a ready :class:`~repro.harness.RunConfig`; tracing is forced on
+    either way, preserving any other ``TraceOptions`` fields.
+    """
+    from repro.harness.config import RunConfig
+    from repro.harness.runner import execute
+
+    if not isinstance(config, RunConfig):
+        config = RunConfig(workload=config, **kwargs)
+    elif kwargs:
+        raise TypeError("trace_workload(RunConfig) accepts no extra "
+                        f"kwargs; got {sorted(kwargs)}")
+    if not config.trace.enabled:
+        config = config.with_(trace=replace(config.trace, enabled=True))
+    return execute(config)
+
+
+@dataclass
+class ProfileReport:
+    """A traced run plus its renderings."""
+
+    result: object  # RunResult (typed loosely to keep imports lazy)
+
+    @property
+    def events(self) -> EventStream:
+        return self.result.events
+
+    # -- exports -------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The run as a Chrome/Perfetto ``trace_event`` JSON object."""
+        return to_chrome_trace(self.events, metadata={
+            "workload": self.result.workload,
+            "mode": self.result.mode,
+            "scale": self.result.scale,
+            "cycles": self.result.cycles,
+        })
+
+    def export(self, path) -> pathlib.Path:
+        """Write the Chrome trace JSON to ``path``; returns the path."""
+        return write_chrome_trace(self.events, path, metadata={
+            "workload": self.result.workload,
+            "mode": self.result.mode,
+            "scale": self.result.scale,
+            "cycles": self.result.cycles,
+        })
+
+    # -- text renderings ----------------------------------------------
+
+    def invocation_table(self, limit: int | None = 40) -> str:
+        return invocation_table(self.events, limit=limit)
+
+    def phase_table(self) -> str:
+        return phase_table(self.events)
+
+    def summary(self, limit: int | None = 40) -> str:
+        """The full plain-text profile: run header, cycle accounting,
+        named metrics, compiler phases, per-invocation attribution."""
+        result = self.result
+        lines = [
+            f"profile {result.workload} [{result.mode}, {result.scale}]: "
+            f"{'OK' if result.correct else 'WRONG RESULT'}",
+            result.stats.summary(),
+        ]
+        metrics = result.stats.metrics
+        if len(metrics):
+            lines += ["", "metrics:", metrics.format()]
+        lines += ["", self.phase_table()]
+        if result.mode == "dyser":
+            lines += ["", self.invocation_table(limit=limit)]
+        events = self.events
+        lines += ["", f"trace: {len(events)} events recorded"
+                      + (f" ({events.dropped} dropped)"
+                         if events.dropped else "")]
+        return "\n".join(lines)
+
+
+def profile_workload(config, /, trace: TraceOptions | None = None,
+                     **kwargs) -> ProfileReport:
+    """Trace one workload and wrap the result for rendering/export.
+
+    Accepts the same arguments as :func:`trace_workload`; ``trace``
+    optionally supplies non-default :class:`TraceOptions` (capacity,
+    category filter, per-instruction events) for name-based calls.
+    """
+    from repro.harness.config import RunConfig
+
+    if not isinstance(config, RunConfig) and trace is not None:
+        kwargs["trace"] = trace
+    return ProfileReport(result=trace_workload(config, **kwargs))

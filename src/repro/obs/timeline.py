@@ -1,0 +1,196 @@
+"""Timeline export: Chrome/Perfetto ``trace_event`` JSON and text tables.
+
+Two consumers:
+
+- ``chrome://tracing`` / https://ui.perfetto.dev — load the JSON written
+  by :func:`write_chrome_trace` and scrub through a run cycle by cycle;
+- terminals — :func:`invocation_table` renders the per-invocation
+  cycle-attribution table (a finer-grained E3: where every cycle between
+  consecutive DySER invocations went).
+
+Clock mapping: the simulator's cycle domain is exported with **1 cycle =
+1 microsecond** on its own trace process, so Perfetto's time axis reads
+directly in cycles.  Host wall-clock events (compiler passes, engine job
+lifecycle) land on a second process in real microseconds, rebased so the
+earliest event sits at t=0.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import defaultdict
+
+from repro.obs.events import COUNTER, CYCLES, WALL, EventStream
+
+#: Synthetic process ids for the two clock domains.
+PID_SIM = 1
+PID_HOST = 2
+
+_PROCESS_NAMES = {
+    PID_SIM: "simulation (1 us = 1 cycle)",
+    PID_HOST: "host (wall clock)",
+}
+
+
+def _thread_ids(events) -> dict[tuple[int, str], int]:
+    """Stable (pid, category) -> tid mapping, sorted for determinism."""
+    keys = sorted({(PID_SIM if e.domain == CYCLES else PID_HOST,
+                    e.category) for e in events})
+    return {key: i + 1 for i, key in enumerate(keys)}
+
+
+def to_chrome_trace(events: EventStream, metadata: dict | None = None) -> dict:
+    """Render a stream as a Chrome ``trace_event`` JSON object (dict).
+
+    Emits ``X`` (complete), ``i`` (instant) and ``C`` (counter) phases
+    plus ``M`` metadata records naming processes and threads, which is
+    the subset both ``chrome://tracing`` and Perfetto accept.
+    """
+    recorded = list(events)
+    tids = _thread_ids(recorded)
+    wall_base = min((e.ts for e in recorded if e.domain == WALL),
+                    default=0.0)
+
+    trace_events: list[dict] = []
+    for pid, name in _PROCESS_NAMES.items():
+        trace_events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+    for (pid, category), tid in tids.items():
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": category},
+        })
+
+    for event in recorded:
+        pid = PID_SIM if event.domain == CYCLES else PID_HOST
+        ts = event.ts if event.domain == CYCLES else event.ts - wall_base
+        entry = {
+            "name": event.name,
+            "cat": event.category,
+            "ph": event.phase,
+            "ts": ts,
+            "pid": pid,
+            "tid": tids[(pid, event.category)],
+        }
+        if event.phase == COUNTER:
+            entry["args"] = {event.name: event.args.get("value", 0)}
+        else:
+            if event.phase == "X":
+                entry["dur"] = event.dur
+            if event.args:
+                entry["args"] = dict(event.args)
+        if event.phase == "i":
+            entry["s"] = "t"  # thread-scoped instant
+        trace_events.append(entry)
+
+    doc = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        doc["otherData"] = dict(metadata)
+    if events.dropped:
+        doc.setdefault("otherData", {})["dropped_events"] = events.dropped
+    return doc
+
+
+def write_chrome_trace(events: EventStream, path,
+                       metadata: dict | None = None) -> pathlib.Path:
+    """Write :func:`to_chrome_trace` output as JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(events, metadata)))
+    return path
+
+
+# ---------------------------------------------------------------------
+# Per-invocation cycle attribution (the finer-grained E3)
+# ---------------------------------------------------------------------
+
+
+def invocation_rows(events: EventStream) -> list[dict]:
+    """One dict per DySER invocation with attributed stall cycles.
+
+    For each fabric invocation the window ``(previous fire, this fire]``
+    is examined and every core stall event inside it is attributed to
+    this invocation, keyed by cause.  ``gap`` is the full window length;
+    unattributed gap cycles are issue/compute cycles.
+    """
+    invocations = sorted(
+        (e for e in events if e.name == "invocation"),
+        key=lambda e: (e.ts, e.args.get("index", 0)))
+    stalls = sorted((e for e in events if e.category == "cpu.stall"),
+                    key=lambda e: e.ts)
+
+    rows: list[dict] = []
+    cursor = 0
+    prev_fire = 0.0
+    for i, inv in enumerate(invocations):
+        fire = inv.ts
+        by_cause: dict[str, float] = defaultdict(float)
+        while cursor < len(stalls) and stalls[cursor].ts <= fire:
+            stall = stalls[cursor]
+            if stall.ts > prev_fire or i == 0:
+                by_cause[stall.name] += stall.dur
+            cursor += 1
+        rows.append({
+            "invocation": i,
+            "config": inv.args.get("config", 0),
+            "fire": int(fire),
+            "latency": int(inv.dur),
+            "gap": int(fire - prev_fire) if i else int(fire),
+            "stalls": dict(sorted(by_cause.items())),
+        })
+        prev_fire = fire
+    return rows
+
+
+def invocation_table(events: EventStream, limit: int | None = 40) -> str:
+    """Plain-text per-invocation cycle-attribution table."""
+    from repro.harness.report import format_table
+
+    rows = invocation_rows(events)
+    if not rows:
+        return ("no DySER invocations recorded "
+                "(scalar run, or tracing was off)")
+    causes = sorted({name for row in rows for name in row["stalls"]})
+    headers = ["inv", "cfg", "fire@", "lat", "gap", *causes]
+    table_rows = []
+    shown = rows if limit is None else rows[:limit]
+    for row in shown:
+        table_rows.append([
+            row["invocation"], row["config"], row["fire"],
+            row["latency"], row["gap"],
+            *(int(row["stalls"].get(c, 0)) for c in causes),
+        ])
+    text = format_table(
+        headers, table_rows,
+        title=f"per-invocation cycle attribution "
+              f"({len(rows)} invocations)")
+    if limit is not None and len(rows) > limit:
+        text += f"\n... ({len(rows) - limit} more invocations elided)"
+    return text
+
+
+def phase_table(events: EventStream) -> str:
+    """Wall-clock phases (compiler passes, engine jobs) as a table."""
+    from repro.harness.report import format_table
+
+    spans = [e for e in events
+             if e.domain == WALL and e.phase == "X"]
+    if not spans:
+        return "no host-side phases recorded"
+    spans.sort(key=lambda e: e.ts)
+    base = spans[0].ts
+    rows = [
+        [e.category, e.name, f"{(e.ts - base) / 1e3:.3f}",
+         f"{e.dur / 1e3:.3f}",
+         ", ".join(f"{k}={v}" for k, v in sorted(e.args.items()))]
+        for e in spans
+    ]
+    return format_table(
+        ["category", "phase", "start ms", "dur ms", "detail"], rows,
+        title=f"host phases ({len(spans)} spans)")
