@@ -34,6 +34,16 @@ exclusively.  The canonical entry points::
 # the machine models participate in an import cycle (cpu.core ↔
 # dyser.interface) whose safe entry point is the cpu package.
 from repro.cpu import Core, CoreConfig, ExecStats, Memory
+from repro.analysis import (
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    describe_code,
+    lint_config,
+    lint_spec,
+    lint_workload,
+    verify_function,
+)
 from repro.dyser import (
     Dfg,
     DyserConfig,
@@ -148,6 +158,15 @@ __all__ = [
     "format_series",
     "format_table",
     "geomean",
+    # static analysis
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "describe_code",
+    "lint_config",
+    "lint_spec",
+    "lint_workload",
+    "verify_function",
     # errors
     "ReproError",
     "WorkloadError",

@@ -1,0 +1,45 @@
+"""Static analysis: IR verifier, configuration linter, diagnostics.
+
+Three analyses over three stable code banks:
+
+- :mod:`repro.analysis.verifier` — SSA/IR well-formedness and the
+  access/execute interface contract (``RPR1xx``), runnable after every
+  compiler pass via ``CompilerOptions.verify_passes``;
+- :mod:`repro.analysis.lint` — :class:`~repro.dyser.dfg.Dfg` /
+  :class:`~repro.dyser.config.DyserConfig` structural, placement and
+  routing checks (``RPR2xx``);
+- :mod:`repro.analysis.speclint` — :class:`~repro.engine.jobs.JobSpec`
+  pre-flight checks (``RPR25x``), run by the engine before dispatch;
+
+plus the ``RPR3xx`` control-flow shape advisories emitted by
+:func:`repro.compiler.shapes.region_advisories` and surfaced through
+:func:`lint_workload` / ``repro lint``.
+"""
+
+from repro.analysis.api import lint_workload
+from repro.analysis.diagnostics import (
+    CODES,
+    CodeInfo,
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    describe_code,
+)
+from repro.analysis.lint import lint_config, lint_dfg
+from repro.analysis.speclint import lint_spec
+from repro.analysis.verifier import check_function, verify_function
+
+__all__ = [
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "check_function",
+    "describe_code",
+    "lint_config",
+    "lint_dfg",
+    "lint_spec",
+    "lint_workload",
+    "verify_function",
+]

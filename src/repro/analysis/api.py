@@ -1,0 +1,88 @@
+"""One-call workload analysis: compile, verify, lint, advise.
+
+``lint_workload`` is what ``repro lint <workload>`` runs: it compiles
+the named suite workload (scalar or DySER), runs the IR verifier over
+the SSA at the frontend and post-offload stages, lints every attached
+:class:`~repro.dyser.config.DyserConfig`, and lifts the region
+selector's accept/reject decisions into ``RPR3xx`` shape advisories —
+so the paper's E7 finding ("two control-flow shapes curtail the
+compiler") is visible as static tool output instead of a simulation
+anomaly.
+
+Compilation failures do not escape: any :class:`repro.errors.
+ReproError` raised mid-pipeline is lifted into a diagnostic on the
+report, so ``repro lint`` over a broken kernel still produces a
+machine-readable finding rather than a traceback.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.lint import lint_config
+from repro.analysis.verifier import verify_function
+from repro.errors import ReproError
+
+_MODES = ("scalar", "dyser")
+
+
+def lint_workload(name: str, *, mode: str = "dyser", options=None,
+                  ) -> DiagnosticReport:
+    """Compile ``name`` and return every static finding.
+
+    Args:
+        name: suite workload name (see ``repro.workloads.SUITE``).
+        mode: ``"dyser"`` (region offload + config lint) or
+            ``"scalar"`` (frontend verification only).
+        options: :class:`~repro.compiler.CompilerOptions` or ``None``
+            for defaults.
+
+    Never raises for workload/compile problems — they surface as
+    diagnostics.  ``report.ok`` is the lint verdict.
+    """
+    from repro.compiler.driver import CompilerOptions, frontend
+    from repro.compiler.passes import optimize
+    from repro.compiler.region import offload_regions
+    from repro.compiler.shapes import region_advisories
+    from repro.workloads import SUITE
+
+    report = DiagnosticReport(subject=f"{name}/{mode}")
+    if mode not in _MODES:
+        report.emit("RPR251", f"unknown mode {mode!r}; have {_MODES}",
+                    source="api", mode=mode)
+        return report
+    workload = SUITE.get(name)
+    if workload is None:
+        report.emit(
+            "RPR251",
+            f"unknown workload {name!r}; have {sorted(SUITE)}",
+            source="api", workload=name)
+        return report
+
+    try:
+        func = frontend(workload.source)
+    except ReproError as exc:
+        report.add(_lift(exc, location=name, source="compiler"))
+        return report
+    verify_function(func, report=report)
+    if mode == "scalar":
+        return report
+
+    options = options or CompilerOptions()
+    try:
+        func, regions = offload_regions(func, options)
+        func = optimize(func)
+    except ReproError as exc:
+        report.add(_lift(exc, location=name, source="compiler"))
+        return report
+    verify_function(func, report=report)
+    region_advisories(regions, report)
+    configs = getattr(func, "dyser_configs", {})
+    for config_id in sorted(configs):
+        lint_config(configs[config_id], report)
+    return report
+
+
+def _lift(exc: ReproError, *, location: str, source: str):
+    from repro.analysis.diagnostics import Diagnostic
+
+    return Diagnostic.from_error(exc, location=location, source=source)

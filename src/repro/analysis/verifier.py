@@ -1,0 +1,392 @@
+"""SSA/IR verifier: structural + dominance + interface-contract checks.
+
+Strictly stronger than :meth:`repro.compiler.ir.Function.verify`:
+
+- every block terminated, every edge resolves (RPR101/RPR102);
+- SSA single-assignment and no dangling value refs (RPR103/RPR104);
+- *dominance*: every use is dominated by its definition — phi uses are
+  checked against the corresponding predecessor (RPR105);
+- phi incomings exactly match predecessors (RPR106);
+- unreachable blocks are flagged (RPR107, warning);
+- the access/execute slice-partition contract: every ``dyser_init``
+  names a known configuration, every send/load/recv/store port belongs
+  to the configuration active at that point, and every configuration
+  port has a matching transfer — no silent half-wired interfaces
+  (RPR108..RPR111).
+
+:func:`verify_function` returns a :class:`DiagnosticReport`;
+:func:`check_function` raises :class:`PassVerificationError` naming the
+pass that broke the invariant (the ``CompilerOptions.verify_passes``
+hook in :mod:`repro.compiler.driver`).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import DiagnosticReport, Severity
+from repro.compiler.cfg import dominators
+from repro.compiler.dyser_ir import (
+    DyserInit,
+    DyserLoad,
+    DyserRecv,
+    DyserSend,
+    DyserStore,
+)
+from repro.compiler.ir import Block, Function, Phi, Value
+from repro.errors import PassVerificationError
+
+_SOURCE = "verifier"
+
+#: Block-state sentinel: conflicting configs reach this block.
+_AMBIGUOUS = object()
+
+
+def verify_function(func: Function, report: DiagnosticReport | None = None
+                    ) -> DiagnosticReport:
+    """Run every IR check; never raises."""
+    report = report if report is not None else DiagnosticReport(
+        subject=f"function {func.name}")
+    before = len(report)
+    _check_structure(func, report)
+    # Structure must hold before CFG analyses make sense.
+    if any(d.severity is Severity.ERROR
+           for d in report.diagnostics[before:]):
+        return report
+    reachable = _reachable(func)
+    for name in sorted(set(func.blocks) - reachable):
+        report.emit("RPR107", f"block {name} is unreachable from entry",
+                    location=f"block {name}", source=_SOURCE, block=name)
+    _check_ssa(func, report, reachable)
+    _check_interface_contract(func, report, reachable)
+    return report
+
+
+def check_function(func: Function, pass_name: str) -> None:
+    """Raise :class:`PassVerificationError` if ``func`` fails to verify.
+
+    ``pass_name`` names the pipeline stage that just ran, so the failure
+    message identifies the offending pass directly.
+    """
+    report = verify_function(func)
+    if not report.ok:
+        raise PassVerificationError(pass_name, func.name, report.errors)
+
+
+# -- structure ---------------------------------------------------------
+
+
+def _check_structure(func: Function, report: DiagnosticReport) -> None:
+    if func.entry not in func.blocks:
+        report.emit("RPR102",
+                    f"entry block {func.entry!r} does not exist",
+                    location="entry", source=_SOURCE, block=func.entry)
+    for name in sorted(func.blocks):
+        block = func.blocks[name]
+        if block.terminator is None:
+            report.emit("RPR101", f"block {name} has no terminator",
+                        location=f"block {name}", source=_SOURCE,
+                        block=name)
+            continue
+        for succ in block.terminator.successors():
+            if succ not in func.blocks:
+                report.emit(
+                    "RPR102",
+                    f"block {name} branches to unknown block {succ}",
+                    location=f"block {name}", source=_SOURCE,
+                    block=name, target=succ)
+
+
+def _reachable(func: Function) -> set[str]:
+    seen: set[str] = set()
+    stack = [func.entry]
+    while stack:
+        name = stack.pop()
+        if name in seen or name not in func.blocks:
+            continue
+        seen.add(name)
+        term = func.blocks[name].terminator
+        if term is not None:
+            stack.extend(term.successors())
+    return seen
+
+
+# -- SSA + dominance ---------------------------------------------------
+
+
+def _check_ssa(func: Function, report: DiagnosticReport,
+               reachable: set[str]) -> None:
+    # Definition table: value -> (block name, position).  Params define
+    # at a virtual position before the entry block.
+    defs: dict[Value, tuple[str, int]] = {}
+    for param in func.params:
+        if param.value is not None:
+            defs[param.value] = (func.entry, -1)
+    for name in sorted(func.blocks):
+        block = func.blocks[name]
+        for pos, instr in enumerate(block.all_instrs()):
+            if instr.result is None:
+                continue
+            if instr.result in defs:
+                report.emit(
+                    "RPR103",
+                    f"{instr.result!r} defined more than once "
+                    f"(block {name})",
+                    location=f"block {name}", source=_SOURCE,
+                    value=repr(instr.result), block=name)
+            else:
+                defs[instr.result] = (name, pos)
+
+    dom = dominators(func)
+    preds = func.predecessors()
+
+    def dominates(def_site: tuple[str, int], use_block: str,
+                  use_pos: int) -> bool:
+        def_block, def_pos = def_site
+        if def_block == use_block:
+            return def_pos < use_pos
+        return def_block in dom.get(use_block, set())
+
+    for name in sorted(func.blocks):
+        block = func.blocks[name]
+        in_reach = name in reachable
+        for pos, instr in enumerate(block.all_instrs()):
+            if isinstance(instr, Phi):
+                _check_phi(func, report, block, instr, preds, dom,
+                           defs, in_reach)
+                continue
+            for use in instr.uses():
+                if not isinstance(use, Value):
+                    continue
+                site = defs.get(use)
+                if site is None:
+                    report.emit(
+                        "RPR104",
+                        f"use of undefined {use!r} in block {name}",
+                        location=f"block {name}", source=_SOURCE,
+                        value=repr(use), block=name)
+                elif in_reach and not dominates(site, name, pos):
+                    report.emit(
+                        "RPR105",
+                        f"{use!r} used in block {name} but defined in "
+                        f"{site[0]}, which does not dominate it",
+                        location=f"block {name}", source=_SOURCE,
+                        value=repr(use), block=name, def_block=site[0])
+        term = block.terminator
+        if term is None:
+            continue
+        term_pos = len(block.all_instrs())
+        for use in term.uses():
+            if not isinstance(use, Value):
+                continue
+            site = defs.get(use)
+            if site is None:
+                report.emit(
+                    "RPR104",
+                    f"terminator of {name} uses undefined {use!r}",
+                    location=f"block {name}", source=_SOURCE,
+                    value=repr(use), block=name)
+            elif in_reach and not dominates(site, name, term_pos):
+                report.emit(
+                    "RPR105",
+                    f"terminator of {name} uses {use!r} defined in "
+                    f"{site[0]}, which does not dominate it",
+                    location=f"block {name}", source=_SOURCE,
+                    value=repr(use), block=name, def_block=site[0])
+
+
+def _check_phi(func: Function, report: DiagnosticReport, block: Block,
+               phi: Phi, preds: dict[str, list[str]],
+               dom: dict[str, set[str]],
+               defs: dict[Value, tuple[str, int]],
+               in_reach: bool) -> None:
+    name = block.name
+    expected = set(preds.get(name, []))
+    if in_reach and set(phi.incomings) != expected:
+        report.emit(
+            "RPR106",
+            f"phi {phi.result!r} in {name} has incomings "
+            f"{sorted(phi.incomings)} but predecessors are "
+            f"{sorted(expected)}",
+            location=f"block {name}", source=_SOURCE,
+            value=repr(phi.result), block=name,
+            incomings=sorted(phi.incomings),
+            predecessors=sorted(expected))
+    for pred, use in phi.incomings.items():
+        if not isinstance(use, Value):
+            continue
+        site = defs.get(use)
+        if site is None:
+            report.emit(
+                "RPR104",
+                f"phi {phi.result!r} in {name} reads undefined {use!r}",
+                location=f"block {name}", source=_SOURCE,
+                value=repr(use), block=name)
+        elif (in_reach and pred in dom
+              and site[0] != pred and site[0] not in dom[pred]):
+            # The incoming value must be available at the end of the
+            # predecessor: defined in it or in one of its dominators.
+            report.emit(
+                "RPR105",
+                f"phi {phi.result!r} in {name} reads {use!r} along edge "
+                f"{pred}->{name}, but its definition in {site[0]} does "
+                f"not dominate {pred}",
+                location=f"block {name}", source=_SOURCE,
+                value=repr(use), block=name, edge=pred,
+                def_block=site[0])
+
+
+# -- the access/execute slice-partition contract -----------------------
+
+
+def _check_interface_contract(func: Function, report: DiagnosticReport,
+                              reachable: set[str]) -> None:
+    """Every interface op talks to the configuration active at its site,
+    every port it names exists there, and every configuration port has a
+    matching transfer somewhere the configuration is live."""
+    configs = getattr(func, "dyser_configs", {}) or {}
+    has_interface = any(
+        isinstance(i, (DyserInit, DyserSend, DyserRecv, DyserLoad,
+                       DyserStore))
+        for b in func.blocks.values() for i in b.instrs)
+    if not has_interface:
+        return
+
+    # Forward dataflow: which config id is active entering each block.
+    state_in: dict[str, object] = {func.entry: None}
+    order = [b.name for b in func.block_order() if b.name in reachable]
+    changed = True
+    while changed:
+        changed = False
+        for name in order:
+            if name not in state_in:
+                continue
+            out = _block_out_state(func.blocks[name], state_in[name])
+            term = func.blocks[name].terminator
+            if term is None:
+                continue
+            for succ in term.successors():
+                if succ not in func.blocks:
+                    continue
+                if succ not in state_in:
+                    state_in[succ] = out
+                    changed = True
+                    continue
+                new = _meet(state_in[succ], out)
+                if not _same_state(new, state_in[succ]):
+                    state_in[succ] = new
+                    changed = True
+
+    # Port traffic per config id: which ports saw a send/load and which
+    # saw a recv/store while the config was active.
+    sent: dict[int, set[int]] = {}
+    received: dict[int, set[int]] = {}
+    activated: set[int] = set()
+
+    for name in order:
+        block = func.blocks[name]
+        state = state_in.get(name)
+        for instr in block.instrs:
+            if isinstance(instr, DyserInit):
+                state = instr.config_id
+                activated.add(instr.config_id)
+                if instr.config_id not in configs:
+                    report.emit(
+                        "RPR108",
+                        f"dyser_init #{instr.config_id} in {name} names "
+                        f"an unknown configuration",
+                        location=f"block {name}", source=_SOURCE,
+                        config=instr.config_id, block=name)
+                continue
+            ports = _interface_ports(instr)
+            if ports is None:
+                continue
+            direction, port_list = ports
+            if state is None:
+                report.emit(
+                    "RPR111",
+                    f"{instr!r} in {name} executes with no "
+                    f"configuration loaded",
+                    location=f"block {name}", source=_SOURCE,
+                    block=name)
+                continue
+            if state is _AMBIGUOUS or state not in configs:
+                continue  # init-site problems are reported above
+            config = configs[state]
+            legal = (set(config.dfg.input_ports) if direction == "in"
+                     else set(config.dfg.output_ports))
+            book = sent if direction == "in" else received
+            book.setdefault(state, set()).update(port_list)
+            for port in port_list:
+                if port not in legal:
+                    report.emit(
+                        "RPR109",
+                        f"{instr!r} in {name} targets port {port}, "
+                        f"which configuration #{state} does not expose "
+                        f"as an {'input' if direction == 'in' else 'output'}",
+                        location=f"block {name}", source=_SOURCE,
+                        port=port, config=state, block=name)
+
+    # Coverage: every port of every *activated* config must be wired.
+    for config_id in sorted(activated & set(configs)):
+        config = configs[config_id]
+        missing_in = set(config.dfg.input_ports) \
+            - sent.get(config_id, set())
+        missing_out = set(config.dfg.output_ports) \
+            - received.get(config_id, set())
+        for port in sorted(missing_in):
+            report.emit(
+                "RPR110",
+                f"configuration #{config_id} input port {port} is "
+                f"never sent (no dsend/dload targets it)",
+                location=f"config {config_id}", source=_SOURCE,
+                port=port, config=config_id, direction="in")
+        for port in sorted(missing_out):
+            report.emit(
+                "RPR110",
+                f"configuration #{config_id} output port {port} is "
+                f"never received (no drecv/dstore drains it)",
+                location=f"config {config_id}", source=_SOURCE,
+                port=port, config=config_id, direction="out")
+
+
+def _block_out_state(block: Block, state: object) -> object:
+    for instr in block.instrs:
+        if isinstance(instr, DyserInit):
+            state = instr.config_id
+    return state
+
+
+def _same_state(a: object, b: object) -> bool:
+    if a is b:
+        return True
+    if a is _AMBIGUOUS or b is _AMBIGUOUS:
+        return False
+    return a == b
+
+
+def _meet(a: object, b: object) -> object:
+    if a is _AMBIGUOUS or b is _AMBIGUOUS:
+        return _AMBIGUOUS
+    if a is None:
+        return b
+    if b is None or a == b:
+        return a
+    return _AMBIGUOUS
+
+
+def _interface_ports(instr) -> tuple[str, list[int]] | None:
+    """(direction, concrete port list) for an interface op, else None.
+
+    Wide (spatial) transfers cover ``port .. port+count-1``; temporal
+    vector transfers reuse one port.
+    """
+    if isinstance(instr, (DyserSend, DyserLoad)):
+        direction = "in"
+    elif isinstance(instr, (DyserRecv, DyserStore)):
+        direction = "out"
+    else:
+        return None
+    count = getattr(instr, "count", 1)
+    wide = getattr(instr, "wide", False)
+    if wide and count > 1:
+        return direction, list(range(instr.port, instr.port + count))
+    return direction, [instr.port]

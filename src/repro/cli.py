@@ -6,6 +6,7 @@ Subcommands::
     python -m repro run mriq --mode dyser    # run one workload
     python -m repro profile mm --scale tiny --export trace.json
     python -m repro compile mriq --dump-ir   # show compiler output
+    python -m repro lint mm fir --json       # static analysis verdicts
     python -m repro suite --scale tiny --jobs 4   # scalar-vs-DySER sweep
     python -m repro sweep saxpy mm --geometry 4x4 8x8 --jobs 4
     python -m repro cache --clear            # artifact-cache maintenance
@@ -101,6 +102,45 @@ def _cmd_compile(args) -> int:
         print(f"\n; configuration #{config_id}")
         print(config.dfg.describe())
     return 0
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro import (
+        CompilerOptions,
+        Fabric,
+        FabricGeometry,
+        Severity,
+        lint_workload,
+    )
+
+    options = None
+    if args.geometry is not None:
+        options = CompilerOptions(
+            fabric=Fabric(FabricGeometry(*args.geometry)))
+    names = args.workloads or sorted(SUITE)
+    reports = [lint_workload(name, mode=args.mode, options=options)
+               for name in names]
+    ok = all(report.ok for report in reports)
+    if args.json:
+        print(json.dumps({
+            "ok": ok,
+            "reports": [report.to_dict() for report in reports],
+        }, indent=2, sort_keys=True))
+        return 0 if ok else 1
+    min_severity = (Severity.WARNING if not args.notes
+                    else Severity.NOTE)
+    for report in reports:
+        print(report.render(min_severity=min_severity))
+    total_errors = sum(len(r.errors) for r in reports)
+    total_warnings = sum(len(r.warnings) for r in reports)
+    print(f"\nlint: {len(reports)} workload"
+          f"{'s' if len(reports) != 1 else ''}, "
+          f"{total_errors} error{'s' if total_errors != 1 else ''}, "
+          f"{total_warnings} warning"
+          f"{'s' if total_warnings != 1 else ''}")
+    return 0 if ok else 1
 
 
 def _engine_cache(args):
@@ -321,6 +361,27 @@ def build_parser() -> argparse.ArgumentParser:
                            help="baseline build instead of DySER")
     compile_p.add_argument("--dump-ir", action="store_true")
     compile_p.set_defaults(func=_cmd_compile)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="static analysis: IR verifier + configuration linter",
+        description="Compile the named workloads and report every "
+                    "static finding (stable RPRnnn codes): IR "
+                    "verification, DFG/configuration lint, and the "
+                    "control-flow shape advisories behind the paper's "
+                    "E7 result, e.g.: repro lint mm fir --json")
+    lint_p.add_argument("workloads", nargs="*", metavar="workload",
+                        help="workloads to lint (default: whole suite)")
+    lint_p.add_argument("--mode", choices=("dyser", "scalar"),
+                        default="dyser")
+    lint_p.add_argument("--geometry", type=_parse_geometry, default=None,
+                        metavar="WxH", help="fabric geometry, e.g. 4x4")
+    lint_p.add_argument("--json", action="store_true",
+                        help="machine-readable diagnostics on stdout")
+    lint_p.add_argument("--notes", action="store_true",
+                        help="also show note-severity advisories "
+                             "(offload decisions)")
+    lint_p.set_defaults(func=_cmd_lint)
 
     def add_engine_flags(p) -> None:
         p.add_argument("--jobs", type=int, default=1,

@@ -24,7 +24,7 @@ the E1/E7 experiments can report *why* regions fall back to scalar code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.compiler.affine import Affine, AffineAnalysis
 from repro.compiler.dyser_ir import (

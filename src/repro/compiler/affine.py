@@ -11,7 +11,7 @@ Expresses integer IR values as affine combinations ``sum(coeff_i * base_i)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.compiler.ir import Block, Compute, Const, Operand, Value
 from repro.compiler.types import Scalar

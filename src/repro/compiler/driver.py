@@ -8,7 +8,6 @@ scheduling to produce SPARC-DySER code with attached configurations.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 
 from repro.compiler.codegen import generate
@@ -46,6 +45,12 @@ class CompilerOptions:
     if_convert: bool = True
     #: Maximum region size in execute ops (fabric capacity guard).
     max_region_ops: int | None = None
+    #: Run the IR verifier (:mod:`repro.analysis.verifier`) after every
+    #: pipeline pass; a broken invariant raises
+    #: :class:`repro.errors.PassVerificationError` naming the pass.
+    #: Purely diagnostic — never changes the compiled output — and
+    #: deliberately excluded from the engine's compile hash.
+    verify_passes: bool = False
 
 
 @dataclass
@@ -90,11 +95,22 @@ class CompileResult:
         return sum(1 for r in self.regions if r.accepted)
 
 
-def frontend(source: str, events=None):
+def _verify_after(func, pass_name: str, verify: bool) -> None:
+    """Pass-sandwich verification: name the pass that broke the IR."""
+    if not verify:
+        return
+    from repro.analysis.verifier import check_function
+
+    check_function(func, pass_name)
+
+
+def frontend(source: str, events=None, verify: bool = False):
     """Parse + lower + clean one kernel; returns optimized SSA.
 
     ``events`` (an :class:`repro.obs.events.EventStream` or ``None``)
     records per-pass wall time and IR size deltas when tracing is on.
+    ``verify`` runs the IR verifier after each pass (see
+    :attr:`CompilerOptions.verify_passes`).
     """
     from repro.compiler.passes import licm
 
@@ -104,23 +120,27 @@ def frontend(source: str, events=None):
     with maybe_span(events, "lower", "compiler.pass") as info:
         func = lower_kernel(kernel)
         info["ir_size"] = _ir_size(func)
+    _verify_after(func, "lower", verify)
     with maybe_span(events, "optimize", "compiler.pass") as info:
         before = _ir_size(func)
         func = optimize(func)
         info["ir_size"] = _ir_size(func)
         info["ir_delta"] = _ir_size(func) - before
+    _verify_after(func, "optimize", verify)
     with maybe_span(events, "licm", "compiler.pass") as info:
         before = _ir_size(func)
         if licm(func):
             func = optimize(func)
         info["ir_size"] = _ir_size(func)
         info["ir_delta"] = _ir_size(func) - before
+    _verify_after(func, "licm", verify)
     return func
 
 
-def compile_scalar(source: str, events=None) -> CompileResult:
+def compile_scalar(source: str, events=None,
+                   verify: bool = False) -> CompileResult:
     """Compile for the baseline core (no DySER)."""
-    func = frontend(source, events=events)
+    func = frontend(source, events=events, verify=verify)
     ir_dump = func.dump()
     with maybe_span(events, "codegen", "compiler.pass") as info:
         program = generate(func)
@@ -140,7 +160,8 @@ def compile_dyser(source: str,
     from repro.compiler.region import offload_regions
 
     options = options or CompilerOptions()
-    func = frontend(source, events=events)
+    verify = options.verify_passes
+    func = frontend(source, events=events, verify=verify)
     with maybe_span(events, "offload_regions", "compiler.pass") as info:
         before = _ir_size(func)
         func, reports = offload_regions(func, options)
@@ -148,11 +169,13 @@ def compile_dyser(source: str,
         info["ir_delta"] = _ir_size(func) - before
         info["regions"] = len(reports)
         info["accepted"] = sum(1 for r in reports if r.accepted)
+    _verify_after(func, "offload_regions", verify)
     with maybe_span(events, "optimize", "compiler.pass") as info:
         before = _ir_size(func)
         func = optimize(func)
         info["ir_size"] = _ir_size(func)
         info["ir_delta"] = _ir_size(func) - before
+    _verify_after(func, "optimize", verify)
     ir_dump = func.dump()
     with maybe_span(events, "codegen", "compiler.pass") as info:
         program = generate(func)

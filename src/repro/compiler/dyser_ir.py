@@ -8,7 +8,7 @@ register allocation treat them uniformly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.compiler.ir import Instr, Operand, Value
 

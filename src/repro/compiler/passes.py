@@ -21,7 +21,7 @@ from repro.compiler.ir import (
     Value,
 )
 from repro.compiler.types import Scalar
-from repro.dyser.ops import FuOp, evaluate
+from repro.dyser.ops import evaluate
 
 
 def fold_constants(func: Function) -> bool:

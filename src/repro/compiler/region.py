@@ -84,6 +84,10 @@ def offload_regions(func: Function, options):
                 report.reason = str(exc)
                 continue
             func = work
+            if getattr(options, "verify_passes", False):
+                from repro.analysis.verifier import check_function
+
+                check_function(func, f"offload:{loop.header}")
             report.accepted = True
             report.reason = "offloaded"
             report.execute_ops = partition.execute_ops

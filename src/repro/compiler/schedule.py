@@ -20,10 +20,9 @@ compiler does for oversized regions).
 from __future__ import annotations
 
 import random
-from collections import deque
 
 from repro.dyser.config import DyserConfig, SinkKey, SourceKey, source_key
-from repro.dyser.dfg import ConstRef, Dfg, NodeRef, PortRef
+from repro.dyser.dfg import Dfg, NodeRef, PortRef
 from repro.dyser.fabric import Coord, Fabric
 from repro.dyser.ops import capability_of
 from repro.errors import SchedulingError
@@ -50,13 +49,23 @@ def schedule(config_id: int, dfg: Dfg, fabric: Fabric,
     if len(dfg.nodes) > fabric.geometry.num_fus:
         raise SchedulingError(
             f"{dfg.name}: {len(dfg.nodes)} ops exceed "
-            f"{fabric.geometry.num_fus} FUs")
+            f"{fabric.geometry.num_fus} FUs",
+            code="RPR213", dfg=dfg.name, ops=len(dfg.nodes),
+            fus=fabric.geometry.num_fus)
     if dfg.input_ports and max(dfg.input_ports) >= \
             fabric.geometry.num_input_ports:
-        raise SchedulingError(f"{dfg.name}: not enough input ports")
+        raise SchedulingError(
+            f"{dfg.name}: not enough input ports",
+            code="RPR206", dfg=dfg.name, direction="in",
+            port=max(dfg.input_ports),
+            limit=fabric.geometry.num_input_ports)
     if dfg.output_ports and max(dfg.output_ports) >= \
             fabric.geometry.num_output_ports:
-        raise SchedulingError(f"{dfg.name}: not enough output ports")
+        raise SchedulingError(
+            f"{dfg.name}: not enough output ports",
+            code="RPR206", dfg=dfg.name, direction="out",
+            port=max(dfg.output_ports),
+            limit=fabric.geometry.num_output_ports)
     last_error: SchedulingError | None = None
     for attempt in range(_PLACE_ATTEMPTS):
         rng = random.Random(seed + attempt * 7919)
@@ -129,7 +138,10 @@ def _place(dfg: Dfg, fabric: Fabric, rng: random.Random,
         ]
         if not candidates:
             raise SchedulingError(
-                f"{dfg.name}: no free FU supports {node.op.value}")
+                f"{dfg.name}: no free FU supports {node.op.value}",
+                code="RPR216", dfg=dfg.name, node=node.id,
+                op=node.op.value,
+                capability=capability_of(node.op).value)
         best = min(
             candidates,
             key=lambda fu: (
@@ -211,7 +223,8 @@ def _route(dfg: Dfg, fabric: Fabric, placement: dict[int, Coord],
         skey = source_key(src)
         if skey is None:
             raise SchedulingError(
-                f"{dfg.name}: output port {port} driven by a constant")
+                f"{dfg.name}: output port {port} driven by a constant",
+                code="RPR214", dfg=dfg.name, port=port)
         start = (in_switches[skey[1]] if skey[0] == "port"
                  else geometry.fu_output_switch(placement[skey[1]]))
         jobs.append((skey, ("out", port, 0), [out_switches[port]], start))
@@ -237,7 +250,8 @@ def _route(dfg: Dfg, fabric: Fabric, placement: dict[int, Coord],
                 present_penalty, skey)
             if target is None:
                 raise SchedulingError(
-                    f"{dfg.name}: signal {skey} -> {sink} has no path")
+                    f"{dfg.name}: signal {skey} -> {sink} has no path",
+                    code="RPR210", dfg=dfg.name, signal=skey, sink=sink)
             path = _backtrack(tree, target)
             routes[(skey, sink)] = path
             for a, b in zip(path, path[1:]):
@@ -252,7 +266,9 @@ def _route(dfg: Dfg, fabric: Fabric, placement: dict[int, Coord],
         present_penalty *= 1.6
     raise SchedulingError(
         f"{dfg.name}: congestion did not resolve in {_ROUTE_ROUNDS} "
-        f"routing iterations ({len(shared)} links still shared)")
+        f"routing iterations ({len(shared)} links still shared)",
+        code="RPR217", dfg=dfg.name, rounds=_ROUTE_ROUNDS,
+        shared=len(shared))
 
 
 def _grow_tree_negotiated(geometry, tree: dict[Coord, Coord | None],

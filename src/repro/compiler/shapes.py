@@ -91,6 +91,77 @@ def classify_region(func: Function, loop: Loop,
                        exits=len(exits), carried_control=carried)
 
 
+#: Shape -> (diagnostic code, why the shape curtails the compiler).
+#: The paper's E7 finding, reconstructed as stable tool output.
+SHAPE_ADVISORY_CODES = {
+    Shape.MULTI_EXIT: (
+        "RPR301",
+        "a side exit (break) leaves no single reconvergence point, so "
+        "the region is not if-convertible"),
+    Shape.LOOP_CARRIED_CONTROL: (
+        "RPR302",
+        "the continue-condition consumes loop-carried non-induction "
+        "data, so invocation i+1 cannot issue until invocation i "
+        "retires — pipelining collapses"),
+    Shape.DEEP_DIAMONDS: (
+        "RPR303",
+        "if-conversion executes every arm of every diamond, so useful-"
+        "op density collapses with nesting depth"),
+}
+
+
+def region_advisories(regions, report=None):
+    """Lift driver :class:`~repro.compiler.driver.RegionReport` rows
+    into ``RPR3xx`` advisory diagnostics.
+
+    Accepted regions get an ``RPR300`` note; any region — accepted or
+    not — whose shape is one of the curtailing shapes *also* gets the
+    matching ``RPR301..RPR303`` warning (the E7 story as tool output:
+    offloading such a region still works, but pipelining or useful-op
+    density collapses).  Rejections for other causes get an ``RPR304``
+    note carrying the selector's reason.
+    """
+    from repro.analysis.diagnostics import DiagnosticReport
+
+    report = report if report is not None else DiagnosticReport()
+    by_value = {shape.value: entry
+                for shape, entry in SHAPE_ADVISORY_CODES.items()}
+    for region in regions:
+        where = f"loop {region.loop_header}"
+        if region.accepted:
+            report.emit(
+                "RPR300",
+                f"region at {region.loop_header} offloaded: "
+                f"{region.execute_ops} execute ops, "
+                f"{region.input_ports} in / {region.output_ports} out "
+                f"ports, unroll x{region.unrolled}"
+                + (", vectorized" if region.vectorized else ""),
+                location=where, source="shapes",
+                loop=region.loop_header, execute_ops=region.execute_ops,
+                unrolled=region.unrolled, vectorized=region.vectorized,
+                shape=region.shape)
+        advisory = by_value.get(region.shape)
+        if advisory is not None:
+            code, why = advisory
+            verb = "offloaded" if region.accepted else "rejected"
+            report.emit(
+                code,
+                f"region at {region.loop_header} {verb} with "
+                f"curtailing shape {region.shape}: {why}",
+                location=where, source="shapes",
+                loop=region.loop_header, shape=region.shape,
+                accepted=region.accepted, reason=region.reason)
+        elif not region.accepted:
+            report.emit(
+                "RPR304",
+                f"region at {region.loop_header} rejected: "
+                f"{region.reason}",
+                location=where, source="shapes",
+                loop=region.loop_header, shape=region.shape,
+                reason=region.reason)
+    return report
+
+
 def _carried_control(func: Function, loop: Loop,
                      induction_phis: set[Value]) -> bool:
     """Does any branch in the loop depend on a loop-carried value that is

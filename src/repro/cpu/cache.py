@@ -11,7 +11,7 @@ write-through / no-write-allocate D$.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -66,13 +66,17 @@ class DyserConfig:
             if port >= geometry.num_input_ports:
                 raise ConfigurationError(
                     f"input port {port} exceeds fabric's "
-                    f"{geometry.num_input_ports} ports"
+                    f"{geometry.num_input_ports} ports",
+                    code="RPR206", port=port, direction="in",
+                    limit=geometry.num_input_ports,
                 )
         for port in self.dfg.output_ports:
             if port >= geometry.num_output_ports:
                 raise ConfigurationError(
                     f"output port {port} exceeds fabric's "
-                    f"{geometry.num_output_ports} ports"
+                    f"{geometry.num_output_ports} ports",
+                    code="RPR206", port=port, direction="out",
+                    limit=geometry.num_output_ports,
                 )
         if self.placement is not None:
             self._validate_placement()
@@ -84,13 +88,17 @@ class DyserConfig:
         for nid, node in self.dfg.nodes.items():
             fu = self.placement.get(nid)
             if fu is None:
-                raise ConfigurationError(f"node {nid} not placed")
+                raise ConfigurationError(f"node {nid} not placed",
+                                         code="RPR207", node=nid)
             if fu in placed:
-                raise ConfigurationError(f"FU {fu} hosts two nodes")
+                raise ConfigurationError(f"FU {fu} hosts two nodes",
+                                         code="RPR208", fu=fu, node=nid)
             placed.add(fu)
             if not self.fabric.supports(fu, capability_of(node.op)):
                 raise ConfigurationError(
-                    f"FU {fu} lacks capability for {node.op.value}"
+                    f"FU {fu} lacks capability for {node.op.value}",
+                    code="RPR209", fu=fu, node=nid, op=node.op.value,
+                    capability=capability_of(node.op).value,
                 )
 
     def _validate_routes(self) -> None:
@@ -102,28 +110,36 @@ class DyserConfig:
         link_owner: dict[tuple[Coord, Coord], SourceKey] = {}
         for (skey, sink), path in self.routes.items():
             if len(path) < 1:
-                raise ConfigurationError(f"empty route for {skey}->{sink}")
+                raise ConfigurationError(f"empty route for {skey}->{sink}",
+                                         code="RPR210", signal=skey,
+                                         sink=sink)
             expected_start = self._entry_switch(skey, in_switches)
             if path[0] != expected_start:
                 raise ConfigurationError(
                     f"route {skey}->{sink} starts at {path[0]}, "
-                    f"expected {expected_start}"
+                    f"expected {expected_start}",
+                    code="RPR210", signal=skey, sink=sink,
+                    start=path[0], expected=expected_start,
                 )
             expected_end = self._target_switches(sink, out_switches)
             if path[-1] not in expected_end:
                 raise ConfigurationError(
                     f"route {skey}->{sink} ends at {path[-1]}, "
-                    f"expected one of {expected_end}"
+                    f"expected one of {expected_end}",
+                    code="RPR210", signal=skey, sink=sink,
+                    end=path[-1], expected=expected_end,
                 )
             for a, b in zip(path, path[1:]):
                 if b not in geometry.switch_neighbors(a):
                     raise ConfigurationError(
-                        f"route {skey}->{sink}: {a}->{b} not adjacent"
+                        f"route {skey}->{sink}: {a}->{b} not adjacent",
+                        code="RPR210", signal=skey, sink=sink, hop=[a, b],
                     )
                 owner = link_owner.get((a, b))
                 if owner is not None and owner != skey:
                     raise ConfigurationError(
-                        f"link {a}->{b} carries both {owner} and {skey}"
+                        f"link {a}->{b} carries both {owner} and {skey}",
+                        code="RPR211", link=[a, b], owners=[owner, skey],
                     )
                 link_owner[(a, b)] = skey
 

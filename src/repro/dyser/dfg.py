@@ -8,7 +8,7 @@ compile-time constant.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.dyser.ops import FU_OP_INFO, FuOp
@@ -60,7 +60,9 @@ class DfgNode:
         if len(self.inputs) != arity:
             raise ConfigurationError(
                 f"node {self.id} ({self.op.value}): expected {arity} "
-                f"inputs, got {len(self.inputs)}"
+                f"inputs, got {len(self.inputs)}",
+                code="RPR201", node=self.id, op=self.op.value,
+                arity=arity, got=len(self.inputs),
             )
 
 
@@ -85,7 +87,8 @@ class Dfg:
         if node_id is None:
             node_id = self._next_id
         elif node_id in self.nodes:
-            raise ConfigurationError(f"duplicate node id {node_id}")
+            raise ConfigurationError(f"duplicate node id {node_id}",
+                                     node=node_id)
         node = DfgNode(node_id, op, list(inputs))
         self.nodes[node.id] = node
         self._next_id = max(self._next_id, node_id + 1)
@@ -93,7 +96,8 @@ class Dfg:
 
     def set_output(self, port: int, source: Source) -> None:
         if port in self.outputs:
-            raise ConfigurationError(f"output port {port} already driven")
+            raise ConfigurationError(f"output port {port} already driven",
+                                     port=port)
         self.outputs[port] = source
 
     # -- queries -----------------------------------------------------------
@@ -141,7 +145,10 @@ class Dfg:
                 if indeg[consumer] == 0:
                     ready.append(consumer)
         if len(order) != len(self.nodes):
-            raise ConfigurationError(f"{self.name}: DFG contains a cycle")
+            cyclic = sorted(nid for nid, d in indeg.items() if d > 0)
+            raise ConfigurationError(
+                f"{self.name}: DFG contains a cycle",
+                code="RPR204", dfg=self.name, nodes=cyclic)
         return order
 
     def depth(self) -> int:
@@ -161,14 +168,17 @@ class Dfg:
             for src in node.inputs:
                 if isinstance(src, NodeRef) and src.node not in self.nodes:
                     raise ConfigurationError(
-                        f"node {node.id} reads undefined node {src.node}"
+                        f"node {node.id} reads undefined node {src.node}",
+                        code="RPR202", node=node.id, target=src.node,
                     )
         if not self.outputs:
-            raise ConfigurationError(f"{self.name}: DFG has no outputs")
+            raise ConfigurationError(f"{self.name}: DFG has no outputs",
+                                     code="RPR203", dfg=self.name)
         for port, src in self.outputs.items():
             if isinstance(src, NodeRef) and src.node not in self.nodes:
                 raise ConfigurationError(
-                    f"output port {port} reads undefined node {src.node}"
+                    f"output port {port} reads undefined node {src.node}",
+                    code="RPR202", port=port, target=src.node,
                 )
         self.topo_order()
 

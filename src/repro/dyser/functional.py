@@ -10,7 +10,7 @@ if-conversion, exactly as DySER's predication works in hardware.
 from __future__ import annotations
 
 from repro.errors import DyserError
-from repro.dyser.dfg import ConstRef, Dfg, NodeRef, PortRef, Source
+from repro.dyser.dfg import ConstRef, Dfg, PortRef, Source
 from repro.dyser.ops import evaluate
 
 

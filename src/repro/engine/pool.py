@@ -30,6 +30,7 @@ from repro.engine.report import (
     EXECUTED,
     FAILED,
     HIT,
+    REJECTED,
     EngineReport,
     JobRecord,
 )
@@ -79,6 +80,8 @@ def run_jobs(
     records the job lifecycle — cache hits, dedups, executions and
     failures — as wall-clock events for the timeline exporter.
     """
+    from repro.analysis.speclint import lint_spec
+
     worker = worker or _worker
     started = time.perf_counter()
     n = len(specs)
@@ -91,12 +94,28 @@ def run_jobs(
                            time.perf_counter() * 1e6, domain="wall",
                            spec=spec.describe())
 
+    # Pre-flight lint (once per unique hash): an illegal spec becomes a
+    # REJECTED record carrying its diagnostics instead of burning a
+    # worker slot (or a timeout) discovering the problem dynamically.
+    lint_by_hash: dict[str, object] = {}
+
     # Cache probe + dedup (first occurrence of a hash is the primary).
     primary: dict[str, int] = {}
     dup_of: dict[int, int] = {}
     pending: list[int] = []
     for i, spec in enumerate(specs):
         h = spec.job_hash
+        lint = lint_by_hash.get(h)
+        if lint is None:
+            lint = lint_by_hash[h] = lint_spec(spec)
+        if lint.diagnostics:
+            records[i].diagnostics = list(lint.diagnostics)
+        if not lint.ok:
+            records[i].status = REJECTED
+            records[i].error = "; ".join(
+                f"{d.code}: {d.message}" for d in lint.errors)
+            mark("job_rejected", spec)
+            continue
         if h in primary:
             dup_of[i] = primary[h]
             records[i].status = DUPLICATE

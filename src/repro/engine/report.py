@@ -18,6 +18,7 @@ HIT = "hit"            # served from the persistent result cache
 EXECUTED = "executed"  # compiled/simulated this run
 DUPLICATE = "duplicate"  # identical spec earlier in the sweep; shared
 FAILED = "failed"      # exhausted retries (error recorded)
+REJECTED = "rejected"  # failed pre-flight lint; never dispatched
 
 
 class EngineFailure(ReproError):
@@ -33,6 +34,10 @@ class JobRecord:
     wall_s: float = 0.0
     attempts: int = 0
     error: str | None = None
+    #: Pre-flight lint findings (:class:`repro.analysis.diagnostics.
+    #: Diagnostic`); populated for REJECTED jobs, and for jobs whose
+    #: spec linted with warnings but still ran.
+    diagnostics: list = field(default_factory=list)
 
 
 @dataclass
@@ -51,7 +56,9 @@ class EngineReport:
 
     @property
     def cache_misses(self) -> int:
-        return self.executed + len(self.failures)
+        # Rejected jobs never probe the cache, so they are not misses.
+        return self.executed + sum(
+            1 for r in self.records if r.status == FAILED)
 
     @property
     def executed(self) -> int:
@@ -63,7 +70,13 @@ class EngineReport:
 
     @property
     def failures(self) -> list[JobRecord]:
-        return [r for r in self.records if r.status == FAILED]
+        """Jobs that produced no result: FAILED or lint-REJECTED."""
+        return [r for r in self.records
+                if r.status in (FAILED, REJECTED)]
+
+    @property
+    def rejected(self) -> list[JobRecord]:
+        return [r for r in self.records if r.status == REJECTED]
 
     def result_for(self, spec: JobSpec):
         """The result of the first record matching ``spec``'s hash."""
@@ -82,8 +95,11 @@ class EngineReport:
         ]
         if self.duplicates:
             parts.append(f"{self.duplicates} deduplicated")
-        if self.failures:
-            parts.append(f"{len(self.failures)} FAILED")
+        if self.rejected:
+            parts.append(f"{len(self.rejected)} REJECTED by lint")
+        failed = sum(1 for r in self.records if r.status == FAILED)
+        if failed:
+            parts.append(f"{failed} FAILED")
         parts.append(f"{self.wall_s:.2f}s wall")
         return "engine: " + ", ".join(parts)
 

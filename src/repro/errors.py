@@ -3,13 +3,62 @@
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still being able to distinguish subsystems.
+
+Errors carry *structured diagnostics*: an optional stable diagnostic
+``code`` (``RPR1xx`` IR, ``RPR2xx`` configuration, ``RPR3xx`` shape
+advisory — see :mod:`repro.analysis.diagnostics` for the registry) and a
+free-form ``context`` payload (node id, coordinate, pass name, ...) so
+tooling can render machine-readable reports instead of parsing message
+strings.  Both are optional: ``ConfigurationError("bad")`` still works.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    Attributes:
+        code: stable diagnostic code (``RPRnnn``) or None.  Subclasses
+            may set a class-level default; the keyword argument wins.
+        context: structured payload identifying *what* failed (node id,
+            fabric coordinate, pass name, port number, ...).
+    """
+
+    #: Class-level default diagnostic code (subclasses may override).
+    default_code: str | None = None
+
+    def __init__(self, message: str = "", *, code: str | None = None,
+                 **context: Any) -> None:
+        super().__init__(message)
+        self.code: str | None = code or self.default_code
+        self.context: dict[str, Any] = context
+
+    @property
+    def message(self) -> str:
+        return str(self)
+
+    def to_dict(self) -> dict:
+        """JSON-safe view (feeds :mod:`repro.analysis.diagnostics`)."""
+        return {
+            "error": type(self).__name__,
+            "code": self.code,
+            "message": str(self),
+            "context": {k: _json_safe(v) for k, v in self.context.items()},
+        }
+
+
+def _json_safe(value: Any) -> Any:
+    """Best-effort conversion of context values to JSON-safe forms."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
 
 
 class IsaError(ReproError):
@@ -23,7 +72,7 @@ class AssemblerError(IsaError):
         self.line = line
         if line is not None:
             message = f"line {line}: {message}"
-        super().__init__(message)
+        super().__init__(message, line=line)
 
 
 class SimulationError(ReproError):
@@ -35,7 +84,8 @@ class MemoryFault(SimulationError):
 
     def __init__(self, address: int, reason: str = "out of range") -> None:
         self.address = address
-        super().__init__(f"memory fault at {address:#x}: {reason}")
+        super().__init__(f"memory fault at {address:#x}: {reason}",
+                         address=address, reason=reason)
 
 
 class DyserError(ReproError):
@@ -54,14 +104,16 @@ class LexerError(CompilerError):
     def __init__(self, message: str, line: int, column: int) -> None:
         self.line = line
         self.column = column
-        super().__init__(f"{line}:{column}: {message}")
+        super().__init__(f"{line}:{column}: {message}",
+                         line=line, column=column)
 
 
 class ParseError(CompilerError):
     def __init__(self, message: str, line: int, column: int) -> None:
         self.line = line
         self.column = column
-        super().__init__(f"{line}:{column}: {message}")
+        super().__init__(f"{line}:{column}: {message}",
+                         line=line, column=column)
 
 
 class TypeCheckError(CompilerError):
@@ -71,13 +123,41 @@ class TypeCheckError(CompilerError):
 class RegionRejected(CompilerError):
     """A candidate DySER region was rejected; carries the reason code."""
 
-    def __init__(self, reason: str) -> None:
+    default_code = "RPR304"
+
+    def __init__(self, reason: str, *, code: str | None = None,
+                 **context: Any) -> None:
         self.reason = reason
-        super().__init__(f"region rejected: {reason}")
+        super().__init__(f"region rejected: {reason}", code=code,
+                         reason=reason, **context)
 
 
 class SchedulingError(CompilerError):
     """The spatial scheduler could not map a DFG onto the fabric."""
+
+
+class PassVerificationError(CompilerError):
+    """An IR invariant broke after a named compiler pass.
+
+    Raised by the :mod:`repro.analysis` verifier when
+    ``CompilerOptions.verify_passes`` is on; names the pass so the
+    offender is identified without bisecting the pipeline.  Carries the
+    structured diagnostics that fired.
+    """
+
+    def __init__(self, pass_name: str, function: str,
+                 diagnostics: list | None = None) -> None:
+        self.pass_name = pass_name
+        self.function = function
+        self.diagnostics = list(diagnostics or [])
+        detail = "; ".join(
+            f"{d.code}: {d.message}" for d in self.diagnostics[:5])
+        more = (f" (+{len(self.diagnostics) - 5} more)"
+                if len(self.diagnostics) > 5 else "")
+        super().__init__(
+            f"IR verification failed after pass '{pass_name}' in "
+            f"{function}: {detail}{more}",
+            pass_name=pass_name, function=function)
 
 
 class WorkloadError(ReproError):

@@ -10,7 +10,7 @@ experiments comes from a run that also passed its check.
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.workloads.base import Instance, REGULAR, Workload, allclose_check, scaled
+from repro.workloads.base import Instance, REGULAR, Workload, scaled
 
 SOURCE = """
 kernel stencil2d(out float B[], float A[], int n, float w) {

@@ -10,6 +10,7 @@ spatial scheduler on random DFGs.
 """
 
 import math
+from functools import lru_cache
 
 import pytest
 from hypothesis import given, settings
@@ -25,6 +26,7 @@ from repro.dyser import (
     FabricGeometry,
     FuOp,
     FunctionalEvaluator,
+    NodeRef,
     PortRef,
     evaluate,
     uniform_capabilities,
@@ -147,8 +149,6 @@ class TestCoDesignContract:
         program = Program()
         info = FU_OP_INFO[op]
         machine = self._FU_TO_MACHINE[op]
-        sig = machine and None
-        del sig
         from repro.isa.opcodes import OP_INFO
 
         signature = OP_INFO[machine].signature
@@ -291,12 +291,18 @@ class TestSchedulerProperties:
         config.validate()
         # Placement is injective and capability-legal (validate checks),
         # and path delays are at least the op-latency lower bound.
+        # NB: the bound is the depth of the cone actually feeding port 0,
+        # not dfg.depth() — random DFGs can carry deeper dead chains that
+        # never reach the output (exactly what lint's RPR205 flags).
+        def cone_depth(src):
+            if not isinstance(src, NodeRef):
+                return 0
+            node = dfg.nodes[src.node]
+            return 1 + max((cone_depth(s) for s in node.inputs), default=0)
+
         delays = config.path_delays()
         assert delays[0] >= 1
-        level_bound = sum(
-            0 for _ in ()
-        )
-        assert delays[0] >= dfg.depth()  # each op >= 1 cycle
+        assert delays[0] >= cone_depth(dfg.outputs[0])  # each op >= 1 cycle
 
     @given(random_dfgs())
     @settings(max_examples=20, deadline=None)
@@ -329,6 +335,30 @@ class TestParallelCopyProperty:
                     for i in range(len(targets))}
         for i, src in enumerate(targets):
             assert env[slots[i]] == src, (targets, ordered)
+
+
+@lru_cache(maxsize=32)
+def _lint_report(name: str):
+    from repro import lint_workload
+
+    return lint_workload(name)
+
+
+class TestSuiteLintProperty:
+    """Every suite workload's compiled configuration lints clean: the
+    scheduler never emits an error-severity ``RPR2xx`` finding, and the
+    IR verifier accepts the pre- and post-offload SSA."""
+
+    @given(st.sampled_from(sorted(__import__("repro").SUITE)))
+    @settings(max_examples=18, deadline=None)
+    def test_compiled_workload_lints_clean(self, name):
+        report = _lint_report(name)
+        assert report.ok, report.render()
+        # Shape advisories never escalate to errors.
+        for diag in report:
+            if diag.code.startswith("RPR3"):
+                assert diag.severity is not __import__(
+                    "repro").Severity.ERROR
 
 
 class TestCompiledExpressionProperty:
