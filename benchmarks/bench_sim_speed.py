@@ -1,0 +1,163 @@
+"""Simulator speed: fast backend vs the reference core.
+
+Two entry points:
+
+- ``pytest benchmarks/bench_sim_speed.py --benchmark-only`` measures the
+  suite on both backends and archives the table under ``results/``;
+- ``python benchmarks/bench_sim_speed.py`` runs the same measurement
+  from the command line and appends a machine-readable entry to
+  ``BENCH_sim_speed.json`` (the committed history of the speedup
+  acceptance criterion), with ``--check`` running the differential
+  parity harness instead (CI's bench-smoke gate).
+
+Methodology: every (workload, mode) config is executed once per backend
+after a compile warm-up pass, so the numbers compare *simulation* time,
+not compilation.  Parity is asserted on the exact configs measured —
+a timing table for a backend that disagrees with the oracle would be
+meaningless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_sim_speed.json"
+
+#: Serialization format tag for the benchmark history file.
+BENCH_FORMAT = "repro-bench-sim-speed-v1"
+
+#: CI smoke pair: one regular kernel, one with control flow.
+SMOKE_WORKLOADS = ("mm", "fir")
+
+
+def _configs(workloads, scale):
+    from repro.harness import RunConfig
+
+    return [RunConfig(workload=w, mode=m, scale=scale)
+            for w in workloads for m in ("scalar", "dyser")]
+
+
+def _time_backend(configs, backend: str) -> float:
+    from repro.harness import execute
+
+    started = time.perf_counter()
+    for config in configs:
+        result = execute(config.with_(backend=backend))
+        assert result.correct, config.describe()
+    return time.perf_counter() - started
+
+
+def measure(workloads=None, scale: str = "small") -> dict:
+    """One benchmark entry: parity check + wall time per backend."""
+    from repro.harness import verify_parity
+    from repro.workloads import names
+
+    workloads = tuple(workloads or names())
+    configs = _configs(workloads, scale)
+
+    report = verify_parity(configs)
+    if not report.ok:
+        raise AssertionError(report.summary())
+
+    # Warm the compile cache so both timings measure simulation only.
+    _time_backend(_configs(workloads, "tiny"), "fast")
+
+    reference_s = _time_backend(configs, "reference")
+    fast_s = _time_backend(configs, "fast")
+    return {
+        "date": _dt.date.today().isoformat(),
+        "scale": scale,
+        "workloads": len(workloads),
+        "runs": len(configs),
+        "parity_checked": report.checked,
+        "reference_s": round(reference_s, 3),
+        "fast_s": round(fast_s, 3),
+        "speedup": round(reference_s / fast_s, 2),
+        "python": platform.python_version(),
+    }
+
+
+def validate(document: dict) -> None:
+    """Schema check for a BENCH_sim_speed.json document."""
+    assert document.get("format") == BENCH_FORMAT, document.get("format")
+    entries = document["entries"]
+    assert entries, "no benchmark entries"
+    for entry in entries:
+        for key in ("date", "scale", "workloads", "runs",
+                    "parity_checked", "reference_s", "fast_s", "speedup"):
+            assert key in entry, f"entry missing {key!r}: {entry}"
+        assert entry["fast_s"] > 0 and entry["reference_s"] > 0
+        assert entry["parity_checked"] == entry["runs"]
+        assert entry["speedup"] > 1.0, (
+            f"fast backend slower than reference: {entry}")
+
+
+def _render(entry: dict) -> str:
+    from repro.harness import format_table
+
+    rows = [
+        ["reference", f"{entry['reference_s']:.3f}", "1.00x"],
+        ["fast", f"{entry['fast_s']:.3f}", f"{entry['speedup']:.2f}x"],
+    ]
+    return format_table(
+        ["backend", "wall s", "speedup"], rows,
+        title=(f"simulator speed @ {entry['scale']} "
+               f"({entry['runs']} runs, parity-checked)"))
+
+
+def test_sim_speed(benchmark):
+    """E-series style wrapper: measure once, archive the table."""
+    from common import emit, once
+
+    entry = once(benchmark, lambda: measure(scale="small"))
+    emit("SIM_SPEED: fast backend vs reference", _render(entry))
+    assert entry["speedup"] > 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("workloads", nargs="*",
+                        help="workloads to measure (default: whole suite)")
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "medium"))
+    parser.add_argument("--check", action="store_true",
+                        help="run the parity harness only (no timing); "
+                             "defaults to the CI smoke pair")
+    parser.add_argument("--output", default=str(BENCH_PATH),
+                        help="benchmark history JSON to append to")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        from repro.harness import verify_parity
+
+        workloads = tuple(args.workloads) or SMOKE_WORKLOADS
+        report = verify_parity(_configs(workloads, args.scale))
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    entry = measure(args.workloads or None, scale=args.scale)
+    print(_render(entry))
+
+    path = pathlib.Path(args.output)
+    if path.exists():
+        document = json.loads(path.read_text())
+        validate(document)
+    else:
+        document = {"format": BENCH_FORMAT, "entries": []}
+    document["entries"].append(entry)
+    validate(document)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"\nrecorded in {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.exit(main())

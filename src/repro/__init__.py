@@ -33,7 +33,7 @@ exclusively.  The canonical entry points::
 # NOTE: repro.cpu must be imported before repro.compiler/repro.dyser —
 # the machine models participate in an import cycle (cpu.core ↔
 # dyser.interface) whose safe entry point is the cpu package.
-from repro.cpu import Core, CoreConfig, ExecStats, Memory
+from repro.cpu import Core, CoreConfig, ExecStats, FastCore, Memory
 from repro.analysis import (
     Diagnostic,
     DiagnosticReport,
@@ -51,6 +51,7 @@ from repro.dyser import (
     DyserTimingParams,
     Fabric,
     FabricGeometry,
+    SteadyState,
 )
 from repro.compiler import (
     CompileResult,
@@ -73,16 +74,23 @@ from repro.engine import (
 from repro.errors import ReproError, WorkloadError
 from repro.fpga import utilization_table
 from repro.harness import (
+    Backend,
     Comparison,
+    DEFAULT_BACKEND,
+    ParityReport,
     RunConfig,
     RunResult,
     TraceOptions,
+    backend_names,
     compare,
     execute,
     format_series,
     format_table,
     geomean,
+    get_backend,
+    resolve_backend,
     run_workload,
+    verify_parity,
 )
 from repro.isa import Instruction, Opcode, Program, assemble
 from repro.obs import (
@@ -108,6 +116,14 @@ __all__ = [
     "run_workload",
     "execute",
     "compare",
+    # simulation backends
+    "Backend",
+    "DEFAULT_BACKEND",
+    "ParityReport",
+    "backend_names",
+    "get_backend",
+    "resolve_backend",
+    "verify_parity",
     # observability
     "EventStream",
     "MetricsRegistry",
@@ -136,7 +152,9 @@ __all__ = [
     "Core",
     "CoreConfig",
     "ExecStats",
+    "FastCore",
     "Memory",
+    "SteadyState",
     "Dfg",
     "DyserConfig",
     "DyserDevice",

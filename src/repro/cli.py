@@ -29,10 +29,12 @@ import argparse
 import sys
 
 from repro import (
+    DEFAULT_BACKEND,
     RunConfig,
     SUITE,
     TraceOptions,
     WorkloadError,
+    backend_names,
     format_table,
     geomean,
     get_workload,
@@ -54,7 +56,7 @@ def _cmd_list(_args) -> int:
 def _cmd_run(args) -> int:
     result = run_workload(RunConfig(
         workload=args.name, mode=args.mode, scale=args.scale,
-        seed=args.seed))
+        seed=args.seed, backend=args.backend))
     print(f"{args.name} [{args.mode}, {args.scale}]: "
           f"{'OK' if result.correct else 'WRONG RESULT'}")
     print(result.stats.summary())
@@ -69,9 +71,11 @@ def _cmd_run(args) -> int:
 def _cmd_profile(args) -> int:
     from repro import profile_workload
 
+    # ``--backend fast`` is accepted here too: tracing resolves it to
+    # the reference core (same cycles, by the parity contract).
     report = profile_workload(RunConfig(
         workload=args.name, mode=args.mode, scale=args.scale,
-        seed=args.seed,
+        seed=args.seed, backend=args.backend,
         trace=TraceOptions(enabled=True, capacity=args.capacity,
                            instructions=args.instructions)))
     print(report.summary(limit=args.limit))
@@ -158,7 +162,8 @@ def _cmd_suite(args) -> int:
         comps, report = run_comparisons(
             sorted(SUITE), scale=args.scale, seed=args.seed,
             jobs=args.jobs, cache=_engine_cache(args),
-            timeout=args.timeout, retries=args.retries)
+            timeout=args.timeout, retries=args.retries,
+            backend=args.backend)
     except EngineFailure as exc:
         print(exc, file=sys.stderr)
         return 1
@@ -236,7 +241,7 @@ def _cmd_sweep(args) -> int:
             indices = {
                 mode: submit(JobSpec(
                     workload=name, mode=mode, scale=args.scale,
-                    seed=args.seed, **overrides))
+                    seed=args.seed, backend=args.backend, **overrides))
                 for mode in modes
             }
             row_plan.append((name, overrides, indices))
@@ -318,6 +323,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the workload suite") \
         .set_defaults(func=_cmd_list)
 
+    def add_backend_flag(p) -> None:
+        p.add_argument("--backend", choices=backend_names(),
+                       default=DEFAULT_BACKEND,
+                       help="simulation backend (cycle-exact-equal; "
+                            f"default: {DEFAULT_BACKEND})")
+
     run_p = sub.add_parser("run", help="run one workload")
     run_p.add_argument("name", choices=sorted(SUITE))
     run_p.add_argument("--mode", choices=("scalar", "dyser"),
@@ -325,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--scale", default="small",
                        choices=("tiny", "small", "medium"))
     run_p.add_argument("--seed", type=int, default=7)
+    add_backend_flag(run_p)
     run_p.set_defaults(func=_cmd_run)
 
     profile_p = sub.add_parser(
@@ -351,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "instruction (large traces)")
     profile_p.add_argument("--limit", type=int, default=40,
                            help="max rows in the per-invocation table")
+    add_backend_flag(profile_p)
     profile_p.set_defaults(func=_cmd_profile)
 
     compile_p = sub.add_parser("compile", help="compile and disassemble")
@@ -395,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-job timeout in seconds (pooled runs)")
         p.add_argument("--retries", type=int, default=1,
                        help="retries per failed/crashed job")
+        add_backend_flag(p)
 
     suite_p = sub.add_parser(
         "suite", help="scalar-vs-DySER sweep (engine-backed)")

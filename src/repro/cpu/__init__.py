@@ -2,6 +2,13 @@
 
 from repro.cpu.cache import Cache, CacheConfig, dcache_config, icache_config
 from repro.cpu.core import Core, CoreConfig
+from repro.cpu.decode import (
+    DecodedProgram,
+    clear_decode_caches,
+    decode_cache_size,
+    decode_program,
+)
+from repro.cpu.fastcore import FastCore
 from repro.cpu.memory import WORD_BYTES, Memory
 from repro.cpu.regfile import FpRegFile, IntRegFile, wrap64
 from repro.cpu.statistics import ExecStats, StallCause
@@ -11,7 +18,12 @@ __all__ = [
     "CacheConfig",
     "Core",
     "CoreConfig",
+    "DecodedProgram",
     "ExecStats",
+    "FastCore",
+    "clear_decode_caches",
+    "decode_cache_size",
+    "decode_program",
     "FpRegFile",
     "IntRegFile",
     "Memory",

@@ -12,7 +12,11 @@ from repro.dyser.fabric import (
 from repro.dyser.functional import FunctionalEvaluator
 from repro.dyser.interface import DyserDevice, DyserStats
 from repro.dyser.ops import FU_OP_INFO, FuCapability, FuOp, evaluate
-from repro.dyser.timing import DyserTimingParams, InvocationEngine
+from repro.dyser.timing import (
+    DyserTimingParams,
+    InvocationEngine,
+    SteadyState,
+)
 
 __all__ = [
     "ConfigCache",
@@ -33,6 +37,7 @@ __all__ = [
     "InvocationEngine",
     "NodeRef",
     "PortRef",
+    "SteadyState",
     "default_capabilities",
     "evaluate",
     "uniform_capabilities",

@@ -115,6 +115,28 @@ class DyserDevice:
                                      t_ready, done - t_ready, port=port)
         return done
 
+    def send_stream(self, port: int, values, arrivals) -> int:
+        """Batched sends to one port (``dldv``/``dfldv`` streams).
+
+        Cycle-exact with calling :meth:`send` per element; returns the
+        total send-stall cycles so the core can charge them in one go.
+        Traced devices take the per-send path so the event stream is
+        unchanged.
+        """
+        if self.events is not None:
+            total = 0
+            for value, arrive in zip(values, arrivals):
+                done = self.send(port, value, arrive)
+                if done > arrive:
+                    total += done - arrive
+            return total
+        engine = self._require_engine("send")
+        total = engine.send_stream(port, values, arrivals)
+        self.stats.values_sent += len(values)
+        if total:
+            self.send_stall_cycles[port] += total
+        return total
+
     def recv(self, port: int, t_try: int) -> tuple[int | float, int]:
         engine = self._require_engine("recv")
         value, done = engine.recv(port, t_try)
@@ -156,3 +178,8 @@ class DyserDevice:
     @property
     def active_config_id(self) -> int | None:
         return self.engine.config.config_id if self.engine else None
+
+    def steady_state(self):
+        """Analytic steady-state of the active configuration
+        (:class:`~repro.dyser.timing.SteadyState`)."""
+        return self._require_engine("steady_state").steady_state()

@@ -25,6 +25,36 @@ class DyserTimingParams:
     initiation_interval: int = 1
 
 
+@dataclass(frozen=True)
+class SteadyState:
+    """Analytic steady-state pipeline behaviour of one configuration.
+
+    At saturation (inputs always available, outputs always drained) the
+    fabric fires one invocation every ``interval`` cycles and each
+    invocation's last output appears ``latency`` cycles after it fires.
+    The event-driven engine converges to exactly this behaviour — the
+    fast backend leans on it to reason about streamed transfers, and
+    ``tests/test_dyser_timing.py`` asserts the two models agree.
+    """
+
+    interval: int          #: cycles between successive firings
+    latency: int           #: fire -> last-output-ready path delay
+    input_fifo_depth: int
+    output_fifo_depth: int
+
+    @property
+    def throughput(self) -> float:
+        """Invocations per cycle at saturation."""
+        return 1.0 / self.interval if self.interval else 0.0
+
+    def makespan(self, invocations: int) -> int:
+        """Cycles from the first fire until the last output of
+        ``invocations`` back-to-back invocations is ready."""
+        if invocations <= 0:
+            return 0
+        return (invocations - 1) * self.interval + self.latency
+
+
 class InvocationEngine:
     """Functional + timing state for one active configuration."""
 
@@ -64,9 +94,86 @@ class InvocationEngine:
                 f"send to port {port}, which config "
                 f"{self.config.config_id} does not use"
             )
+        was_empty = not fifo.pending
         done = fifo.send(value, t_ready, self.fire_times)
-        self._fire_ready()
+        # Invariant: after every fire loop at least one input FIFO is
+        # empty, so a send that lands on a non-empty FIFO cannot enable
+        # a firing — skip the all-ports scan entirely.
+        if was_empty:
+            self._fire_ready()
         return done
+
+    def send_stream(self, port: int, values, arrivals) -> int:
+        """Batched equivalent of ``send(port, v, a)`` per element.
+
+        For single-input-port configurations (the temporal-vector case
+        the compiler emits ``dldv`` for) this fast-forwards the pipeline
+        arithmetically: each value fires its invocation immediately, so
+        the deque traffic and readiness scans of the per-send path
+        collapse into one pass over ``fire_times``.  Behaviour is
+        cycle-exact with the per-send path; multi-port configurations,
+        traced engines and non-empty FIFOs fall back to it.
+
+        Returns the total send-stall cycles (sum over elements of
+        ``done - arrival`` where positive).
+        """
+        fifo = self.in_fifos.get(port)
+        if fifo is None:
+            from repro.errors import DyserError
+
+            raise DyserError(
+                f"send to port {port}, which config "
+                f"{self.config.config_id} does not use"
+            )
+        if (self.events is not None or len(self.in_fifos) != 1
+                or fifo.pending):
+            total = 0
+            for value, arrive in zip(values, arrivals):
+                done = self.send(port, value, arrive)
+                if done > arrive:
+                    total += done - arrive
+            return total
+        ft = self.fire_times
+        depth = fifo.depth
+        ii = self.params.initiation_interval
+        out = list(self.out_fifos.values())
+        evaluator = self.evaluator
+        delays = self.delays
+        out_fifos = self.out_fifos
+        sent = fifo.total_sent
+        total = 0
+        for value, arrive in zip(values, arrivals):
+            # InputPortFifo.send: wait for the freeing invocation.
+            entry = arrive
+            free = sent - depth
+            if free >= 0:
+                if free < len(ft):
+                    f = ft[free]
+                    if f > entry:
+                        entry = f
+                else:  # pragma: no cover - unreachable when depth >= 1
+                    fifo.unresolved_stalls += 1
+            sent += 1
+            if entry > arrive:
+                total += entry - arrive
+            # Single input port and an empty FIFO: the invocation fires
+            # as soon as this value is in (plus ii and output-space
+            # constraints), exactly as _fire_ready would compute.
+            fire_at = entry
+            if ft:
+                floor = ft[-1] + ii
+                if floor > fire_at:
+                    fire_at = floor
+            for fo in out:
+                space = fo.space_time()
+                if space is not None and space > fire_at:
+                    fire_at = space
+            ft.append(fire_at)
+            outputs = evaluator({port: value})
+            for p, v in outputs.items():
+                out_fifos[p].produce(v, fire_at + delays[p])
+        fifo.total_sent = sent
+        return total
 
     def recv(self, port: int, t_try: int) -> tuple[int | float, int]:
         fifo = self.out_fifos.get(port)
@@ -110,6 +217,15 @@ class InvocationEngine:
                 self.out_fifos[port].produce(
                     value, fire_at + self.delays[port]
                 )
+
+    def steady_state(self) -> SteadyState:
+        """Analytic steady-state interval/latency of this configuration."""
+        return SteadyState(
+            interval=max(1, self.params.initiation_interval),
+            latency=self._max_delay,
+            input_fifo_depth=self.params.input_fifo_depth,
+            output_fifo_depth=self.params.output_fifo_depth,
+        )
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -101,9 +101,19 @@ class JobSpec:
 
     memory_bytes: int = 1 << 22
 
+    #: Simulation backend (see :mod:`repro.harness.backends`).  By the
+    #: parity contract the backend never changes a run's *outcome*, so
+    #: it is deliberately excluded from :meth:`canonical_dict` and
+    #: therefore from :attr:`job_hash` — results computed on either
+    #: backend share one artifact-cache entry.
+    backend: str = "fast"
+
     def __post_init__(self) -> None:
         if self.mode not in ("scalar", "dyser"):
             raise WorkloadError(f"unknown mode {self.mode!r}")
+        from repro.harness.backends import get_backend
+
+        get_backend(self.backend)   # raises WorkloadError if unknown
         geometry = tuple(int(v) for v in self.geometry)
         if len(geometry) != 2 or min(geometry) < 1:
             raise WorkloadError(f"bad geometry {self.geometry!r}")
@@ -125,8 +135,14 @@ class JobSpec:
     # -- hashing -------------------------------------------------------
 
     def canonical_dict(self) -> dict:
-        """Field dict with dyser-only knobs normalized away for scalar."""
+        """Field dict with dyser-only knobs normalized away for scalar.
+
+        ``backend`` is removed: both registered backends are
+        cycle-exact-equal (enforced by :mod:`repro.harness.parity`), so
+        the backend choice cannot change a cached result.
+        """
         data = asdict(self)
+        data.pop("backend")
         data["version"] = SPEC_VERSION
         if self.mode == "scalar":
             defaults = _FIELD_DEFAULTS
@@ -195,23 +211,6 @@ class JobSpec:
             params = replace(params, **dict(self.energy_overrides))
         return params
 
-    def run_kwargs(self) -> dict:
-        """Keyword arguments for the *deprecated* kwargs form of
-        :func:`repro.harness.run_workload`.  Prefer
-        :meth:`to_run_config`."""
-        return {
-            "name": self.workload,
-            "mode": self.mode,
-            "scale": self.scale,
-            "seed": self.seed,
-            "options": self.options(),
-            "core_config": self.core_config(),
-            "timing": self.timing(),
-            "cache_params": self.cache_params(),
-            "energy_params": self.energy_params(),
-            "memory_bytes": self.memory_bytes,
-        }
-
     # -- RunConfig bridge ----------------------------------------------
 
     def to_run_config(self, trace=None):
@@ -220,6 +219,8 @@ class JobSpec:
         ``trace`` (a :class:`repro.obs.events.TraceOptions`) rides along
         without affecting :attr:`job_hash` — observability never changes
         a run's outcome, so traced and untraced runs share cache keys.
+        The ``backend`` transfers too (also hash-excluded, by the parity
+        contract).
         """
         from repro.harness.config import RunConfig
         from repro.obs.events import TraceOptions
@@ -236,6 +237,7 @@ class JobSpec:
             energy_params=self.energy_params(),
             memory_bytes=self.memory_bytes,
             trace=trace or TraceOptions(),
+            backend=self.backend,
         )
 
     @classmethod
@@ -260,6 +262,7 @@ class JobSpec:
             "scale": config.scale,
             "seed": config.seed,
             "memory_bytes": config.memory_bytes,
+            "backend": config.backend,
         }
         if options is not None:
             g = options.fabric.geometry

@@ -1,5 +1,13 @@
 """Experiment harness: run workloads, compare builds, format tables."""
 
+from repro.harness.backends import (
+    DEFAULT_BACKEND,
+    Backend,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.harness.bundle import (
     bundle_from_dict,
     bundle_to_dict,
@@ -7,6 +15,12 @@ from repro.harness.bundle import (
     save_bundle,
 )
 from repro.harness.config import RunConfig
+from repro.harness.parity import (
+    ParityMismatch,
+    ParityReport,
+    suite_configs,
+    verify_parity,
+)
 from repro.harness.report import format_series, format_table, geomean
 from repro.harness.runner import (
     Comparison,
@@ -20,10 +34,15 @@ from repro.harness.runner import (
 from repro.obs.events import TraceOptions
 
 __all__ = [
+    "Backend",
     "Comparison",
+    "DEFAULT_BACKEND",
+    "ParityMismatch",
+    "ParityReport",
     "RunConfig",
     "RunResult",
     "TraceOptions",
+    "backend_names",
     "bundle_from_dict",
     "bundle_to_dict",
     "clear_caches",
@@ -32,8 +51,13 @@ __all__ = [
     "format_series",
     "format_table",
     "geomean",
+    "get_backend",
     "load_bundle",
+    "register_backend",
+    "resolve_backend",
     "run_workload",
     "save_bundle",
     "source_hash",
+    "suite_configs",
+    "verify_parity",
 ]

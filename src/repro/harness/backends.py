@@ -1,0 +1,99 @@
+"""Simulation backend registry: one dispatch point for every run.
+
+A *backend* is a core implementation with identical observable results:
+
+- ``"reference"`` — :class:`repro.cpu.Core`, the per-cycle interpreted
+  oracle.  Supports event tracing and instruction traces.
+- ``"fast"`` — :class:`repro.cpu.FastCore`, the predecoding basic-block
+  interpreter.  Cycle-exact-equal to the reference (enforced by
+  :mod:`repro.harness.parity` and ``tests/test_fastcore.py``) but does
+  not emit events; traced runs transparently resolve to the reference
+  backend, whose cycle counts are identical by that same contract.
+
+``RunConfig.backend`` selects by name and is validated against this
+registry at construction.  Everything that executes a run —
+``execute``/``run_workload``/``compare``, ``profile_workload``, the
+engine's job workers, the CLI — goes through :func:`resolve_backend`,
+so there is exactly one place where the choice is made.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu import Core, FastCore
+from repro.errors import WorkloadError
+
+#: The registry default (and therefore ``RunConfig``'s default).
+DEFAULT_BACKEND = "fast"
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One registered core implementation."""
+
+    name: str
+    core_cls: type
+    supports_tracing: bool
+    description: str = ""
+
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> None:
+    """Register a backend (name must be unused)."""
+    if backend.name in _REGISTRY:
+        raise WorkloadError(f"duplicate backend {backend.name!r}")
+    _REGISTRY[backend.name] = backend
+
+
+def backend_names() -> tuple[str, ...]:
+    """All registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a backend by name (:class:`WorkloadError` if unknown)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown backend {name!r} "
+            f"(registered: {', '.join(backend_names())})"
+        ) from None
+
+
+def resolve_backend(config) -> Backend:
+    """The backend that will actually run ``config``.
+
+    Falls back to the reference backend when the run requests any form
+    of tracing and the selected backend cannot emit it.  Because the
+    backends are cycle-exact-equal, this changes *how* the run is
+    simulated, never *what* it reports — ``tests/test_fastcore.py``
+    pins that with an explicit traced-vs-untraced cycle check.
+    """
+    backend = get_backend(config.backend)
+    if backend.supports_tracing:
+        return backend
+    wants_trace = config.trace.enabled or bool(
+        config.core_config is not None and config.core_config.trace_limit
+    )
+    if wants_trace:
+        return get_backend("reference")
+    return backend
+
+
+register_backend(Backend(
+    name="reference",
+    core_cls=Core,
+    supports_tracing=True,
+    description="per-cycle interpreted core (the parity oracle)",
+))
+register_backend(Backend(
+    name="fast",
+    core_cls=FastCore,
+    supports_tracing=False,
+    description="predecoded basic-block interpreter, cycle-exact "
+                "with the reference",
+))

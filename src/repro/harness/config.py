@@ -11,13 +11,17 @@ that seam with one frozen parameter object that:
 - carries the observability request (``trace:``
   :class:`~repro.obs.events.TraceOptions`), so tracing threads through
   harness, engine, benchmarks and CLI without a twelfth kwarg;
+- carries the simulation ``backend`` selection, validated against the
+  registered-backend table (:mod:`repro.harness.backends`);
 - converts losslessly to/from :class:`~repro.engine.jobs.JobSpec`
   (see ``JobSpec.to_run_config`` / ``JobSpec.from_run_config``) —
-  observability options deliberately do **not** participate in the
-  spec's content hash, because tracing never changes a run's outcome.
+  observability options and the backend deliberately do **not**
+  participate in the spec's content hash, because neither changes a
+  run's outcome (tracing by construction, the backend by the parity
+  contract).
 
-The old ``run_workload(name, mode=..., ...)`` kwargs form still works
-as a thin deprecated wrapper that builds a :class:`RunConfig`.
+``run_workload`` accepts exactly one form: a :class:`RunConfig`.  The
+historical kwargs shim was removed once every caller migrated.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.dyser import DyserTimingParams
 from repro.dyser.config_cache import ConfigCacheParams
 from repro.energy import EnergyParams
 from repro.errors import WorkloadError
+from repro.harness.backends import DEFAULT_BACKEND, get_backend
 from repro.obs.events import TraceOptions
 
 #: run_workload modes.
@@ -57,12 +62,16 @@ class RunConfig:
     energy_params: EnergyParams | None = None
     memory_bytes: int = 1 << 22
     trace: TraceOptions = field(default_factory=TraceOptions)
+    #: Simulation backend name; validated against the backend registry
+    #: (``"fast"`` by default, ``"reference"`` is the oracle).
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise WorkloadError(f"unknown mode {self.mode!r}")
         if not self.workload:
             raise WorkloadError("RunConfig.workload must be set")
+        get_backend(self.backend)   # raises WorkloadError if unknown
         object.__setattr__(self, "memory_bytes", int(self.memory_bytes))
 
     # -- derivation helpers -------------------------------------------
@@ -79,6 +88,8 @@ class RunConfig:
 
     def describe(self) -> str:
         text = f"{self.workload}/{self.mode}@{self.scale} seed={self.seed}"
+        if self.backend != DEFAULT_BACKEND:
+            text += f" backend={self.backend}"
         if self.trace.enabled:
             text += " [traced]"
         return text

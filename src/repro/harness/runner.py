@@ -6,10 +6,14 @@ The single entry point the E-series benchmarks use::
     comparison = compare("mm", scale="small")
 
 A run is fully described by a :class:`~repro.harness.config.RunConfig`
-— workload, mode, scale, seed, every subsystem parameter object, and
-the observability request (``trace=TraceOptions(...)``).  The legacy
-``run_workload("mm", mode="dyser", ...)`` kwargs form still works but
-emits a :class:`DeprecationWarning` and simply builds a ``RunConfig``.
+— workload, mode, scale, seed, every subsystem parameter object, the
+observability request (``trace=TraceOptions(...)``) and the simulation
+``backend``.  The historical ``run_workload("mm", mode=...)`` kwargs
+shim has been removed: ``run_workload`` takes a ``RunConfig``, full
+stop.  Backend selection happens in exactly one place —
+:func:`repro.harness.backends.resolve_backend`, called from
+:func:`execute` — so ``compare``, ``profile_workload``, the engine and
+the CLI all inherit it.
 
 Every run validates outputs against the workload's numpy reference;
 ``RunResult.correct`` is part of the result, and the benchmarks assert
@@ -20,17 +24,17 @@ the result as ``RunResult.events`` (never serialized).
 from __future__ import annotations
 
 import hashlib
-import warnings
 from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.compiler import CompileResult, CompilerOptions, RegionReport
 from repro.compiler import compile_dyser, compile_scalar
-from repro.cpu import Core, CoreConfig, ExecStats, Memory
+from repro.cpu import CoreConfig, ExecStats, Memory, clear_decode_caches
 from repro.dyser import DyserDevice, DyserTimingParams, Fabric, FabricGeometry
 from repro.dyser.config_cache import ConfigCacheParams
 from repro.energy import EnergyModel, EnergyParams, EnergyReport
 from repro.errors import WorkloadError
+from repro.harness.backends import resolve_backend
 from repro.harness.config import RunConfig
 from repro.obs.events import EventStream, TraceOptions
 from repro.workloads import get as get_workload
@@ -174,12 +178,15 @@ def _compile(workload_name: str, src_hash: str, mode: str,
 
 
 def clear_caches() -> None:
-    """Drop all process-local memoized compiles.
+    """Drop all process-local memoized state: compiles **and** the fast
+    backend's decode/block caches.
 
     The engine calls this in worker processes after code-fingerprint
-    changes, and tests use it to guarantee cold-compile behaviour.
+    changes, and tests use it to guarantee cold-compile (and
+    cold-decode) behaviour.
     """
     _compile.cache_clear()
+    clear_decode_caches()
 
 
 def _options_key(options: CompilerOptions) -> tuple:
@@ -196,59 +203,25 @@ def _options_from_key(key: tuple) -> CompilerOptions:
         if_convert=if_convert, max_region_ops=max_ops)
 
 
-def _legacy_config(
-    name: str,
-    mode: str = "dyser",
-    scale: str = "small",
-    seed: int = 7,
-    options: CompilerOptions | None = None,
-    core_config: CoreConfig | None = None,
-    timing: DyserTimingParams | None = None,
-    cache_params: ConfigCacheParams | None = None,
-    energy_params: EnergyParams | None = None,
-    memory_bytes: int = 1 << 22,
-    trace: TraceOptions | None = None,
-) -> RunConfig:
-    """Map the historical kwargs signature onto a :class:`RunConfig`."""
-    return RunConfig(
-        workload=name, mode=mode, scale=scale, seed=seed,
-        options=options, core_config=core_config, timing=timing,
-        cache_params=cache_params, energy_params=energy_params,
-        memory_bytes=memory_bytes, trace=trace or TraceOptions(),
-    )
-
-
-def run_workload(config=None, /, compiled: CompileResult | None = None,
-                 **legacy_kwargs) -> RunResult:
+def run_workload(config: RunConfig, /,
+                 compiled: CompileResult | None = None) -> RunResult:
     """Compile and run one workload; returns stats + energy + check.
 
-    ``config`` is a :class:`RunConfig`.  Passing a workload *name* plus
-    the historical keyword arguments still works but is deprecated::
+    ``config`` must be a :class:`RunConfig`::
 
-        run_workload(RunConfig(workload="mm", mode="dyser"))   # new
-        run_workload("mm", mode="dyser")                       # deprecated
+        run_workload(RunConfig(workload="mm", mode="dyser"))
 
-    ``compiled`` lets callers (the engine's artifact cache) supply a
-    pre-built :class:`CompileResult` and skip compilation entirely.
+    (The pre-1.1 ``run_workload(name, **kwargs)`` form has been
+    removed.)  ``compiled`` lets callers (the engine's artifact cache)
+    supply a pre-built :class:`CompileResult` and skip compilation.
     """
-    if isinstance(config, RunConfig):
-        if legacy_kwargs:
-            raise TypeError(
-                "run_workload(RunConfig, ...) accepts no extra kwargs; "
-                f"got {sorted(legacy_kwargs)}")
-        return execute(config, compiled=compiled)
-    if config is None:
-        # Historical fully-keyword form: run_workload(name="mm", ...).
-        config = legacy_kwargs.pop("name", None)
-        if config is None:
-            raise TypeError("run_workload() needs a RunConfig or a "
-                            "workload name")
-    warnings.warn(
-        "run_workload(name, **kwargs) is deprecated; pass a "
-        "repro.RunConfig instead (run_workload(RunConfig(workload=...)))",
-        DeprecationWarning, stacklevel=2)
-    return execute(_legacy_config(config, **legacy_kwargs),
-                   compiled=compiled)
+    if not isinstance(config, RunConfig):
+        raise TypeError(
+            "run_workload() takes a RunConfig; the legacy "
+            "run_workload(name, **kwargs) form was removed — use "
+            "run_workload(RunConfig(workload=..., mode=...)) instead"
+        )
+    return execute(config, compiled=compiled)
 
 
 def execute(config: RunConfig,
@@ -287,9 +260,12 @@ def execute(config: RunConfig,
         device.events = events
     core_config = config.core_config or CoreConfig(
         has_dyser=(config.mode == "dyser"))
-    core = Core(compiled.program, memory, dyser=device, config=core_config,
-                events=events,
-                trace_instructions=config.trace.instructions)
+    backend = resolve_backend(config)
+    core = backend.core_cls(
+        compiled.program, memory, dyser=device, config=core_config,
+        events=events,
+        trace_instructions=(config.trace.instructions
+                            and events is not None))
     core.set_args(instance.int_args, instance.fp_args)
     stats = core.run()
     correct = instance.check(memory)
@@ -311,13 +287,19 @@ def execute(config: RunConfig,
 def compare(name: str, scale: str = "small", seed: int = 7,
             options: CompilerOptions | None = None,
             core_config: CoreConfig | None = None,
-            trace: TraceOptions | None = None) -> Comparison:
-    """Run scalar and DySER builds of one workload on identical inputs."""
+            trace: TraceOptions | None = None,
+            backend: str | None = None) -> Comparison:
+    """Run scalar and DySER builds of one workload on identical inputs.
+
+    ``backend`` overrides :class:`RunConfig`'s default for both runs;
+    dispatch itself still happens inside :func:`execute`.
+    """
     trace = trace or TraceOptions()
+    extra = {} if backend is None else {"backend": backend}
     scalar = execute(RunConfig(
         workload=name, mode="scalar", scale=scale, seed=seed,
-        core_config=core_config, trace=trace))
+        core_config=core_config, trace=trace, **extra))
     dyser = execute(RunConfig(
         workload=name, mode="dyser", scale=scale, seed=seed,
-        options=options, core_config=core_config, trace=trace))
+        options=options, core_config=core_config, trace=trace, **extra))
     return Comparison(workload=name, scalar=scalar, dyser=dyser)

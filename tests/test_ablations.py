@@ -20,12 +20,13 @@ from repro.dyser import (
     PortRef,
     uniform_capabilities,
 )
-from repro.harness import run_workload
+from repro.harness import RunConfig, run_workload
 
 
 def cycles_with(name, scale="tiny", timing=None, core=None, options=None):
-    result = run_workload(name, mode="dyser", scale=scale, timing=timing,
-                          core_config=core, options=options)
+    result = run_workload(RunConfig(
+        workload=name, mode="dyser", scale=scale, timing=timing,
+        core_config=core, options=options))
     assert result.correct
     return result.stats.cycles
 
@@ -42,14 +43,14 @@ class TestFifoDepth:
 
     def test_depth_one_throttles_wide_transfers(self):
         """An 8-wide kernel with depth-1 FIFOs must stall on sends."""
-        shallow = run_workload(
-            "vecadd", mode="dyser", scale="tiny",
+        shallow = run_workload(RunConfig(
+            workload="vecadd", mode="dyser", scale="tiny",
             timing=DyserTimingParams(input_fifo_depth=1,
-                                     output_fifo_depth=8))
-        deep = run_workload(
-            "vecadd", mode="dyser", scale="tiny",
+                                     output_fifo_depth=8)))
+        deep = run_workload(RunConfig(
+            workload="vecadd", mode="dyser", scale="tiny",
             timing=DyserTimingParams(input_fifo_depth=8,
-                                     output_fifo_depth=8))
+                                     output_fifo_depth=8)))
         assert shallow.correct and deep.correct
         assert deep.cycles <= shallow.cycles
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.dyser import (
+    ConstRef,
     Dfg,
     DyserConfig,
     DyserDevice,
@@ -242,3 +243,89 @@ class TestDyserDevice:
         dev = self.make_device()
         with pytest.raises(DyserError, match="duplicate"):
             dev.register_config(make_config(0))
+
+
+def single_input_dfg() -> Dfg:
+    """One input port, one output — the shape dldv streams into."""
+    dfg = Dfg("scale")
+    n = dfg.add_node(FuOp.MUL, [PortRef(0), ConstRef(3)])
+    dfg.set_output(0, n)
+    return dfg
+
+
+class TestSteadyState:
+    def test_analytic_matches_saturated_engine(self):
+        """At saturation the event-driven engine fires exactly on the
+        analytic interval, and the last output lands at makespan(n)."""
+        for ii in (1, 2, 5):
+            eng = make_engine(depth=64, ii=ii)
+            ss = eng.steady_state()
+            assert ss.interval == ii
+            n = 16
+            for i in range(n):
+                eng.send(0, i, t_ready=0)
+                eng.send(1, 1, t_ready=0)
+            assert eng.fire_times == [i * ss.interval for i in range(n)]
+            last_ready = max(eng.recv(0, t_try=0)[1] for _ in range(n))
+            assert last_ready == ss.makespan(n)
+
+    def test_throughput_and_edges(self):
+        eng = make_engine(ii=4)
+        ss = eng.steady_state()
+        assert ss.throughput == 0.25
+        assert ss.makespan(0) == 0
+        assert ss.makespan(1) == ss.latency
+
+    def test_device_steady_state_requires_config(self):
+        params = DyserTimingParams()
+        dev = DyserDevice(fabric=Fabric(FabricGeometry(4, 4)),
+                          timing=params)
+        dev.register_config(make_config(0))
+        with pytest.raises(DyserError):
+            dev.steady_state()
+        dev.init_config(0, 0)
+        assert dev.steady_state().interval == 1
+
+
+class TestSendStream:
+    def _drain(self, eng, count):
+        return [eng.recv(0, t_try=0) for _ in range(count)]
+
+    def test_stream_is_cycle_exact_with_per_send_path(self):
+        values = [float(v) for v in range(40)]
+        arrivals = [2 * i for i in range(40)]
+        for depth, ii in ((1, 1), (2, 3), (4, 1), (8, 2)):
+            a = make_engine(depth=depth, ii=ii, dfg=single_input_dfg())
+            b = make_engine(depth=depth, ii=ii, dfg=single_input_dfg())
+            slow_total = 0
+            for v, t in zip(values, arrivals):
+                done = a.send(0, v, t)
+                if done > t:
+                    slow_total += done - t
+            fast_total = b.send_stream(0, values, arrivals)
+            assert a.fire_times == b.fire_times
+            assert slow_total == fast_total
+            assert self._drain(a, 40) == self._drain(b, 40)
+
+    def test_stream_with_backpressure(self):
+        """All values arrive at once: the stream path must reproduce
+        the FIFO-full stalls of the per-send path."""
+        values = list(range(20))
+        arrivals = [0] * 20
+        a = make_engine(depth=2, ii=3, dfg=single_input_dfg())
+        b = make_engine(depth=2, ii=3, dfg=single_input_dfg())
+        slow_total = 0
+        for v, t in zip(values, arrivals):
+            done = a.send(0, v, t)
+            slow_total += max(0, done - t)
+        fast_total = b.send_stream(0, values, arrivals)
+        assert slow_total == fast_total > 0
+        assert a.fire_times == b.fire_times
+        assert self._drain(a, 20) == self._drain(b, 20)
+
+    def test_stream_falls_back_on_multi_port_configs(self):
+        eng = make_engine()   # two input ports
+        eng.send(1, 5, t_ready=0)
+        total = eng.send_stream(0, [1, 2], [0, 1])
+        assert eng.invocations == 1   # second value still waits on port 1
+        assert total >= 0

@@ -12,12 +12,13 @@ from repro.fpga import (
     system_report,
     utilization_table,
 )
-from repro.harness import run_workload
+from repro.harness import RunConfig, run_workload
 
 
 class TestEnergyModel:
     def run_stats(self, mode):
-        return run_workload("saxpy", mode=mode, scale="tiny")
+        return run_workload(RunConfig(workload="saxpy", mode=mode,
+                                      scale="tiny"))
 
     def test_breakdown_covers_core_and_dyser(self):
         result = self.run_stats("dyser")
@@ -42,12 +43,15 @@ class TestEnergyModel:
         Checked on a compute-heavy kernel at the default calibration;
         the E5 bench reports the per-benchmark values.
         """
-        result = run_workload("mriq", mode="dyser", scale="small")
+        result = run_workload(RunConfig(workload="mriq", mode="dyser",
+                                        scale="small"))
         assert 100 <= result.energy.dyser_power_mw <= 300
 
     def test_dyser_wins_energy_on_compute_kernels(self):
-        scalar = run_workload("mriq", mode="scalar", scale="tiny")
-        dyser = run_workload("mriq", mode="dyser", scale="tiny")
+        scalar = run_workload(RunConfig(workload="mriq", mode="scalar",
+                                        scale="tiny"))
+        dyser = run_workload(RunConfig(workload="mriq", mode="dyser",
+                                       scale="tiny"))
         assert dyser.energy.total_j < scalar.energy.total_j
         assert (dyser.energy.energy_delay_product()
                 < scalar.energy.energy_delay_product())

@@ -31,7 +31,7 @@ from repro.engine import (
     sweep,
 )
 from repro.errors import WorkloadError
-from repro.harness import clear_caches, run_workload
+from repro.harness import RunConfig, clear_caches, run_workload
 from repro.workloads import SUITE
 
 
@@ -41,8 +41,9 @@ from repro.workloads import SUITE
 
 def _ok_worker(spec, cache=None):
     """Cheap deterministic payload without compiling anything."""
-    payload = result_to_dict(run_workload(spec.workload, mode=spec.mode,
-                                          scale="tiny", seed=spec.seed))
+    payload = result_to_dict(run_workload(RunConfig(
+        workload=spec.workload, mode=spec.mode, scale="tiny",
+        seed=spec.seed)))
     return payload
 
 
@@ -177,7 +178,7 @@ class TestCache:
         assert b.correct
 
     def test_result_serialization_roundtrip(self):
-        result = run_workload("saxpy", scale="tiny")
+        result = run_workload(RunConfig(workload="saxpy", scale="tiny"))
         back = result_from_dict(result_to_dict(result))
         assert back.cycles == result.cycles
         assert back.instructions == result.instructions

@@ -1,10 +1,11 @@
 """Tests for the redesigned run API (RunConfig) and its bridges.
 
-Covers: RunConfig validation and derivation helpers, the deprecated
-kwargs shim's equivalence with the config form, the lossless
+Covers: RunConfig validation and derivation helpers (including the
+``backend`` field), the removal of the legacy kwargs shim, the lossless
 JobSpec <-> RunConfig conversion, content-hash stability (golden hashes
-pin that this PR did not invalidate warm caches), run-summary
-serialization round trips, and the format_series zero-bar fix.
+pin that neither the RunConfig redesign nor the backend field
+invalidated warm caches), run-summary serialization round trips, and
+the format_series zero-bar fix.
 """
 
 from __future__ import annotations
@@ -69,24 +70,20 @@ class TestRunConfig:
         assert a == b and hash(a) == hash(b)
 
 
-class TestLegacyKwargsShim:
-    def test_kwargs_form_warns_and_matches_config_form(self):
-        new = run_workload(RunConfig(workload="saxpy", mode="dyser",
-                                     scale="tiny"))
-        with pytest.warns(DeprecationWarning) as record:
-            old = run_workload("saxpy", mode="dyser", scale="tiny")
-        assert len(record) == 1
-        assert old.cycles == new.cycles
-        assert old.correct and new.correct
-        assert old.stats.to_dict() == new.stats.to_dict()
+class TestLegacyShimRemoved:
+    """The pre-1.1 ``run_workload(name, **kwargs)`` form is gone."""
 
-    def test_fully_keyword_legacy_form_still_works(self):
-        # The engine's historical run_workload(**spec.run_kwargs()) path.
+    def test_name_form_raises_type_error(self):
+        with pytest.raises(TypeError, match="takes a RunConfig"):
+            run_workload("saxpy")
+
+    def test_kwargs_form_raises_type_error(self):
+        with pytest.raises(TypeError):
+            run_workload("saxpy", mode="dyser", scale="tiny")
+
+    def test_run_kwargs_bridge_is_gone(self):
         spec = JobSpec(workload="saxpy", mode="scalar", scale="tiny")
-        with pytest.warns(DeprecationWarning):
-            old = run_workload(**spec.run_kwargs())
-        new = run_workload(spec.to_run_config())
-        assert old.cycles == new.cycles
+        assert not hasattr(spec, "run_kwargs")
 
     def test_config_form_emits_no_warning(self):
         with warnings.catch_warnings():
@@ -98,6 +95,38 @@ class TestLegacyKwargsShim:
             run_workload(RunConfig(workload="saxpy"), scale="tiny")
         with pytest.raises(TypeError):
             run_workload()
+
+
+class TestBackendField:
+    def test_default_backend_is_fast(self):
+        from repro import DEFAULT_BACKEND
+
+        assert RunConfig(workload="mm").backend == DEFAULT_BACKEND == "fast"
+        assert JobSpec(workload="mm").backend == DEFAULT_BACKEND
+
+    def test_unknown_backend_rejected_at_construction(self):
+        with pytest.raises(WorkloadError, match="unknown backend"):
+            RunConfig(workload="mm", backend="verilator")
+        with pytest.raises(WorkloadError, match="unknown backend"):
+            JobSpec(workload="mm", backend="verilator")
+
+    def test_backend_survives_the_jobspec_bridge(self):
+        spec = JobSpec(workload="mm", backend="reference")
+        config = spec.to_run_config()
+        assert config.backend == "reference"
+        assert JobSpec.from_run_config(config) == spec
+
+    def test_backend_does_not_enter_the_job_hash(self):
+        # Both backends are cycle-exact-equal, so a cached result is
+        # valid regardless of which backend computed it.
+        fast = JobSpec(workload="mm", backend="fast")
+        ref = JobSpec(workload="mm", backend="reference")
+        assert fast.job_hash == ref.job_hash
+
+    def test_backend_in_describe_only_when_non_default(self):
+        assert "backend" not in RunConfig(workload="mm").describe()
+        assert "backend=reference" in RunConfig(
+            workload="mm", backend="reference").describe()
 
 
 class TestJobSpecBridge:

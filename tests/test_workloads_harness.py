@@ -9,7 +9,14 @@ import pytest
 
 from repro.cpu import Memory
 from repro.errors import WorkloadError
-from repro.harness import compare, format_series, format_table, geomean, run_workload
+from repro.harness import (
+    RunConfig,
+    compare,
+    format_series,
+    format_table,
+    geomean,
+    run_workload,
+)
 from repro.workloads import (
     CATEGORIES,
     IRREGULAR_COMPUTE,
@@ -63,12 +70,14 @@ class TestSuiteStructure:
 class TestExecutionAcrossSuite:
     @pytest.mark.parametrize("name", ALL_NAMES)
     def test_scalar_matches_reference(self, name):
-        result = run_workload(name, mode="scalar", scale="tiny")
+        result = run_workload(RunConfig(workload=name, mode="scalar",
+                                        scale="tiny"))
         assert result.correct, f"{name} scalar output wrong"
 
     @pytest.mark.parametrize("name", ALL_NAMES)
     def test_dyser_matches_reference(self, name):
-        result = run_workload(name, mode="dyser", scale="tiny")
+        result = run_workload(RunConfig(workload=name, mode="dyser",
+                                        scale="tiny"))
         assert result.correct, f"{name} DySER output wrong"
 
     def test_regular_kernels_speed_up(self):
@@ -86,8 +95,9 @@ class TestExecutionAcrossSuite:
 
     def test_seed_changes_inputs_not_correctness(self):
         for seed in (1, 2, 3):
-            result = run_workload("kmeans", mode="dyser", scale="tiny",
-                                  seed=seed)
+            result = run_workload(RunConfig(workload="kmeans",
+                                            mode="dyser", scale="tiny",
+                                            seed=seed))
             assert result.correct
 
 
@@ -99,13 +109,15 @@ class TestHarness:
         assert c.edp_ratio > c.energy_ratio / 2
 
     def test_run_result_throughput(self):
-        r = run_workload("vecadd", mode="dyser", scale="tiny")
+        r = run_workload(RunConfig(workload="vecadd", mode="dyser",
+                                   scale="tiny"))
         assert r.work_items == 32
         assert r.cycles_per_item == r.cycles / 32
 
     def test_bad_mode_rejected(self):
+        # The mode is validated at RunConfig construction now.
         with pytest.raises(WorkloadError, match="unknown mode"):
-            run_workload("vecadd", mode="quantum")
+            RunConfig(workload="vecadd", mode="quantum")
 
     def test_geomean(self):
         assert geomean([1.0, 4.0]) == pytest.approx(2.0)
