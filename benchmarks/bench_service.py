@@ -1,0 +1,238 @@
+"""Service latency/throughput: closed-loop load against ``repro serve``.
+
+Two entry points:
+
+- ``python benchmarks/bench_service.py`` runs an in-process service
+  (:class:`repro.service.ServiceThread`, ephemeral port) under a
+  closed-loop load generator — ``--clients`` threads each with its own
+  keep-alive :class:`~repro.service.ServiceClient`, issuing the next
+  request as soon as the previous one answers — and appends a
+  machine-readable entry to ``BENCH_service.json`` (the committed
+  history of the latency acceptance criterion);
+- ``--check`` validates a fresh measurement against the acceptance
+  gates instead of appending (CI's service bench-smoke).
+
+Methodology: the request mix cycles over a few (workload, mode) specs
+at the tiny scale.  A warm-up pass first pushes every spec through the
+cold path (compile + fast-backend simulation, artifact cache write);
+the measured closed-loop run is then served from the artifact cache at
+admission, so its latencies isolate *service dispatch* — HTTP parse,
+admission gates, cache probe, response serialization.  Acceptance:
+zero dropped completed jobs across the run and warm-cache p50 < 10 ms.
+Cold-path latency is recorded alongside for context (it rides the
+fast backend, PR 4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import pathlib
+import platform
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_service.json"
+
+#: Serialization format tag for the benchmark history file.
+BENCH_FORMAT = "repro-bench-service-v1"
+
+#: Request mix: small kernels, both modes, tiny scale.
+MIX = (
+    {"workload": "vecadd", "mode": "dyser", "scale": "tiny"},
+    {"workload": "vecadd", "mode": "scalar", "scale": "tiny"},
+    {"workload": "saxpy", "mode": "dyser", "scale": "tiny"},
+    {"workload": "dotprod", "mode": "dyser", "scale": "tiny"},
+)
+
+#: Acceptance gates (see ISSUE 5 / CI bench-smoke).
+WARM_P50_LIMIT_MS = 10.0
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _latency_summary(latencies_ms: list[float],
+                     wall_s: float) -> dict:
+    return {
+        "requests": len(latencies_ms),
+        "wall_s": round(wall_s, 3),
+        "throughput_rps": round(len(latencies_ms) / wall_s, 1)
+        if wall_s else 0.0,
+        "p50_ms": round(_percentile(latencies_ms, 0.50), 3),
+        "p95_ms": round(_percentile(latencies_ms, 0.95), 3),
+        "p99_ms": round(_percentile(latencies_ms, 0.99), 3),
+        "mean_ms": round(statistics.fmean(latencies_ms), 3),
+        "max_ms": round(max(latencies_ms), 3),
+    }
+
+
+def _closed_loop(port: int, requests: int, clients: int) -> dict:
+    """``clients`` threads issue ``requests`` total, one at a time each."""
+    from repro.service import ServiceClient
+
+    latencies: list[float] = []
+    statuses: dict[str, int] = {}
+    errors: list[str] = []
+    lock = threading.Lock()
+    counter = iter(range(requests))
+
+    def worker() -> None:
+        client = ServiceClient(port=port, timeout=120, retries=3)
+        with client:
+            while True:
+                with lock:
+                    i = next(counter, None)
+                if i is None:
+                    return
+                spec = MIX[i % len(MIX)]
+                t0 = time.perf_counter()
+                try:
+                    reply = client.run(spec, raise_on_error=False)
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    with lock:
+                        errors.append(f"{type(exc).__name__}: {exc}")
+                    continue
+                dt_ms = (time.perf_counter() - t0) * 1e3
+                with lock:
+                    latencies.append(dt_ms)
+                    status = reply.get("status", "no-status")
+                    statuses[status] = statuses.get(status, 0) + 1
+                    if not reply.get("ok"):
+                        errors.append(f"{spec['workload']}: {status} "
+                                      f"{reply.get('error')}")
+
+    threads = [threading.Thread(target=worker, daemon=True)
+               for _ in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - started
+    summary = _latency_summary(latencies, wall_s)
+    summary["statuses"] = {k: statuses[k] for k in sorted(statuses)}
+    summary["dropped"] = (requests - len(latencies)) + len(errors)
+    summary["errors"] = errors[:10]
+    return summary
+
+
+def measure(requests: int = 200, clients: int = 4) -> dict:
+    """One benchmark entry: cold warm-up pass + warm closed-loop run."""
+    from repro.engine.cache import ArtifactCache
+    from repro.service import ServiceClient, ServiceThread
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as tmp:
+        cache = ArtifactCache(tmp)
+        with ServiceThread(cache=cache, queue_limit=max(64, clients * 4),
+                           batch_window_s=0.001) as srv:
+            # Cold pass: every spec in the mix takes the full path once
+            # (compile + fast-backend run + artifact store).
+            cold_latencies = []
+            with ServiceClient(port=srv.port, timeout=300) as client:
+                for spec in MIX:
+                    t0 = time.perf_counter()
+                    reply = client.run(spec)
+                    cold_latencies.append(
+                        (time.perf_counter() - t0) * 1e3)
+                    assert reply["status"] == "executed", reply
+            cold = _latency_summary(cold_latencies, sum(cold_latencies)
+                                    / 1e3)
+            # Warm closed loop: all answered from the artifact cache.
+            warm = _closed_loop(srv.port, requests, clients)
+            with ServiceClient(port=srv.port) as client:
+                metrics_ok = client.metrics_text() \
+                    .count("# TYPE repro_service") >= 5
+                health = client.health()
+    return {
+        "date": _dt.date.today().isoformat(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "requests": requests,
+        "clients": clients,
+        "mix": len(MIX),
+        "cold": cold,
+        "warm": warm,
+        "metrics_exposition_ok": metrics_ok,
+        "requests_served": health["requests_served"],
+    }
+
+
+def validate(doc: dict) -> None:
+    """Acceptance gates for a history document (raises on violation)."""
+    assert doc.get("format") == BENCH_FORMAT, \
+        f"bad format tag {doc.get('format')!r}"
+    entries = doc.get("entries")
+    assert entries, "no benchmark entries"
+    for entry in entries:
+        warm = entry["warm"]
+        assert warm["dropped"] == 0, \
+            f"{entry['date']}: {warm['dropped']} dropped requests"
+        assert warm["p50_ms"] < WARM_P50_LIMIT_MS, \
+            (f"{entry['date']}: warm p50 {warm['p50_ms']}ms over the "
+             f"{WARM_P50_LIMIT_MS}ms gate")
+        assert entry.get("metrics_exposition_ok"), \
+            f"{entry['date']}: /metrics exposition failed to parse"
+
+
+def _render(entry: dict) -> str:
+    warm, cold = entry["warm"], entry["cold"]
+    return (
+        f"service closed loop: {entry['requests']} requests, "
+        f"{entry['clients']} clients\n"
+        f"  warm (artifact-cache dispatch): "
+        f"p50={warm['p50_ms']}ms p95={warm['p95_ms']}ms "
+        f"p99={warm['p99_ms']}ms, {warm['throughput_rps']} req/s, "
+        f"{warm['dropped']} dropped\n"
+        f"  cold (compile + fast backend):  "
+        f"p50={cold['p50_ms']}ms max={cold['max_ms']}ms "
+        f"({entry['mix']} specs)\n"
+        f"  statuses: {warm['statuses']}"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=200,
+                        help="closed-loop request count (default 200)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent closed-loop clients")
+    parser.add_argument("--check", action="store_true",
+                        help="measure and gate without writing history")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write history here instead of "
+                             "BENCH_service.json")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    entry = measure(requests=args.requests, clients=args.clients)
+    print(_render(entry))
+
+    if args.check:
+        validate({"format": BENCH_FORMAT, "entries": [entry]})
+        print("service bench gates OK "
+              f"(warm p50 {entry['warm']['p50_ms']}ms < "
+              f"{WARM_P50_LIMIT_MS}ms, 0 dropped)")
+        return 0
+
+    path = pathlib.Path(args.output) if args.output else BENCH_PATH
+    doc = {"format": BENCH_FORMAT, "entries": []}
+    if path.exists():
+        doc = json.loads(path.read_text())
+    doc["entries"].append(entry)
+    validate(doc)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"appended to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

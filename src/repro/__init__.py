@@ -18,7 +18,10 @@ compiler, microarchitecture, and hardware implementation" (ISPASS 2015):
   content-addressed artifact cache (the substrate for design-space
   exploration);
 - :mod:`repro.obs` — observability: structured tracing, named metrics,
-  Chrome/Perfetto timeline export, ``repro profile``.
+  Chrome/Perfetto timeline export, ``repro profile``;
+- :mod:`repro.service` — simulation-as-a-service: the ``repro serve``
+  asyncio daemon (admission control, micro-batched scheduling,
+  Prometheus ``/metrics``) and its ``repro submit`` client.
 
 This module is the **stable public facade**: everything in ``__all__``
 is importable as ``from repro import ...`` and the CLI goes through it
@@ -103,9 +106,10 @@ from repro.obs import (
     trace_workload,
     write_chrome_trace,
 )
+from repro.service import ReproService, ServiceClient, ServiceError
 from repro.workloads import SUITE, get as get_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # run API
@@ -133,6 +137,10 @@ __all__ = [
     "invocation_table",
     "to_chrome_trace",
     "write_chrome_trace",
+    # service
+    "ReproService",
+    "ServiceClient",
+    "ServiceError",
     # engine
     "ArtifactCache",
     "EngineFailure",

@@ -10,6 +10,9 @@ Subcommands::
     python -m repro suite --scale tiny --jobs 4   # scalar-vs-DySER sweep
     python -m repro sweep saxpy mm --geometry 4x4 8x8 --jobs 4
     python -m repro cache --clear            # artifact-cache maintenance
+    python -m repro cache prune --max-age-days 7 --max-bytes 500M
+    python -m repro serve --port 8787        # simulation-as-a-service
+    python -m repro submit mm --scale tiny   # client for a running serve
     python -m repro fpga --width 8 --height 8
 
 ``suite`` and ``sweep`` run through :mod:`repro.engine`: jobs are
@@ -306,6 +309,130 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _parse_bytes(text: str) -> int:
+    """Accept plain bytes or K/M/G-suffixed sizes (e.g. ``500M``)."""
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    raw = text.strip().lower().removesuffix("b")
+    scale = 1
+    if raw and raw[-1] in units:
+        scale = units[raw[-1]]
+        raw = raw[:-1]
+    try:
+        return int(float(raw) * scale)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad size {text!r}; use bytes or e.g. 512K, 100M, 2G"
+        ) from None
+
+
+def _cmd_cache_prune(args) -> int:
+    from repro import ArtifactCache
+
+    if args.max_age_days is None and args.max_bytes is None:
+        print("cache prune: give --max-age-days and/or --max-bytes",
+              file=sys.stderr)
+        return 2
+    cache = ArtifactCache(args.cache_dir)
+    report = cache.prune(max_age_days=args.max_age_days,
+                         max_bytes=args.max_bytes)
+    print(f"pruned {report['removed']} entries "
+          f"({report['freed_bytes'] / 1024:.1f} KiB) from {cache.root}; "
+          f"{report['kept']} entries "
+          f"({report['kept_bytes'] / 1024:.1f} KiB) kept")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro import ArtifactCache, ReproService, TraceOptions
+
+    cache = (None if args.no_cache
+             else ArtifactCache(args.cache_dir))
+    events = (TraceOptions(enabled=True).stream()
+              if args.trace_export else None)
+    service = ReproService(
+        host=args.host, port=args.port,
+        queue_limit=args.queue_limit, jobs=args.jobs,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        batch_max=args.batch_max, cache=cache,
+        timeout=args.timeout, retries=args.retries, events=events)
+    code = service.run()
+    if args.trace_export and events is not None:
+        from repro import write_chrome_trace
+
+        path = write_chrome_trace(events, args.trace_export)
+        print(f"service trace written to {path}")
+    return code
+
+
+def _submit_spec(args) -> dict:
+    spec: dict = {"workload": args.workload, "mode": args.mode,
+                  "scale": args.scale, "seed": args.seed,
+                  "backend": args.backend}
+    if args.geometry is not None:
+        spec["geometry"] = list(args.geometry)
+    if args.unroll is not None:
+        spec["unroll"] = args.unroll
+    return spec
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port,
+                           timeout=args.request_timeout,
+                           retries=args.retries)
+    try:
+        if args.health:
+            payload = client.health()
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0 if payload.get("ready") else 1
+        if args.metrics:
+            print(client.metrics_text(), end="")
+            return 0
+        if args.workload is None:
+            print("submit: a workload is required "
+                  "(or use --health/--metrics)", file=sys.stderr)
+            return 2
+        spec = _submit_spec(args)
+        if args.lint:
+            payload = client.lint(spec)
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0 if payload.get("ok") else 1
+        payload = client.run(spec, priority=args.priority,
+                             timeout_s=args.timeout_s,
+                             raise_on_error=False)
+    except ServiceError as exc:
+        body = exc.payload or exc.to_dict()
+        if args.json:
+            print(json.dumps(body, indent=2, sort_keys=True))
+        else:
+            print(f"submit failed: {exc}", file=sys.stderr)
+            for diag in body.get("diagnostics", []):
+                print(f"  {diag.get('severity')} {diag.get('code')}: "
+                      f"{diag.get('message')}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if payload.get("ok") else 1
+    if not payload.get("ok"):
+        print(f"{args.workload}: {payload.get('status')} — "
+              f"{payload.get('error', 'no result')}", file=sys.stderr)
+        for diag in payload.get("diagnostics", []):
+            print(f"  {diag.get('severity')} {diag.get('code')}: "
+                  f"{diag.get('message')}", file=sys.stderr)
+        return 1
+    result = payload.get("result", {})
+    stats = result.get("stats", {})
+    print(f"{args.workload}/{args.mode}@{args.scale}: "
+          f"{payload['status']} in {payload['latency_ms']:.1f}ms — "
+          f"{'OK' if result.get('correct') else 'WRONG RESULT'}, "
+          f"{stats.get('cycles', '?')} cycles, "
+          f"{stats.get('instructions', '?')} instructions")
+    return 0 if result.get("correct") else 1
+
+
 def _cmd_fpga(args) -> int:
     from repro import Fabric, FabricGeometry, utilization_table
 
@@ -444,10 +571,96 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_flags(sweep_p)
     sweep_p.set_defaults(func=_cmd_sweep)
 
-    cache_p = sub.add_parser("cache", help="inspect/clear artifact cache")
+    cache_p = sub.add_parser(
+        "cache", help="inspect/clear/prune the artifact cache",
+        description="Without a subcommand, print byte-accounted cache "
+                    "stats.  'repro cache prune --max-age-days 7 "
+                    "--max-bytes 500M' evicts LRU entries so a "
+                    "long-running service node stays bounded.")
     cache_p.add_argument("--cache-dir", default=None)
     cache_p.add_argument("--clear", action="store_true")
     cache_p.set_defaults(func=_cmd_cache)
+    cache_sub = cache_p.add_subparsers(dest="cache_cmd")
+    prune_p = cache_sub.add_parser(
+        "prune", help="evict cache entries (LRU by mtime)")
+    prune_p.add_argument("--cache-dir", default=None)
+    prune_p.add_argument("--max-age-days", type=float, default=None,
+                         help="evict entries older than this many days")
+    prune_p.add_argument("--max-bytes", type=_parse_bytes, default=None,
+                         metavar="SIZE",
+                         help="evict oldest entries until the cache "
+                              "fits (accepts 512K/100M/2G suffixes)")
+    prune_p.set_defaults(func=_cmd_cache_prune)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the simulation service daemon",
+        description="Long-lived JSON-over-HTTP daemon over the engine: "
+                    "admission control (pre-flight lint, cache dedup, "
+                    "request coalescing), a bounded priority queue with "
+                    "backpressure, micro-batched execution, /healthz "
+                    "and Prometheus /metrics.  SIGTERM drains in-flight "
+                    "work before exiting.")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8787,
+                         help="TCP port (0 = ephemeral; default 8787)")
+    serve_p.add_argument("--queue-limit", type=int, default=64,
+                         help="max admitted-but-unanswered jobs before "
+                              "backpressure (429) kicks in")
+    serve_p.add_argument("--jobs", type=int, default=1,
+                         help="engine worker processes per batch")
+    serve_p.add_argument("--batch-window-ms", type=float, default=5.0,
+                         help="micro-batching window in milliseconds")
+    serve_p.add_argument("--batch-max", type=int, default=16,
+                         help="max specs per engine submission")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="bypass the persistent artifact cache")
+    serve_p.add_argument("--cache-dir", default=None)
+    serve_p.add_argument("--timeout", type=float, default=None,
+                         help="per-job engine timeout (pooled runs)")
+    serve_p.add_argument("--retries", type=int, default=1)
+    serve_p.add_argument("--trace-export", default=None, metavar="PATH",
+                         help="write a Chrome trace of request/job "
+                              "lifecycle events here on shutdown")
+    serve_p.set_defaults(func=_cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit", help="submit one request to a running service",
+        description="Client for 'repro serve', e.g.: repro submit mm "
+                    "--scale tiny --json; repro submit --health; "
+                    "repro submit --metrics.  Retries with backoff "
+                    "while the server is starting or sheds load (429).")
+    submit_p.add_argument("workload", nargs="?", default=None,
+                          help="workload to run (see 'repro list')")
+    submit_p.add_argument("--mode", choices=("scalar", "dyser"),
+                          default="dyser")
+    submit_p.add_argument("--scale", default="small",
+                          choices=("tiny", "small", "medium"))
+    submit_p.add_argument("--seed", type=int, default=7)
+    submit_p.add_argument("--geometry", type=_parse_geometry,
+                          default=None, metavar="WxH")
+    submit_p.add_argument("--unroll", type=int, default=None)
+    add_backend_flag(submit_p)
+    submit_p.add_argument("--priority", type=int, default=0,
+                          help="queue priority (lower runs first)")
+    submit_p.add_argument("--timeout-s", dest="timeout_s", type=float,
+                          default=None,
+                          help="server-side queue-wait deadline")
+    submit_p.add_argument("--host", default="127.0.0.1")
+    submit_p.add_argument("--port", type=int, default=8787)
+    submit_p.add_argument("--request-timeout", type=float, default=300.0,
+                          help="client-side HTTP timeout in seconds")
+    submit_p.add_argument("--retries", type=int, default=5,
+                          help="client retry budget (connection "
+                               "failures, 429, 503)")
+    submit_p.add_argument("--lint", action="store_true",
+                          help="pre-flight lint only, don't execute")
+    submit_p.add_argument("--health", action="store_true",
+                          help="print /healthz and exit")
+    submit_p.add_argument("--metrics", action="store_true",
+                          help="print the Prometheus /metrics dump")
+    submit_p.add_argument("--json", action="store_true",
+                          help="print the raw response envelope")
+    submit_p.set_defaults(func=_cmd_submit)
 
     fpga_p = sub.add_parser("fpga", help="FPGA utilization table")
     fpga_p.add_argument("--width", type=int, default=8)

@@ -25,9 +25,12 @@ with identical content.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import pathlib
+import threading
+import time
 
 import repro
 from repro.compiler import CompileResult, RegionReport
@@ -99,11 +102,24 @@ def result_from_dict(data: dict) -> RunResult:
 # ---------------------------------------------------------------------
 
 
+#: Process-wide counter making temp-file names unique *within* a
+#: process: pid alone is not enough once the asyncio service layer has
+#: several threads (or coalesced writers) storing under one pid.
+_TMP_SEQ = itertools.count()
+
+
 class ArtifactCache:
     """On-disk store for run summaries and compiled-program bundles.
 
     Instances hold only a path and a fingerprint string, so they pickle
     cleanly into :mod:`repro.engine.pool` worker processes.
+
+    Concurrency contract: any number of processes *and* threads may
+    share one cache root.  Writers stage into a name unique per
+    (pid, thread, sequence) and publish with an atomic ``os.replace``;
+    readers treat missing/truncated entries as misses; maintenance
+    (:meth:`stats`, :meth:`prune`, :meth:`clear`) tolerates entries
+    vanishing underneath it.
     """
 
     def __init__(self, root: str | os.PathLike | None = None,
@@ -126,9 +142,20 @@ class ArtifactCache:
     def store(self, kind: str, key: str, data: dict) -> None:
         path = self._path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        tmp.write_text(json.dumps(data))
-        os.replace(tmp, path)
+        tmp = path.with_name(
+            f"{path.name}.tmp{os.getpid()}-{threading.get_ident()}"
+            f"-{next(_TMP_SEQ)}")
+        try:
+            tmp.write_text(json.dumps(data))
+            os.replace(tmp, path)
+        except OSError:
+            # Never leave a stage file behind on a failed publish; the
+            # entry simply stays absent (a future probe re-misses).
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
 
     # -- typed helpers -------------------------------------------------
 
@@ -165,6 +192,22 @@ class ArtifactCache:
             return []
         return sorted(self.root.rglob("*.json"))
 
+    def _survey(self) -> list[tuple[pathlib.Path, float, int]]:
+        """(path, mtime, size) for every entry, tolerating racers.
+
+        An entry deleted (or replaced) by a concurrent process between
+        the directory walk and the ``stat`` simply drops out of the
+        survey — maintenance never fails because the cache is live.
+        """
+        surveyed = []
+        for path in self.entries():
+            try:
+                st = path.stat()
+            except OSError:
+                continue   # vanished underneath us
+            surveyed.append((path, st.st_mtime, st.st_size))
+        return surveyed
+
     def clear(self) -> int:
         """Delete every entry (all fingerprints); returns count removed."""
         removed = 0
@@ -176,8 +219,127 @@ class ArtifactCache:
                 pass
         return removed
 
+    def stats(self) -> dict:
+        """Byte-accounted census: entries/bytes in total and per kind.
+
+        ``current`` covers entries under this cache's code fingerprint;
+        ``stale_entries``/``stale_bytes`` count entries orphaned under
+        other fingerprints (prime ``prune`` targets).
+        """
+        current_prefix = self.root / self.fingerprint[:16]
+        kinds: dict[str, dict] = {}
+        total_entries = total_bytes = 0
+        stale_entries = stale_bytes = 0
+        for path, _mtime, size in self._survey():
+            total_entries += 1
+            total_bytes += size
+            if current_prefix in path.parents:
+                kind = path.parent.name
+                bucket = kinds.setdefault(kind,
+                                          {"entries": 0, "bytes": 0})
+                bucket["entries"] += 1
+                bucket["bytes"] += size
+            else:
+                stale_entries += 1
+                stale_bytes += size
+        return {
+            "root": str(self.root),
+            "fingerprint": self.fingerprint,
+            "entries": total_entries,
+            "bytes": total_bytes,
+            "kinds": {k: kinds[k] for k in sorted(kinds)},
+            "stale_entries": stale_entries,
+            "stale_bytes": stale_bytes,
+        }
+
+    def prune(self, max_age_days: float | None = None,
+              max_bytes: int | None = None, *,
+              now: float | None = None) -> dict:
+        """Evict entries, LRU by mtime; returns removal accounting.
+
+        Policy, in order:
+
+        1. stage files abandoned by crashed writers (``*.tmp*`` older
+           than one hour) are always swept;
+        2. entries older than ``max_age_days`` are removed;
+        3. if the surviving entries still exceed ``max_bytes``, the
+           least recently *modified* are removed until they fit.
+
+        A long-running service node calls this periodically (or from
+        ``repro cache prune``) so the cache cannot grow unboundedly.
+        Concurrent readers racing a pruned key see a plain miss.
+        """
+        now = time.time() if now is None else now
+        removed = freed = 0
+
+        if self.root.exists():
+            for tmp in self.root.rglob("*.tmp*"):
+                try:
+                    if now - tmp.stat().st_mtime > 3600:
+                        size = tmp.stat().st_size
+                        tmp.unlink()
+                        removed += 1
+                        freed += size
+                except OSError:
+                    continue
+
+        surveyed = self._survey()
+        survivors = []
+        for entry in surveyed:
+            path, mtime, size = entry
+            if max_age_days is not None \
+                    and now - mtime > max_age_days * 86400.0:
+                if self._evict(path):
+                    removed += 1
+                    freed += size
+                continue
+            survivors.append(entry)
+        if max_bytes is not None:
+            kept_bytes = sum(size for _p, _m, size in survivors)
+            # Oldest first == least recently modified first.
+            for path, _mtime, size in sorted(survivors,
+                                             key=lambda e: e[1]):
+                if kept_bytes <= max_bytes:
+                    break
+                if self._evict(path):
+                    removed += 1
+                    freed += size
+                kept_bytes -= size
+        stats = self.stats()
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "kept": stats["entries"],
+            "kept_bytes": stats["bytes"],
+        }
+
+    @staticmethod
+    def _evict(path: pathlib.Path) -> bool:
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        # Best-effort tidy of now-empty kind/fingerprint directories.
+        parent = path.parent
+        for _ in range(2):
+            try:
+                parent.rmdir()
+            except OSError:
+                break
+            parent = parent.parent
+        return True
+
     def describe(self) -> str:
-        entries = self.entries()
-        total = sum(p.stat().st_size for p in entries)
-        return (f"cache at {self.root} [code {self.fingerprint[:12]}]: "
-                f"{len(entries)} entries, {total / 1024:.1f} KiB")
+        stats = self.stats()
+        parts = [f"cache at {stats['root']} "
+                 f"[code {self.fingerprint[:12]}]: "
+                 f"{stats['entries']} entries, "
+                 f"{stats['bytes'] / 1024:.1f} KiB"]
+        for kind, bucket in stats["kinds"].items():
+            parts.append(f"  {kind}: {bucket['entries']} entries, "
+                         f"{bucket['bytes'] / 1024:.1f} KiB")
+        if stats["stale_entries"]:
+            parts.append(f"  stale (other code versions): "
+                         f"{stats['stale_entries']} entries, "
+                         f"{stats['stale_bytes'] / 1024:.1f} KiB")
+        return "\n".join(parts)

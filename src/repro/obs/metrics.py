@@ -12,10 +12,21 @@ Instrument names are namespaced with dots (``dyser.port.send_stalls``)
 and must be unique within a registry; re-requesting the same name with
 the same type returns the existing instrument, while a type conflict
 raises.
+
+Thread-safety contract: instrument *updates* (``inc``/``set``/
+``observe``) stay lock-free — they run inside simulator hot loops and a
+racing scrape may at worst observe a value one update stale.  Registry
+*structure* (registration, lookup, serialization, exposition) is
+guarded by a lock and every read path iterates a point-in-time
+:meth:`MetricsRegistry.snapshot`, so a concurrent ``inc()`` or
+``counter()`` during a scrape can never raise ``RuntimeError: dict
+changed size`` or tear a histogram's bucket/count invariant.
 """
 
 from __future__ import annotations
 
+import re
+import threading
 from bisect import bisect_right
 from dataclasses import dataclass, field
 
@@ -104,10 +115,17 @@ class HistogramMetric:
         self.counts[i] += 1
 
     def to_dict(self) -> dict:
+        # Copy the bins first and derive ``count`` from that copy: a
+        # racing ``observe`` between the two reads could otherwise
+        # produce a snapshot where the bucket sum disagrees with the
+        # total (Prometheus scrapers reject such exposition).  In a
+        # quiesced registry ``sum(counts) == self.count`` exactly, so
+        # serialization round-trips are unchanged.
+        counts = list(self.counts)
         return {
             "kind": self.kind, "help": self.help,
-            "buckets": list(self.buckets), "counts": list(self.counts),
-            "count": self.count, "sum": self.sum,
+            "buckets": list(self.buckets), "counts": counts,
+            "count": sum(counts), "sum": self.sum,
             "min": self.min, "max": self.max,
         }
 
@@ -128,20 +146,33 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    # Locks don't pickle; a registry that crosses a process boundary
+    # (engine workers, test deep-copies) regrows one on arrival.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # -- registration --------------------------------------------------
 
     def _register(self, cls, name: str, help: str, **kwargs):
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise MetricError(
-                    f"metric {name!r} already registered as "
-                    f"{existing.kind}, not {cls.kind}")
-            return existing
-        metric = cls(name=name, help=help, **kwargs)
-        self._metrics[name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise MetricError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")
+                return existing
+            metric = cls(name=name, help=help, **kwargs)
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name: str, help: str = "") -> CounterMetric:
         return self._register(CounterMetric, name, help)
@@ -156,20 +187,35 @@ class MetricsRegistry:
     # -- access --------------------------------------------------------
 
     def get(self, name: str):
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        with self._lock:
+            return name in self._metrics
+
+    def snapshot(self) -> list[tuple[str, object]]:
+        """Point-in-time ``(name, instrument)`` pairs, sorted by name.
+
+        Every bulk read path (:meth:`to_dict`, :meth:`format`,
+        :meth:`to_prometheus`) iterates over this copy, so concurrent
+        registration during a scrape cannot raise or skip entries.
+        """
+        with self._lock:
+            items = list(self._metrics.items())
+        return sorted(items)
 
     def value(self, name: str, default=0):
         """Scalar value of a counter/gauge (histograms return count)."""
-        metric = self._metrics.get(name)
+        metric = self.get(name)
         if metric is None:
             return default
         if isinstance(metric, HistogramMetric):
@@ -179,8 +225,7 @@ class MetricsRegistry:
     # -- (de)serialization --------------------------------------------
 
     def to_dict(self) -> dict:
-        return {name: self._metrics[name].to_dict()
-                for name in sorted(self._metrics)}
+        return {name: metric.to_dict() for name, metric in self.snapshot()}
 
     @classmethod
     def from_dict(cls, data: dict) -> "MetricsRegistry":
@@ -201,8 +246,7 @@ class MetricsRegistry:
     def format(self) -> str:
         """Human-readable dump, one instrument per line."""
         lines = []
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        for name, metric in self.snapshot():
             if isinstance(metric, HistogramMetric):
                 lines.append(
                     f"{name:<36} histogram count={metric.count} "
@@ -212,3 +256,70 @@ class MetricsRegistry:
                 lines.append(f"{name:<36} {metric.kind} "
                              f"value={metric.value}")
         return "\n".join(lines)
+
+    # -- Prometheus text exposition ------------------------------------
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition format (version 0.0.4).
+
+        Dotted instrument names map to underscore metric names under
+        ``prefix`` (``service.queue.depth`` →
+        ``repro_service_queue_depth``); counters gain the conventional
+        ``_total`` suffix; histograms expose cumulative ``_bucket``
+        series with ``le`` labels plus ``_sum``/``_count``.  The dump
+        reads from :meth:`snapshot` and tear-safe ``to_dict`` copies,
+        so scraping a registry under concurrent updates is safe.
+        """
+        lines: list[str] = []
+        for name, metric in self.snapshot():
+            pname = _prometheus_name(f"{prefix}.{name}" if prefix
+                                     else name)
+            help_text = (metric.help or name).replace("\\", "\\\\") \
+                .replace("\n", "\\n")
+            data = metric.to_dict()
+            if isinstance(metric, CounterMetric):
+                pname += "_total"
+                lines += [f"# HELP {pname} {help_text}",
+                          f"# TYPE {pname} counter",
+                          f"{pname} {_prometheus_value(data['value'])}"]
+            elif isinstance(metric, GaugeMetric):
+                lines += [f"# HELP {pname} {help_text}",
+                          f"# TYPE {pname} gauge",
+                          f"{pname} {_prometheus_value(data['value'])}"]
+            else:  # histogram
+                lines += [f"# HELP {pname} {help_text}",
+                          f"# TYPE {pname} histogram"]
+                cumulative = 0
+                for bound, binned in zip(data["buckets"], data["counts"]):
+                    cumulative += binned
+                    lines.append(f'{pname}_bucket{{le="'
+                                 f'{_prometheus_value(bound)}"}} '
+                                 f"{cumulative}")
+                total = cumulative + data["counts"][-1]
+                lines.append(f'{pname}_bucket{{le="+Inf"}} {total}')
+                lines.append(f"{pname}_sum "
+                             f"{_prometheus_value(data['sum'])}")
+                lines.append(f"{pname}_count {total}")
+        return "\n".join(lines) + "\n"
+
+
+def _prometheus_name(name: str) -> str:
+    """Sanitize a dotted instrument name into a Prometheus metric name."""
+    name = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not re.match(r"[a-zA-Z_:]", name):
+        name = f"_{name}"
+    return name
+
+
+def _prometheus_value(value) -> str:
+    """Render numbers the way Prometheus text format expects."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value is None:
+        return "NaN"
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)

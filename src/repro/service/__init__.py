@@ -1,0 +1,65 @@
+"""Simulation-as-a-service: a long-lived daemon over the engine.
+
+After the engine (PR 1), observability (PR 2), static analysis (PR 3)
+and the fast backend (PR 4), every entry point was still a one-shot
+CLI process — nothing kept the artifact cache, compile/decode caches
+or metrics warm across requests.  :mod:`repro.service` is that missing
+layer: a stdlib-only asyncio daemon (``repro serve``) accepting JSON
+over HTTP (run / compile / sweep / lint) with a matching client
+(``repro submit`` / :class:`ServiceClient`).
+
+The pipeline, by module:
+
+- :mod:`repro.service.protocol` — wire format, spec validation,
+  response envelopes, status codes;
+- :mod:`repro.service.admission` — validate → pre-flight lint (422
+  with structured diagnostics) → artifact-cache probe (warm hits are
+  answered without touching the pool) → in-flight request coalescing;
+- :mod:`repro.service.scheduler` — bounded priority queue with
+  backpressure (429 + ``Retry-After``), micro-batching into engine
+  :func:`~repro.engine.pool.run_jobs` submissions, queue-wait
+  deadlines;
+- :mod:`repro.service.server` — asyncio HTTP front end, ``/healthz``,
+  ``/metrics`` (Prometheus text exposition of the service registry),
+  graceful drain-then-shutdown on SIGTERM;
+- :mod:`repro.service.instruments` — the service-scoped
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+- :mod:`repro.service.client` — retrying synchronous client.
+
+Quick use::
+
+    from repro.service import ServiceThread, ServiceClient
+
+    with ServiceThread() as srv:                # ephemeral port
+        client = ServiceClient(port=srv.port)
+        reply = client.run({"workload": "mm", "scale": "tiny"})
+        print(reply["status"], reply["result"]["stats"]["cycles"])
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.instruments import ServiceInstruments
+from repro.service.protocol import (
+    DEFAULT_PORT,
+    PROTOCOL,
+    ProtocolError,
+    spec_from_payload,
+    spec_to_payload,
+)
+from repro.service.scheduler import JobOutcome, QueueFull, Scheduler
+from repro.service.server import ReproService, ServiceThread
+
+__all__ = [
+    "DEFAULT_PORT",
+    "JobOutcome",
+    "PROTOCOL",
+    "ProtocolError",
+    "QueueFull",
+    "ReproService",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceInstruments",
+    "ServiceThread",
+    "spec_from_payload",
+    "spec_to_payload",
+]

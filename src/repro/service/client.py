@@ -1,0 +1,223 @@
+"""Synchronous client for the simulation service (stdlib ``http.client``).
+
+One :class:`ServiceClient` holds one keep-alive connection (it is not
+thread-safe — give each thread its own; the closed-loop benchmark
+does exactly that).  The retry policy treats the service's explicit
+backpressure signals as *retryable*, everything else as final:
+
+- transport failures (connection refused/reset, truncated response)
+  retry with capped exponential backoff — this is what lets
+  ``repro submit`` race ``repro serve &`` startup and survive a
+  flapping server;
+- ``429`` honours the server's ``Retry-After`` hint (capped);
+- ``503`` (draining) backs off like a transport failure;
+- any other status is returned to the caller immediately.
+
+Retrying a run submission is safe by construction: requests are
+content-addressed by ``JobSpec.job_hash``, so a duplicate submission
+coalesces onto the original in-flight job or hits the artifact cache —
+it can never run the same work twice.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+
+from repro.errors import ReproError
+
+from repro.service.protocol import DEFAULT_PORT
+
+#: Transport-level failures worth a retry.
+_RETRYABLE_EXC = (ConnectionError, socket.timeout, socket.gaierror,
+                  http.client.HTTPException, OSError)
+
+
+class ServiceError(ReproError):
+    """A request that could not be served (after retries).
+
+    Carries ``status`` (HTTP status code, or 0 for transport failures)
+    and ``payload`` (the decoded response body, when there was one).
+    """
+
+    def __init__(self, message: str, *, status: int = 0,
+                 payload: dict | None = None, **context) -> None:
+        super().__init__(message, status=status, **context)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """JSON-over-HTTP client for a :class:`~repro.service.ReproService`."""
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int = DEFAULT_PORT, *,
+                 timeout: float = 120.0, retries: int = 3,
+                 backoff_s: float = 0.1, backoff_cap_s: float = 2.0,
+                 sleep=time.sleep) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self._sleep = sleep
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- transport -----------------------------------------------------
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _send_once(self, method: str, path: str, body: bytes | None):
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        headers = {"Content-Type": "application/json"} if body else {}
+        self._conn.request(method, path, body=body, headers=headers)
+        response = self._conn.getresponse()
+        data = response.read()
+        if response.getheader("Connection", "").lower() == "close":
+            self.close()
+        return response.status, dict(response.getheaders()), data
+
+    def request(self, method: str, path: str,
+                body: dict | None = None) -> tuple[int, dict]:
+        """One request with the retry policy; returns (status, body)."""
+        encoded = (json.dumps(body).encode("utf-8")
+                   if body is not None else None)
+        attempts = self.retries + 1
+        last_error: str = "unreachable"
+        for attempt in range(attempts):
+            try:
+                status, headers, data = self._send_once(
+                    method, path, encoded)
+            except _RETRYABLE_EXC as exc:
+                self.close()
+                last_error = f"{type(exc).__name__}: {exc}"
+                if attempt + 1 < attempts:
+                    self._sleep(self._backoff(attempt))
+                continue
+            payload = self._decode(data)
+            if status in (429, 503) and attempt + 1 < attempts:
+                delay = self._backoff(attempt)
+                retry_after = headers.get("Retry-After")
+                if retry_after:
+                    try:
+                        delay = max(delay,
+                                    min(float(retry_after),
+                                        self.backoff_cap_s))
+                    except ValueError:
+                        pass
+                self._sleep(delay)
+                continue
+            return status, payload
+        raise ServiceError(
+            f"{method} {path} failed after {attempts} attempt"
+            f"{'s' if attempts != 1 else ''}: {last_error}",
+            status=0, attempts=attempts)
+
+    def _backoff(self, attempt: int) -> float:
+        return min(self.backoff_cap_s, self.backoff_s * (2 ** attempt))
+
+    @staticmethod
+    def _decode(data: bytes) -> dict:
+        if not data:
+            return {}
+        try:
+            decoded = json.loads(data)
+            return decoded if isinstance(decoded, dict) \
+                else {"body": decoded}
+        except ValueError:
+            return {"text": data.decode("utf-8", "replace")}
+
+    def _expect_ok(self, method: str, path: str,
+                   body: dict | None = None) -> dict:
+        status, payload = self.request(method, path, body)
+        if not payload.get("ok", status == 200):
+            raise ServiceError(
+                payload.get("error", f"HTTP {status}"),
+                status=status, payload=payload)
+        return payload
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self) -> dict:
+        status, payload = self.request("GET", "/healthz")
+        if status != 200:
+            raise ServiceError(f"healthz returned {status}",
+                               status=status, payload=payload)
+        return payload
+
+    def metrics_text(self) -> str:
+        status, payload = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(f"metrics returned {status}",
+                               status=status, payload=payload)
+        return payload.get("text", "")
+
+    def stats(self) -> dict:
+        return self._expect_ok("GET", "/v1/stats")
+
+    def run(self, spec: dict, *, priority: int = 0,
+            timeout_s: float | None = None,
+            raise_on_error: bool = True) -> dict:
+        """Submit one run; returns the full response envelope.
+
+        With ``raise_on_error`` (default) a non-served verdict
+        (rejected / failed / throttled-after-retries / expired) raises
+        :class:`ServiceError` carrying the envelope; pass ``False`` to
+        inspect the envelope yourself.
+        """
+        body: dict = {"spec": spec, "priority": priority}
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        status, payload = self.request("POST", "/v1/run", body)
+        if raise_on_error and not payload.get("ok"):
+            raise ServiceError(
+                payload.get("error", f"HTTP {status}"),
+                status=status, payload=payload)
+        return payload
+
+    def compile(self, spec: dict) -> dict:
+        return self._expect_ok("POST", "/v1/compile", {"spec": spec})
+
+    def lint(self, spec: dict) -> dict:
+        status, payload = self.request("POST", "/v1/lint",
+                                       {"spec": spec})
+        if status != 200:
+            raise ServiceError(
+                payload.get("error", f"HTTP {status}"),
+                status=status, payload=payload)
+        return payload
+
+    def sweep(self, workloads: list, *, modes=("dyser",),
+              base: dict | None = None, axes: dict | None = None,
+              priority: int = 0, timeout_s: float | None = None) -> dict:
+        body: dict = {
+            "workloads": list(workloads),
+            "modes": list(modes),
+            "base": base or {},
+            "axes": axes or {},
+            "priority": priority,
+        }
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        status, payload = self.request("POST", "/v1/sweep", body)
+        if "jobs" not in payload:
+            raise ServiceError(
+                payload.get("error", f"HTTP {status}"),
+                status=status, payload=payload)
+        return payload

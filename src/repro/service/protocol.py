@@ -1,0 +1,184 @@
+"""Wire format for the simulation service: JSON over HTTP/1.1.
+
+The service speaks a small, versioned JSON protocol.  Request bodies
+carry a ``spec`` object whose keys are :class:`repro.engine.jobs.
+JobSpec` field names (``geometry`` as a ``[width, height]`` pair,
+``energy_overrides`` as ``[[field, value], ...]``); everything else a
+run needs — compiler options, fabric timing, energy model — derives
+from the spec exactly as it does in the engine, so a request names the
+same design point a :class:`JobSpec` does and shares its content hash.
+
+Endpoints (all responses are JSON envelopes with an ``ok`` bool):
+
+========================  ====================================
+``POST /v1/run``          execute one spec (admission-controlled)
+``POST /v1/compile``      compile one spec, report regions
+``POST /v1/sweep``        expand a cartesian grid server-side
+``POST /v1/lint``         pre-flight lint only, no execution
+``GET  /healthz``         readiness + queue/inflight gauges
+``GET  /metrics``         Prometheus text exposition
+``GET  /v1/stats``        the metrics registry as JSON
+========================  ====================================
+
+Status codes: ``200`` served, ``400`` malformed request, ``404``
+unknown endpoint, ``413`` oversized body, ``422`` rejected by
+pre-flight lint (body carries structured diagnostics), ``429`` queue
+full (``Retry-After`` header set), ``500`` execution failed, ``503``
+draining, ``504`` deadline expired while queued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields
+
+from repro.errors import ReproError
+from repro.engine.jobs import JobSpec
+
+#: Protocol version tag carried in every response envelope.
+PROTOCOL = "repro-service-v1"
+
+#: Default TCP port for ``repro serve`` / ``repro submit``.
+DEFAULT_PORT = 8787
+
+#: Largest accepted request body (a sweep grid fits comfortably).
+MAX_BODY_BYTES = 1 << 20
+
+#: Terminal per-request statuses reported in response envelopes.
+STATUS_EXECUTED = "executed"    # ran on the engine this request
+STATUS_HIT = "hit"              # answered from the artifact cache
+STATUS_COALESCED = "coalesced"  # shared an identical in-flight request
+STATUS_REJECTED = "rejected"    # failed pre-flight lint (422)
+STATUS_THROTTLED = "throttled"  # queue full (429)
+STATUS_FAILED = "failed"        # engine exhausted retries (500)
+STATUS_EXPIRED = "expired"      # deadline passed while queued (504)
+STATUS_DRAINING = "draining"    # server shutting down (503)
+
+_SPEC_FIELDS = frozenset(f.name for f in dataclass_fields(JobSpec))
+
+
+class ProtocolError(ReproError):
+    """Malformed request body (HTTP 400)."""
+
+    def __init__(self, message: str, **context) -> None:
+        super().__init__(message, **context)
+        self.http_status = 400
+
+
+def spec_from_payload(data: object) -> JobSpec:
+    """Validate a JSON ``spec`` object into a :class:`JobSpec`.
+
+    Unknown keys are rejected by name (a misspelled knob must never be
+    silently dropped — the resulting spec would hash to a *different*
+    design point than the caller asked for).  Value errors surface as
+    :class:`ProtocolError` with the library's message.
+    """
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"spec must be a JSON object, got {type(data).__name__}")
+    unknown = sorted(set(data) - _SPEC_FIELDS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown spec field(s) {unknown}; "
+            f"known fields: {sorted(_SPEC_FIELDS)}",
+            unknown=unknown)
+    if "workload" not in data:
+        raise ProtocolError("spec.workload is required")
+    kwargs = dict(data)
+    if "geometry" in kwargs:
+        geometry = kwargs["geometry"]
+        if (not isinstance(geometry, (list, tuple)) or len(geometry) != 2):
+            raise ProtocolError(
+                f"spec.geometry must be a [width, height] pair, "
+                f"got {geometry!r}")
+        kwargs["geometry"] = tuple(geometry)
+    if "energy_overrides" in kwargs:
+        overrides = kwargs["energy_overrides"]
+        try:
+            kwargs["energy_overrides"] = tuple(
+                (str(name), value) for name, value in overrides)
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                f"spec.energy_overrides must be [[field, value], ...], "
+                f"got {overrides!r}") from None
+    try:
+        return JobSpec(**kwargs)
+    except ReproError as exc:
+        raise ProtocolError(f"bad spec: {exc}") from exc
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad spec: {exc}") from exc
+
+
+def spec_to_payload(spec: JobSpec) -> dict:
+    """The JSON ``spec`` object for a :class:`JobSpec` (round-trips)."""
+    payload = {}
+    for f in dataclass_fields(JobSpec):
+        payload[f.name] = getattr(spec, f.name)
+    payload["geometry"] = list(spec.geometry)
+    payload["energy_overrides"] = [list(p) for p in spec.energy_overrides]
+    return payload
+
+
+def parse_request_body(body: dict, *, want_spec: bool = True):
+    """Split a request envelope into ``(spec, priority, timeout_s)``."""
+    if not isinstance(body, dict):
+        raise ProtocolError(
+            f"request body must be a JSON object, "
+            f"got {type(body).__name__}")
+    priority = body.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ProtocolError(f"priority must be an integer, "
+                            f"got {priority!r}")
+    timeout_s = body.get("timeout_s")
+    if timeout_s is not None:
+        try:
+            timeout_s = float(timeout_s)
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                f"timeout_s must be a number, got {timeout_s!r}") from None
+        if timeout_s <= 0:
+            raise ProtocolError(f"timeout_s must be > 0, got {timeout_s}")
+    spec = None
+    if want_spec:
+        spec = spec_from_payload(body.get("spec"))
+    return spec, priority, timeout_s
+
+
+# -- response envelopes ------------------------------------------------
+
+
+def envelope(ok: bool, **fields) -> dict:
+    """The common response envelope all endpoints return."""
+    return {"protocol": PROTOCOL, "ok": ok, **fields}
+
+
+def run_response(status: str, payload: dict | None, *,
+                 job_hash: str, latency_ms: float,
+                 error: str | None = None,
+                 diagnostics: list | None = None) -> dict:
+    """Envelope for one run outcome (also used per-job inside sweeps)."""
+    body = envelope(
+        ok=status in (STATUS_EXECUTED, STATUS_HIT, STATUS_COALESCED),
+        status=status,
+        job_hash=job_hash,
+        latency_ms=round(latency_ms, 3),
+    )
+    if payload is not None:
+        body["result"] = payload
+    if error is not None:
+        body["error"] = error
+    if diagnostics is not None:
+        body["diagnostics"] = diagnostics
+    return body
+
+
+#: HTTP status per terminal request status.
+HTTP_STATUS = {
+    STATUS_EXECUTED: 200,
+    STATUS_HIT: 200,
+    STATUS_COALESCED: 200,
+    STATUS_REJECTED: 422,
+    STATUS_THROTTLED: 429,
+    STATUS_FAILED: 500,
+    STATUS_EXPIRED: 504,
+    STATUS_DRAINING: 503,
+}

@@ -1,0 +1,509 @@
+"""The daemon: asyncio HTTP/1.1 front end, lifecycle, observability.
+
+``repro serve`` runs a :class:`ReproService` — a single-process,
+stdlib-only asyncio server that keeps the expensive state warm across
+requests: the engine's persistent :class:`~repro.engine.cache.
+ArtifactCache`, the in-process compile/decode caches, the lint memo,
+and a service-scoped metrics registry.  Request handling is split
+across the sibling modules (admission → scheduler → engine); this
+module owns the transport and the lifecycle:
+
+- hand-rolled HTTP/1.1 over ``asyncio.start_server`` (keep-alive,
+  bounded body size, JSON responses) — no third-party web framework;
+- ``/healthz`` readiness and ``/metrics`` Prometheus exposition,
+  served from the event loop even while batches execute;
+- graceful drain-then-shutdown: SIGTERM/SIGINT stop admission of new
+  work (503), flush the queue, wait for in-flight jobs to answer,
+  then close the listener and exit.
+
+:class:`ServiceThread` runs the same daemon on a background thread for
+tests and benchmarks (port 0 → ephemeral port, no signals involved).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import threading
+import time
+
+from repro.engine.cache import ArtifactCache
+from repro.engine.jobs import sweep as sweep_specs
+from repro.analysis.speclint import lint_spec
+
+from repro.service import protocol as P
+from repro.service.admission import AdmissionController
+from repro.service.instruments import ServiceInstruments
+from repro.service.scheduler import Scheduler
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    422: "Unprocessable Entity", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class _Request:
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method: str, path: str, headers: dict,
+                 body: bytes) -> None:
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict:
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except ValueError as exc:
+            raise P.ProtocolError(f"request body is not JSON: {exc}") \
+                from exc
+
+
+class ReproService:
+    """Simulation-as-a-service over the engine/analysis/obs stack."""
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int = P.DEFAULT_PORT, *,
+                 queue_limit: int = 64, jobs: int = 1,
+                 batch_window_s: float = 0.005, batch_max: int = 16,
+                 cache: ArtifactCache | None = None,
+                 timeout: float | None = None, retries: int = 1,
+                 worker=None, events=None,
+                 max_sweep_specs: int = 1024) -> None:
+        self.host = host
+        self.port = port
+        self.cache = cache
+        self.events = events
+        self.max_sweep_specs = max(1, int(max_sweep_specs))
+        self.instruments = ServiceInstruments()
+        self.scheduler = Scheduler(
+            queue_limit=queue_limit, jobs=jobs,
+            batch_window_s=batch_window_s, batch_max=batch_max,
+            cache=cache, timeout=timeout, retries=retries,
+            worker=worker, instruments=self.instruments, events=events)
+        self.admission = AdmissionController(
+            self.scheduler, cache=cache,
+            instruments=self.instruments, events=events)
+        self.started_at = time.time()
+        self.requests_served = 0
+        self._server: asyncio.Server | None = None
+        self._draining = False
+        self._done: asyncio.Event | None = None
+        self._shutdown_task: asyncio.Task | None = None
+        self._active_requests = 0
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        """Bind the listener (resolving port 0) and start dispatching."""
+        self._done = asyncio.Event()
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def wait_done(self) -> None:
+        """Block until a shutdown request has fully drained."""
+        assert self._done is not None, "start() first"
+        await self._done.wait()
+
+    def begin_shutdown(self) -> None:
+        """Initiate drain-then-shutdown (idempotent, loop thread)."""
+        if self._draining:
+            return
+        self._draining = True
+        self._shutdown_task = asyncio.get_running_loop().create_task(
+            self._shutdown())
+
+    async def _shutdown(self) -> None:
+        # 1. stop accepting new connections; existing handlers finish.
+        if self._server is not None:
+            self._server.close()
+        # 2. flush the queue, wait for in-flight jobs to answer.
+        await self.scheduler.stop()
+        # 3. let responses already being written reach their sockets.
+        for _ in range(500):   # bounded: at most ~5s
+            if self._active_requests == 0:
+                break
+            await asyncio.sleep(0.01)
+        # 4. hang up on idle keep-alive clients (otherwise 3.12+'s
+        #    Server.wait_closed would wait on them forever).
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+        if self._server is not None:
+            with contextlib.suppress(TimeoutError, asyncio.TimeoutError):
+                await asyncio.wait_for(self._server.wait_closed(),
+                                       timeout=5)
+        if self._done is not None:
+            self._done.set()
+
+    def run(self) -> int:
+        """Blocking entry point for ``repro serve`` (installs signals)."""
+        return asyncio.run(self._main())
+
+    async def _main(self) -> int:
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(sig, self.begin_shutdown)
+        print(f"repro service listening on "
+              f"http://{self.host}:{self.port} "
+              f"(queue limit {self.scheduler.queue_limit}, "
+              f"{self.scheduler.jobs} engine worker"
+              f"{'s' if self.scheduler.jobs != 1 else ''})",
+              flush=True)
+        await self.wait_done()
+        print(f"repro service drained: {self.requests_served} requests "
+              f"served, "
+              f"{int(self.instruments.cache_hits.value)} cache hits, "
+              f"{int(self.instruments.executed.value)} executed",
+              flush=True)
+        return 0
+
+    # -- HTTP transport ------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except P.ProtocolError as exc:
+                    await self._respond(writer, exc.http_status,
+                                        P.envelope(False, error=str(exc)),
+                                        keep_alive=False)
+                    break
+                if request is None:
+                    break
+                keep_alive = (request.headers.get("connection", "")
+                              .lower() != "close")
+                self._active_requests += 1
+                try:
+                    status, body, headers = await self._route(request)
+                    self.requests_served += 1
+                    # During a drain, finish this response but hang up
+                    # afterwards so keep-alive clients release us.
+                    if self._draining:
+                        keep_alive = False
+                    await self._respond(writer, status, body,
+                                        keep_alive=keep_alive,
+                                        extra_headers=headers)
+                finally:
+                    self._active_requests -= 1
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass   # client went away mid-request
+        finally:
+            self._writers.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_request(self, reader) -> _Request | None:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) < 2:
+            raise P.ProtocolError(f"malformed request line {line!r}")
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            hline = await reader.readline()
+            if hline in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = hline.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise P.ProtocolError("bad Content-Length") from None
+        if length > P.MAX_BODY_BYTES:
+            exc = P.ProtocolError(
+                f"body of {length} bytes exceeds the "
+                f"{P.MAX_BODY_BYTES}-byte limit")
+            exc.http_status = 413
+            raise exc
+        body = await reader.readexactly(length) if length else b""
+        return _Request(method, path, headers, body)
+
+    async def _respond(self, writer, status: int, body,
+                       keep_alive: bool = True,
+                       extra_headers: dict | None = None) -> None:
+        if isinstance(body, (dict, list)):
+            payload = (json.dumps(body, sort_keys=True) + "\n") \
+                .encode("utf-8")
+            ctype = "application/json"
+        else:
+            payload = str(body).encode("utf-8")
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+            f"Content-Type: {ctype}",
+            f"Content-Length: {len(payload)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                     + payload)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------
+
+    async def _route(self, request: _Request):
+        """Dispatch one request; returns (status, body, extra headers)."""
+        method, path = request.method, request.path.split("?", 1)[0]
+        try:
+            if path == "/healthz" and method == "GET":
+                return 200, self._health_body(), None
+            if path == "/metrics" and method == "GET":
+                return 200, self.instruments.to_prometheus(), None
+            if path == "/v1/stats" and method == "GET":
+                return 200, P.envelope(
+                    True, metrics=self.instruments.to_dict()), None
+            if path == "/v1/run" and method == "POST":
+                return await self._handle_run(request)
+            if path == "/v1/compile" and method == "POST":
+                return await self._handle_compile(request)
+            if path == "/v1/sweep" and method == "POST":
+                return await self._handle_sweep(request)
+            if path == "/v1/lint" and method == "POST":
+                return self._handle_lint(request)
+            if path in ("/healthz", "/metrics", "/v1/stats", "/v1/run",
+                        "/v1/compile", "/v1/sweep", "/v1/lint"):
+                return 405, P.envelope(
+                    False, error=f"{method} not allowed on {path}"), None
+            return 404, P.envelope(
+                False, error=f"no such endpoint {path}"), None
+        except P.ProtocolError as exc:
+            return exc.http_status, P.envelope(False, error=str(exc)), None
+        except Exception as exc:  # noqa: BLE001 — daemon must survive
+            return 500, P.envelope(
+                False, error=f"{type(exc).__name__}: {exc}"), None
+
+    def _health_body(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "ready": not self._draining,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "queue_depth": self.scheduler.queue_depth,
+            "inflight": self.scheduler.outstanding,
+            "queue_limit": self.scheduler.queue_limit,
+            "requests_served": self.requests_served,
+        }
+
+    # -- endpoint handlers ---------------------------------------------
+
+    async def _handle_run(self, request: _Request):
+        spec, priority, timeout_s = P.parse_request_body(request.json())
+        started = time.perf_counter()
+        outcome = await self.admission.admit_run(
+            spec, priority=priority, timeout_s=timeout_s,
+            draining=self._draining)
+        latency_ms = (time.perf_counter() - started) * 1e3
+        self.instruments.latency_ms.observe(latency_ms)
+        if self.events is not None:
+            self.events.complete(
+                "request", "service.request", started * 1e6,
+                latency_ms * 1e3, domain="wall",
+                status=outcome.status, spec=spec.describe())
+        body = P.run_response(
+            outcome.status, outcome.payload, job_hash=spec.job_hash,
+            latency_ms=latency_ms, error=outcome.error,
+            diagnostics=outcome.diagnostics or None)
+        headers = None
+        if outcome.status == P.STATUS_THROTTLED:
+            headers = {"Retry-After":
+                       f"{self.scheduler.retry_after_s():.3f}"}
+        return P.HTTP_STATUS[outcome.status], body, headers
+
+    async def _handle_compile(self, request: _Request):
+        spec, _, _ = P.parse_request_body(request.json())
+        ok, diagnostics = self.admission.lint_verdict(spec)
+        if not ok:
+            return 422, P.envelope(
+                False, status=P.STATUS_REJECTED,
+                diagnostics=diagnostics,
+                error="rejected by pre-flight lint"), None
+        started = time.perf_counter()
+        payload = await asyncio.get_running_loop().run_in_executor(
+            None, _compile_payload, spec, self.cache)
+        latency_ms = (time.perf_counter() - started) * 1e3
+        return 200, P.envelope(True, status=payload.pop("status"),
+                               latency_ms=round(latency_ms, 3),
+                               **payload), None
+
+    async def _handle_sweep(self, request: _Request):
+        body = request.json()
+        if not isinstance(body, dict):
+            raise P.ProtocolError("sweep body must be a JSON object")
+        workloads = body.get("workloads")
+        if not isinstance(workloads, list) or not workloads:
+            raise P.ProtocolError(
+                "sweep.workloads must be a non-empty list")
+        modes = tuple(body.get("modes", ["dyser"]))
+        base = body.get("base", {})
+        axes = body.get("axes", {})
+        if not isinstance(base, dict) or not isinstance(axes, dict):
+            raise P.ProtocolError("sweep.base/axes must be JSON objects")
+        base = dict(base)
+        axes = {name: list(values) for name, values in axes.items()}
+        for obj in (base, axes):
+            if "geometry" in obj:
+                value = obj["geometry"]
+                obj["geometry"] = ([tuple(v) for v in value]
+                                   if isinstance(value, list)
+                                   and value
+                                   and isinstance(value[0],
+                                                  (list, tuple))
+                                   else tuple(value))
+        try:
+            specs = sweep_specs(workloads, modes=modes, base=base, **axes)
+        except Exception as exc:  # bad field names/values
+            raise P.ProtocolError(f"bad sweep: {exc}") from exc
+        if len(specs) > self.max_sweep_specs:
+            raise P.ProtocolError(
+                f"sweep expands to {len(specs)} specs, over the "
+                f"{self.max_sweep_specs}-spec limit")
+        priority = body.get("priority", 0)
+        timeout_s = body.get("timeout_s")
+        started = time.perf_counter()
+        outcomes = await asyncio.gather(*[
+            self.admission.admit_run(
+                spec, priority=priority, timeout_s=timeout_s,
+                draining=self._draining)
+            for spec in specs])
+        latency_ms = (time.perf_counter() - started) * 1e3
+        self.instruments.latency_ms.observe(latency_ms)
+        jobs = []
+        for spec, outcome in zip(specs, outcomes):
+            entry = {
+                "spec": spec.describe(),
+                "job_hash": spec.job_hash,
+                "status": outcome.status,
+            }
+            if outcome.payload is not None:
+                entry["result"] = outcome.payload
+            if outcome.error:
+                entry["error"] = outcome.error
+            if outcome.diagnostics:
+                entry["diagnostics"] = outcome.diagnostics
+            jobs.append(entry)
+        counts: dict[str, int] = {}
+        for outcome in outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        ok = all(o.status in (P.STATUS_EXECUTED, P.STATUS_HIT,
+                              P.STATUS_COALESCED) for o in outcomes)
+        return 200, P.envelope(ok, jobs=jobs, counts=counts,
+                               latency_ms=round(latency_ms, 3)), None
+
+    def _handle_lint(self, request: _Request):
+        spec, _, _ = P.parse_request_body(request.json())
+        report = lint_spec(spec)
+        return 200, P.envelope(
+            report.ok, status="linted", job_hash=spec.job_hash,
+            report=report.to_dict()), None
+
+
+def _compile_payload(spec, cache) -> dict:
+    """Compile one spec on an executor thread (cache-aware)."""
+    from repro.compiler import compile_dyser, compile_scalar
+    from repro.workloads import get as get_workload
+
+    compiled = cache.load_compile(spec) if cache is not None else None
+    cached = compiled is not None
+    if compiled is None:
+        source = get_workload(spec.workload).source
+        compiled = (compile_dyser(source, spec.options())
+                    if spec.mode == "dyser" else compile_scalar(source))
+        if cache is not None:
+            cache.store_compile(spec, compiled)
+    return {
+        "status": P.STATUS_HIT if cached else P.STATUS_EXECUTED,
+        "compile_hash": spec.compile_hash,
+        "instructions": len(compiled.program.instructions),
+        "dyser_configs": len(compiled.program.dyser_configs),
+        "regions": [r.to_dict() for r in compiled.regions],
+    }
+
+
+class ServiceThread:
+    """Run a :class:`ReproService` on a background thread.
+
+    The in-process harness tests and benchmarks use: ``port=0`` binds
+    an ephemeral port which is published on ``self.port`` once the
+    listener is up.  Entering the context blocks until the service is
+    ready; exiting requests a graceful drain and joins the thread.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("port", 0)
+        self._kwargs = kwargs
+        self.service: ReproService | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True)
+
+    @property
+    def host(self) -> str:
+        return self.service.host
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            self._error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self.service = ReproService(**self._kwargs)
+        self.loop = asyncio.get_running_loop()
+        await self.service.start()
+        self._ready.set()
+        await self.service.wait_done()
+
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service thread failed to start in 30s")
+        if self._error is not None:
+            raise RuntimeError(
+                f"service thread died during startup: {self._error}")
+        return self
+
+    def shutdown(self, timeout: float = 60) -> None:
+        if self.loop is not None and self._thread.is_alive():
+            self.loop.call_soon_threadsafe(self.service.begin_shutdown)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():  # pragma: no cover - deadlock guard
+            raise RuntimeError("service thread failed to drain")
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

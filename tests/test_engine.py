@@ -8,8 +8,11 @@ parity, and the warm-cache zero-work acceptance criterion.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import threading
+import time
 
 import pytest
 
@@ -228,6 +231,133 @@ class TestCache:
         run_jobs([JobSpec("vecadd", scale="tiny")], cache=cache)
         assert cache.clear() > 0
         assert cache.entries() == []
+
+
+# ---------------------------------------------------------------------
+# Cache maintenance: byte accounting, pruning, concurrent writers
+# ---------------------------------------------------------------------
+
+class TestCacheMaintenance:
+    def test_stats_accounts_bytes_per_kind(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        run_jobs([JobSpec("vecadd", scale="tiny")], cache=cache)
+        stats = cache.stats()
+        assert set(stats["kinds"]) == {"compile", "run"}
+        for bucket in stats["kinds"].values():
+            assert bucket["entries"] >= 1 and bucket["bytes"] > 0
+        assert stats["entries"] == sum(
+            b["entries"] for b in stats["kinds"].values())
+        assert stats["bytes"] == sum(
+            b["bytes"] for b in stats["kinds"].values())
+        assert stats["stale_entries"] == 0
+        assert str(tmp_path) in cache.describe()
+
+    def test_stats_counts_other_fingerprints_as_stale(self, tmp_path):
+        old = ArtifactCache(tmp_path, fingerprint="aa" * 32)
+        old.store("run", "k1", {"x": 1})
+        new = ArtifactCache(tmp_path, fingerprint="bb" * 32)
+        new.store("run", "k2", {"x": 2})
+        stats = new.stats()
+        assert stats["entries"] == 2
+        assert stats["stale_entries"] == 1 and stats["stale_bytes"] > 0
+        assert stats["kinds"]["run"]["entries"] == 1
+        assert "stale" in new.describe()
+
+    def test_prune_by_age_uses_mtime(self, tmp_path):
+        cache = ArtifactCache(tmp_path, fingerprint="aa" * 32)
+        now = time.time()
+        for key, age_days in (("old", 10), ("fresh", 1)):
+            cache.store("run", key, {"k": key})
+            mtime = now - age_days * 86400
+            os.utime(cache._path("run", key), (mtime, mtime))
+        report = cache.prune(max_age_days=7, now=now)
+        assert report["removed"] == 1 and report["kept"] == 1
+        assert cache.load("run", "old") is None
+        assert cache.load("run", "fresh") == {"k": "fresh"}
+
+    def test_prune_by_bytes_evicts_lru_first(self, tmp_path):
+        cache = ArtifactCache(tmp_path, fingerprint="aa" * 32)
+        now = time.time()
+        sizes = {}
+        for i in range(4):
+            key = f"k{i}"
+            cache.store("run", key, {"pad": "x" * 64, "i": i})
+            path = cache._path("run", key)
+            sizes[key] = path.stat().st_size
+            # k0 least recently modified ... k3 most recent.
+            os.utime(path, (now - (100 - i), now - (100 - i)))
+        budget = sizes["k2"] + sizes["k3"]
+        report = cache.prune(max_bytes=budget, now=now)
+        assert report["removed"] == 2
+        assert report["kept_bytes"] <= budget
+        assert cache.load("run", "k0") is None
+        assert cache.load("run", "k1") is None
+        assert cache.load("run", "k3") == {"pad": "x" * 64, "i": 3}
+
+    def test_prune_sweeps_abandoned_stage_files(self, tmp_path):
+        cache = ArtifactCache(tmp_path, fingerprint="aa" * 32)
+        cache.store("run", "live", {"ok": True})
+        stale = cache._path("run", "live").with_name("x.json.tmp999-1-0")
+        stale.write_text("{partial")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        report = cache.prune(now=time.time())
+        assert report["removed"] == 1
+        assert not stale.exists()
+        assert cache.load("run", "live") == {"ok": True}
+
+    def test_prune_removes_empty_directories(self, tmp_path):
+        cache = ArtifactCache(tmp_path, fingerprint="aa" * 32)
+        cache.store("run", "only", {"x": 1})
+        kind_dir = cache._path("run", "only").parent
+        report = cache.prune(max_age_days=0, now=time.time() + 86400)
+        assert report["removed"] == 1 and report["kept"] == 0
+        assert not kind_dir.exists()
+
+    def test_concurrent_writers_same_key_never_corrupt(self, tmp_path):
+        """Racing stores publish atomically: a reader sees either a
+        complete entry or a miss, never a torn JSON file."""
+        cache = ArtifactCache(tmp_path, fingerprint="aa" * 32)
+        start = threading.Barrier(8)
+        errors: list[str] = []
+
+        def writer(tid: int) -> None:
+            try:
+                start.wait(timeout=10)
+                for i in range(50):
+                    cache.store("run", "hot",
+                                {"tid": tid, "i": i, "pad": "y" * 128})
+                    loaded = cache.load("run", "hot")
+                    if loaded is not None and len(loaded["pad"]) != 128:
+                        errors.append(f"torn read in thread {tid}")
+            except Exception as exc:  # noqa: BLE001 - recorded
+                errors.append(f"{type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        final = cache.load("run", "hot")
+        assert final is not None and final["pad"] == "y" * 128
+        # No stage files left behind; exactly one published entry.
+        leftovers = list(cache.root.rglob("*.tmp*"))
+        assert leftovers == []
+        assert len(cache.entries()) == 1
+        json.loads(cache._path("run", "hot").read_text())
+
+    def test_maintenance_tolerates_entries_vanishing(self, tmp_path):
+        cache = ArtifactCache(tmp_path, fingerprint="aa" * 32)
+        for i in range(3):
+            cache.store("run", f"k{i}", {"i": i})
+        # Simulate a racing pruner deleting one entry mid-survey.
+        cache._path("run", "k1").unlink()
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        report = cache.prune(max_age_days=1000)
+        assert report["kept"] == 2
 
 
 # ---------------------------------------------------------------------

@@ -9,6 +9,8 @@ trace_event export schema, and the per-invocation attribution table.
 from __future__ import annotations
 
 import json
+import pickle
+import threading
 
 import pytest
 
@@ -177,6 +179,89 @@ class TestMetricsRegistry:
         reg.counter("a").inc(2)
         lines = reg.format().splitlines()
         assert lines[0].startswith("a") and lines[1].startswith("z")
+
+    def test_prometheus_exposition_schema(self):
+        reg = MetricsRegistry()
+        reg.counter("svc.requests", help="served").inc(3)
+        reg.gauge("svc.depth").set(2)
+        h = reg.histogram("svc.lat", buckets=(1, 4))
+        for v in (0.5, 2, 9):
+            h.observe(v)
+        text = reg.to_prometheus(prefix="repro")
+        assert "# TYPE repro_svc_requests_total counter" in text
+        assert "repro_svc_requests_total 3" in text
+        assert "# TYPE repro_svc_depth gauge" in text
+        # Cumulative le buckets plus +Inf == count.
+        assert 'repro_svc_lat_bucket{le="1"} 1' in text
+        assert 'repro_svc_lat_bucket{le="4"} 2' in text
+        assert 'repro_svc_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_svc_lat_count 3" in text
+
+    def test_registry_survives_pickling_with_fresh_lock(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(7)
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.value("a") == 7
+        clone.counter("b").inc()          # the regrown lock works
+        assert clone.names() == ["a", "b"]
+
+    def test_concurrent_updates_never_tear_a_scrape(self):
+        """Regression: scraping a registry while writer threads update
+        their instruments and register new ones must neither raise
+        (``dict changed size``) nor emit a histogram whose bucket sum
+        disagrees with its count.
+
+        The contract is one writer per instrument (updates are
+        lock-free), any number of concurrent scrapers and registrars.
+        """
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        failures: list[str] = []
+        writers = 4
+
+        def writer(tid: int) -> None:
+            hot = reg.counter(f"hot.{tid}")
+            hist = reg.histogram(f"lat.{tid}", buckets=(1, 2, 4, 8))
+            i = 0
+            while not stop.is_set():
+                hot.inc()
+                hist.observe(i % 10)
+                reg.counter(f"dyn.{tid}.{i % 50}").inc()
+                i += 1
+
+        def scraper() -> None:
+            while not stop.is_set():
+                try:
+                    for name, entry in reg.to_dict().items():
+                        if entry["kind"] == "histogram" \
+                                and sum(entry["counts"]) != entry["count"]:
+                            failures.append(f"torn histogram {name}")
+                            return
+                    reg.to_prometheus()
+                    reg.format()
+                    reg.names()
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    failures.append(f"{type(exc).__name__}: {exc}")
+                    return
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(writers)]
+        threads += [threading.Thread(target=scraper) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        threading.Event().wait(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert failures == []
+        # Quiesced: every per-writer histogram's tear-safe snapshot
+        # matches its exact totals, and its writer's counter agrees.
+        for tid in range(writers):
+            hist = reg.get(f"lat.{tid}")
+            entry = hist.to_dict()
+            assert sum(entry["counts"]) == entry["count"] == hist.count
+            assert reg.value(f"hot.{tid}") == hist.count
+            assert hist.count > 0
 
 
 # ---------------------------------------------------------------------
