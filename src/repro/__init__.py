@@ -21,7 +21,11 @@ compiler, microarchitecture, and hardware implementation" (ISPASS 2015):
   Chrome/Perfetto timeline export, ``repro profile``;
 - :mod:`repro.service` — simulation-as-a-service: the ``repro serve``
   asyncio daemon (admission control, micro-batched scheduling,
-  Prometheus ``/metrics``) and its ``repro submit`` client.
+  Prometheus ``/metrics``) and its ``repro submit`` client;
+- :mod:`repro.harness.fuzz` — differential fuzzing and chaos harness
+  (``repro fuzz``): seeded interface-aware program generation,
+  parity/lint/IR oracles, service fault injection, and a replayable
+  shrunk-case corpus under ``tests/corpus/``.
 
 This module is the **stable public facade**: everything in ``__all__``
 is importable as ``from repro import ...`` and the CLI goes through it
@@ -74,7 +78,7 @@ from repro.engine import (
     suite_jobs,
     sweep,
 )
-from repro.errors import ReproError, WorkloadError
+from repro.errors import ReproError, WorkloadError, stable_error_string
 from repro.fpga import utilization_table
 from repro.harness import (
     Backend,
@@ -94,6 +98,19 @@ from repro.harness import (
     resolve_backend,
     run_workload,
     verify_parity,
+)
+from repro.harness.backends import temporary_backend, unregister_backend
+from repro.harness.fuzz import (
+    CaseGenerator,
+    Finding,
+    FuzzCase,
+    FuzzOptions,
+    FuzzReport,
+    chaos_scenario_names,
+    iter_corpus,
+    replay_entry,
+    run_chaos,
+    run_fuzz,
 )
 from repro.isa import Instruction, Opcode, Program, assemble
 from repro.obs import (
@@ -127,7 +144,20 @@ __all__ = [
     "backend_names",
     "get_backend",
     "resolve_backend",
+    "temporary_backend",
+    "unregister_backend",
     "verify_parity",
+    # fuzzing & chaos
+    "CaseGenerator",
+    "Finding",
+    "FuzzCase",
+    "FuzzOptions",
+    "FuzzReport",
+    "chaos_scenario_names",
+    "iter_corpus",
+    "replay_entry",
+    "run_chaos",
+    "run_fuzz",
     # observability
     "EventStream",
     "MetricsRegistry",
@@ -196,5 +226,6 @@ __all__ = [
     # errors
     "ReproError",
     "WorkloadError",
+    "stable_error_string",
     "__version__",
 ]

@@ -14,6 +14,8 @@ Subcommands::
     python -m repro serve --port 8787        # simulation-as-a-service
     python -m repro submit mm --scale tiny   # client for a running serve
     python -m repro fpga --width 8 --height 8
+    python -m repro fuzz --seed 0 --cases 200 --oracle all
+    python -m repro fuzz --replay tests/corpus/
 
 ``suite`` and ``sweep`` run through :mod:`repro.engine`: jobs are
 deduplicated, served from the persistent artifact cache when warm, and
@@ -441,6 +443,55 @@ def _cmd_fpga(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    import json
+    import pathlib
+
+    from repro import FuzzOptions, iter_corpus, replay_entry, run_fuzz
+
+    if args.replay:
+        entries = iter_corpus(args.replay)
+        if not entries:
+            print(f"no corpus entries under {args.replay}",
+                  file=sys.stderr)
+            return 1
+        failures = 0
+        for path in entries:
+            finding = replay_entry(path)
+            if finding is None:
+                print(f"ok   {path.name}")
+            else:
+                failures += 1
+                print(f"FAIL {path.name}  {finding.describe()}")
+        print(f"replayed {len(entries)} entries, "
+              f"{failures} still failing", file=sys.stderr)
+        return 1 if failures else 0
+
+    oracles = tuple(args.oracle) if args.oracle else ("all",)
+    if "all" in oracles:
+        oracles = ("parity", "lint", "ir", "chaos")
+    try:
+        options = FuzzOptions(
+            seed=args.seed,
+            cases=args.cases,
+            time_budget_s=args.time_budget,
+            oracles=oracles,
+            irregularity=args.irregularity,
+            shrink=not args.no_shrink,
+            corpus_dir=args.corpus_dir,
+        )
+    except ValueError as exc:
+        print(f"repro fuzz: error: {exc}", file=sys.stderr)
+        return 2
+    report = run_fuzz(options)
+    payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    if args.report:
+        pathlib.Path(args.report).write_text(payload + "\n")
+    print(payload)
+    print(report.summary(), file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -666,6 +717,43 @@ def build_parser() -> argparse.ArgumentParser:
     fpga_p.add_argument("--width", type=int, default=8)
     fpga_p.add_argument("--height", type=int, default=8)
     fpga_p.set_defaults(func=_cmd_fpga)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing + chaos (JSON findings report)",
+        description="Generate seeded random programs against the "
+                    "DySER interface contract and cross-examine the "
+                    "simulator with differential oracles; findings "
+                    "are shrunk and saved as a replayable corpus. "
+                    "Exit status 1 when anything was found.")
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; any finding reproduces "
+                             "from (seed, index) alone (default: 0)")
+    fuzz_p.add_argument("--cases", type=int, default=200,
+                        help="generated cases (default: 200)")
+    fuzz_p.add_argument("--time-budget", type=float, default=None,
+                        metavar="S",
+                        help="stop generating after S seconds "
+                             "(report marked truncated)")
+    fuzz_p.add_argument("--oracle", action="append",
+                        choices=("parity", "lint", "ir", "chaos",
+                                 "all"),
+                        help="oracle(s) to run; repeatable "
+                             "(default: all)")
+    fuzz_p.add_argument("--irregularity", type=float, default=0.35,
+                        help="bias toward adversarial shapes, 0..1 "
+                             "(default: 0.35)")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="skip greedy minimization of findings")
+    fuzz_p.add_argument("--corpus-dir", default=None, metavar="DIR",
+                        help="persist shrunk findings as corpus "
+                             "entries under DIR")
+    fuzz_p.add_argument("--replay", default=None, metavar="DIR",
+                        help="replay corpus entries under DIR instead "
+                             "of generating (e.g. tests/corpus/)")
+    fuzz_p.add_argument("--report", default=None, metavar="PATH",
+                        help="also write the JSON report to PATH")
+    fuzz_p.set_defaults(func=_cmd_fuzz)
     return parser
 
 

@@ -71,8 +71,15 @@ def config_to_dict(config: DyserConfig) -> dict:
     return data
 
 
-def config_from_dict(data: dict, fabric: Fabric) -> DyserConfig:
-    """Rebuild a configuration against ``fabric``; validates on exit."""
+def config_from_dict(data: dict, fabric: Fabric, *,
+                     validate: bool = True) -> DyserConfig:
+    """Rebuild a configuration against ``fabric``; validates on exit.
+
+    ``validate=False`` skips the throwing validator and returns the
+    configuration as-deserialized — the fuzz harness uses this to hand
+    deliberately-ill-formed configurations to the *linter*, whose whole
+    point is to report what validation would reject (and more).
+    """
     for field in ("config_id", "nodes", "outputs"):
         if field not in data:
             raise DyserError(f"config payload missing {field!r}")
@@ -100,5 +107,6 @@ def config_from_dict(data: dict, fabric: Fabric) -> DyserConfig:
             routes[(skey, sink)] = [tuple(sw) for sw in entry["path"]]
     config = DyserConfig(data["config_id"], dfg, fabric,
                          placement=placement, routes=routes)
-    config.validate()
+    if validate:
+        config.validate()
     return config

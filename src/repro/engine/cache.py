@@ -107,6 +107,17 @@ def result_from_dict(data: dict) -> RunResult:
 #: several threads (or coalesced writers) storing under one pid.
 _TMP_SEQ = itertools.count()
 
+#: Reserved top-level key carrying each entry's payload checksum.
+_CHECKSUM_KEY = "_sha256"
+
+
+def _payload_checksum(data: dict) -> str:
+    """Canonical-JSON SHA-256 of an entry payload (checksum key excluded)."""
+    import hashlib
+
+    blob = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
 
 class ArtifactCache:
     """On-disk store for run summaries and compiled-program bundles.
@@ -133,11 +144,37 @@ class ArtifactCache:
     # -- raw entries ---------------------------------------------------
 
     def load(self, kind: str, key: str) -> dict | None:
+        """Read one entry; corrupt entries are a *miss-and-evict*.
+
+        A missing file is a plain miss.  Anything else that cannot be
+        served faithfully — truncated/garbled JSON, a non-object
+        payload, a payload whose stored checksum no longer matches its
+        content (bit rot, partial overwrite, a hostile filesystem) — is
+        deleted on the spot and reported as a miss, so a corrupt entry
+        can never be returned *or* poison every later probe of its key.
+        Entries written before checksumming carry no checksum and are
+        served as-is.
+        """
         path = self._path(kind, key)
         try:
-            return json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None  # missing or truncated entry == miss
+            text = path.read_text()
+        except OSError:
+            return None  # missing entry == miss
+        try:
+            data = json.loads(text)
+            if not isinstance(data, dict):
+                raise ValueError("cache entry is not a JSON object")
+        except ValueError:
+            self._evict(path)   # truncated/garbled == miss-and-evict
+            return None
+        expected = data.pop(_CHECKSUM_KEY, None)
+        if expected is not None and _payload_checksum(data) != expected:
+            self._evict(path)   # wrong bytes == miss-and-evict
+            return None
+        return data
+
+    #: Issue-facing alias: ``cache.get(kind, key)`` reads like a dict.
+    get = load
 
     def store(self, kind: str, key: str, data: dict) -> None:
         path = self._path(kind, key)
@@ -146,7 +183,8 @@ class ArtifactCache:
             f"{path.name}.tmp{os.getpid()}-{threading.get_ident()}"
             f"-{next(_TMP_SEQ)}")
         try:
-            tmp.write_text(json.dumps(data))
+            tmp.write_text(json.dumps(
+                {**data, _CHECKSUM_KEY: _payload_checksum(data)}))
             os.replace(tmp, path)
         except OSError:
             # Never leave a stage file behind on a failed publish; the
@@ -173,7 +211,10 @@ class ArtifactCache:
             program = bundle_from_dict(data["bundle"],
                                        spec.options().fabric)
         except Exception:
-            return None  # unreadable bundle == miss, recompile
+            # Unreadable bundle == miss-and-evict, recompile; keeping
+            # the entry would re-fail deserialization on every probe.
+            self._evict(self._path("compile", spec.compile_hash))
+            return None
         return CompileResult(
             program=program, ir_dump="",
             regions=[RegionReport.from_dict(r)

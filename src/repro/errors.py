@@ -14,6 +14,7 @@ strings.  Both are optional: ``ConfigurationError("bad")`` still works.
 
 from __future__ import annotations
 
+import re
 from typing import Any
 
 
@@ -59,6 +60,41 @@ def _json_safe(value: Any) -> Any:
     if isinstance(value, dict):
         return {str(k): _json_safe(v) for k, v in value.items()}
     return repr(value)
+
+
+#: Default reprs of objects without a __repr__ embed the id():
+#: ``<repro.cpu.memory.Memory object at 0x7f3a...>``.  Those addresses
+#: vary run to run, so any error string built from one is useless for
+#: differential comparison.  The lookahead for the closing ``>`` keeps
+#: *semantic* addresses — ``memory fault at 0x40`` — intact: those
+#: identify the fault and must keep distinguishing different faults.
+_OBJECT_ADDR = re.compile(r" at 0x[0-9a-fA-F]+(?=>)")
+
+
+def stable_error_string(exc: BaseException) -> str:
+    """A deterministic, comparable rendering of any exception.
+
+    The differential oracles (:mod:`repro.harness.fuzz`, the parity
+    harness) compare error outcomes across backends and across runs, so
+    the rendering must be identical for the *same* failure and differ
+    for different ones:
+
+    - ``TypeName[CODE]: message`` — the diagnostic code rides along when
+      the error carries one;
+    - memory addresses (``at 0x7f...``) are stripped from the message;
+    - :class:`ReproError` context is appended in sorted-key order, so
+      dict insertion order can never leak into the comparison.
+    """
+    name = type(exc).__name__
+    code = getattr(exc, "code", None)
+    head = f"{name}[{code}]" if code else name
+    message = _OBJECT_ADDR.sub(" at 0x…", str(exc))
+    context = getattr(exc, "context", None)
+    if context:
+        items = ", ".join(
+            f"{k}={_json_safe(context[k])!r}" for k in sorted(context))
+        return f"{head}: {message} {{{items}}}"
+    return f"{head}: {message}"
 
 
 class IsaError(ReproError):

@@ -19,6 +19,7 @@ so there is exactly one place where the choice is made.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 from repro.cpu import Core, FastCore
@@ -46,6 +47,37 @@ def register_backend(backend: Backend) -> None:
     if backend.name in _REGISTRY:
         raise WorkloadError(f"duplicate backend {backend.name!r}")
     _REGISTRY[backend.name] = backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (:class:`WorkloadError` if unknown).
+
+    The built-in backends are load-bearing (``resolve_backend`` falls
+    back to ``"reference"``); removing them is refused.
+    """
+    if name in ("reference", "fast"):
+        raise WorkloadError(f"cannot unregister built-in backend {name!r}")
+    if name not in _REGISTRY:
+        raise WorkloadError(f"unknown backend {name!r}")
+    del _REGISTRY[name]
+
+
+@contextlib.contextmanager
+def temporary_backend(backend: Backend):
+    """Register ``backend`` for the duration of a ``with`` block.
+
+    The differential harnesses use this to pit deliberately-wrong stub
+    cores against the reference without leaking registry state into
+    other tests:
+
+        with temporary_backend(Backend("stub", StubCore, False)):
+            report = verify_parity(configs, candidate="stub")
+    """
+    register_backend(backend)
+    try:
+        yield backend
+    finally:
+        _REGISTRY.pop(backend.name, None)
 
 
 def backend_names() -> tuple[str, ...]:

@@ -1,0 +1,164 @@
+"""Replayable corpus: shrink findings, save them, replay them.
+
+Every finding a fuzz run produces is first *shrunk* — greedy removal
+of source lines, whole configurations, and DFG nodes, re-checking the
+oracle after each candidate removal — then serialized as one JSON file
+under ``tests/corpus/`` (format ``repro-fuzz-case-v1``).  The test
+suite replays every entry as an ordinary tier-1 test, so a bug found
+by last month's fuzz run keeps failing loudly until it is fixed, and
+keeps passing forever after.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import ReproError, WorkloadError
+from repro.harness.fuzz.generator import FuzzCase
+from repro.harness.fuzz.oracles import Finding, check_case
+from repro.isa import assemble
+
+CORPUS_FORMAT = "repro-fuzz-case-v1"
+
+#: Oracles whose findings are case-shaped and therefore replayable.
+REPLAYABLE_ORACLES = ("parity", "lint", "ir")
+
+
+def default_corpus_dir() -> pathlib.Path:
+    return pathlib.Path("tests") / "corpus"
+
+
+def save_entry(case: FuzzCase, finding: Finding,
+               corpus_dir) -> pathlib.Path:
+    """Write one corpus entry; the filename encodes oracle and seed so
+    entries from different runs never collide."""
+    corpus_dir = pathlib.Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = corpus_dir / f"{finding.oracle}-{case.key}.json"
+    data = {
+        "format": CORPUS_FORMAT,
+        "case": case.to_dict(),
+        "finding": finding.to_dict(),
+    }
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_entry(path) -> tuple[FuzzCase, Finding]:
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("format") != CORPUS_FORMAT:
+        raise WorkloadError(
+            f"{path}: not a {CORPUS_FORMAT} corpus entry "
+            f"(format={data.get('format')!r})")
+    return (FuzzCase.from_dict(data["case"]),
+            Finding.from_dict(data["finding"]))
+
+
+def iter_corpus(corpus_dir) -> list[pathlib.Path]:
+    corpus_dir = pathlib.Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return []
+    return sorted(corpus_dir.glob("*.json"))
+
+
+def replay_entry(path, candidate_cls: type | None = None
+                 ) -> Finding | None:
+    """Re-run a corpus entry's recorded oracle against today's code.
+
+    Returns ``None`` when the oracle no longer fires (the bug stayed
+    fixed) and the fresh :class:`Finding` when it still does.
+    ``candidate_cls`` swaps the parity candidate — the self-check
+    replays entries against the planted mutant to prove they bite.
+    """
+    case, finding = load_entry(path)
+    if finding.oracle not in REPLAYABLE_ORACLES:
+        raise WorkloadError(
+            f"{path}: oracle {finding.oracle!r} is not replayable")
+    return check_case(case, finding.oracle, candidate_cls)
+
+
+# ---------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------
+
+def _assembles(case: FuzzCase) -> bool:
+    try:
+        assemble(case.source, name="shrink-probe")
+    except ReproError:
+        return False
+    return True
+
+
+def _still_fails(check, case: FuzzCase) -> bool:
+    """A candidate removal survives only if the oracle still fires.
+
+    Any exception from the oracle itself (unassemblable source after a
+    removal, a dangling config reference the simulator rejects in a
+    *different* way, ...) rejects the candidate — shrinking must only
+    ever preserve the finding, never mutate it into a new one."""
+    try:
+        return check(case) is not None
+    except Exception:  # noqa: BLE001 — reject, don't abort the shrink
+        return False
+
+
+def _shrink_lines(case: FuzzCase, check) -> FuzzCase:
+    lines = case.source.splitlines()
+    index = len(lines) - 1
+    while index >= 0:
+        stripped = lines[index].strip()
+        if stripped == "halt" or stripped.endswith(":"):
+            index -= 1
+            continue
+        trial_lines = lines[:index] + lines[index + 1:]
+        trial = case.with_source("\n".join(trial_lines))
+        if _assembles(trial) and _still_fails(check, trial):
+            case, lines = trial, trial_lines
+        index -= 1
+    return case
+
+
+def _shrink_configs(case: FuzzCase, check) -> FuzzCase:
+    # Whole configurations first (the big win), then single DFG nodes.
+    index = len(case.configs) - 1
+    while index >= 0 and len(case.configs) > 1:
+        trial = case.with_configs(
+            case.configs[:index] + case.configs[index + 1:])
+        if _still_fails(check, trial):
+            case = trial
+        index -= 1
+    for ci in range(len(case.configs)):
+        ni = len(case.configs[ci]["nodes"]) - 1
+        while ni >= 0 and len(case.configs[ci]["nodes"]) > 1:
+            payload = case.configs[ci]
+            trial_payload = {
+                **payload,
+                "nodes": payload["nodes"][:ni] + payload["nodes"][ni + 1:],
+            }
+            trial = case.with_configs(
+                case.configs[:ci] + (trial_payload,)
+                + case.configs[ci + 1:])
+            if _still_fails(check, trial):
+                case = trial
+            ni -= 1
+    return case
+
+
+def shrink_case(case: FuzzCase, check, max_rounds: int = 4) -> FuzzCase:
+    """Greedy minimization to a locally-1-minimal failing case.
+
+    ``check(case) -> Finding | None`` is the oracle under which the
+    original case failed.  Rounds alternate line removal and
+    config/node removal until a fixpoint (or ``max_rounds``); the
+    result is guaranteed to still fail ``check``.
+    """
+    if not _still_fails(check, case):
+        return case  # not reproducible under this check; keep as-is
+    for _ in range(max_rounds):
+        before = case
+        case = _shrink_lines(case, check)
+        case = _shrink_configs(case, check)
+        if case == before:
+            break
+    return case

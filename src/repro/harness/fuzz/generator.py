@@ -1,0 +1,557 @@
+"""Seeded, deterministic random-case generator.
+
+Three case kinds, weighted by the tunable *irregularity* bias:
+
+- ``scalar`` — straight-line blocks of host-ISA instructions joined by
+  forward-only control flow (always terminates).
+- ``dyser``  — host programs that drive generated DySER configurations
+  through the access/execute interface: ``dinit``/``dsend``/``drecv``
+  plus the vector (``dldv``/``dstv``) and wide (``dldw``/``dstw``)
+  transfer forms, arranged in *invocation groups* (exactly ``m`` values
+  per input port, then ``m`` per output port) so any interleaving the
+  engine sees is legal.  With rising irregularity the generator emits
+  curtailed control flow around groups, config switches mid-program,
+  and — as ``expect_error`` cases — deliberately ill-formed
+  configurations (bad ports, cycles, missing outputs) that the linter
+  must predict and the simulator must reject.
+- ``kernel`` — source-language kernels (collatz-style integer diamonds
+  or fir-style float expressions) for the compiler/IR-verifier oracle.
+
+Determinism contract: ``CaseGenerator(seed, irregularity).generate(i)``
+is a pure function of ``(seed, irregularity, i)``.  Every finding can
+therefore be reproduced from the printed seed and index alone — no
+case payload needs to survive, though the corpus stores one anyway so
+shrunk cases outlive generator evolution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.dyser.config import DyserConfig
+from repro.dyser.dfg import ConstRef, Dfg, NodeRef, PortRef, Source
+from repro.dyser.fabric import Fabric, FabricGeometry
+from repro.dyser.ops import FU_OP_INFO, FuOp
+from repro.errors import DyserError
+
+#: Scratch memory layout (mirrors tests/test_fastcore.py): integer
+#: traffic stays in [BASE, BASE+120], float traffic in
+#: [BASE+128, BASE+248], so a load never sees a cross-typed word.
+_BASE = 4096
+_SLOTS = 16
+
+#: All generated configurations target one fabric shape; 4x4 with two
+#: ports per edge switch exposes 18 input ports, far above the widest
+#: generated DFG, so in-range port numbering is easy to guarantee.
+GEOMETRY = (4, 4)
+
+
+def default_fabric() -> Fabric:
+    return Fabric(FabricGeometry(*GEOMETRY))
+
+
+# ---------------------------------------------------------------------
+# Host-ISA instruction tables (filler code around invocation groups)
+# ---------------------------------------------------------------------
+
+_INT3 = ("add", "sub", "mul", "div", "rem", "and", "or", "xor",
+         "sll", "srl", "sra", "slt", "seq", "min", "max")
+_INTI = ("addi", "muli", "andi", "ori", "xori", "slti")
+_SHIFTI = ("slli", "srli", "srai")
+_FP3 = ("fadd", "fsub", "fmul", "fmin", "fmax")
+_FPCMP = ("flt", "fle", "feq")
+_FP1 = ("fneg", "fabs")
+
+#: DFG op pools per value domain.  FDIV/FSQRT/F2I are excluded: they
+#: can manufacture NaN/inf/overflow on conversion, which is a property
+#: of the generated *values*, not a backend divergence.
+_DFG_INT = (FuOp.ADD, FuOp.SUB, FuOp.MUL, FuOp.AND, FuOp.OR, FuOp.XOR,
+            FuOp.SLL, FuOp.SRL, FuOp.MIN, FuOp.MAX, FuOp.SLT, FuOp.SEQ,
+            FuOp.SEL)
+_DFG_FP = (FuOp.FADD, FuOp.FSUB, FuOp.FMUL, FuOp.FMIN, FuOp.FMAX,
+           FuOp.FNEG, FuOp.FABS, FuOp.FSEL)
+
+CASE_KINDS = ("scalar", "dyser", "kernel")
+
+#: Deliberate configuration breakages (``expect_error`` cases) and the
+#: diagnostic each must trip.
+MUTATIONS = ("bad_port", "no_outputs", "undef_node", "cycle")
+
+
+def case_rng(seed: int, index: int) -> random.Random:
+    """The per-case RNG: integer mixing keeps neighbouring indices
+    decorrelated without any global stream to advance (cases are
+    independently regenerable)."""
+    mixed = (seed * 0x9E3779B97F4A7C15
+             + (index + 1) * 0xBF58476D1CE4E5B9) & ((1 << 63) - 1)
+    return random.Random(mixed)
+
+
+# ---------------------------------------------------------------------
+# Case payload
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated case, self-contained and JSON-serializable.
+
+    ``configs`` holds fuzz-local config payloads (id-ordered node
+    lists — *not* topologically sorted, so deliberately cyclic DFGs
+    survive serialization, unlike :mod:`repro.dyser.serialize`).
+    """
+
+    kind: str
+    seed: int
+    index: int
+    irregularity: float
+    source: str
+    configs: tuple = ()
+    expect_error: bool = False
+    label: str = ""
+
+    @property
+    def key(self) -> str:
+        return f"s{self.seed}-i{self.index}"
+
+    def describe(self) -> str:
+        tag = " expect-error" if self.expect_error else ""
+        return (f"{self.kind} case {self.key} ({self.label or 'plain'}"
+                f"{tag}, irregularity={self.irregularity})")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "index": self.index,
+            "irregularity": self.irregularity,
+            "source": self.source,
+            "configs": [dict(c) for c in self.configs],
+            "expect_error": self.expect_error,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzCase":
+        return cls(
+            kind=data["kind"],
+            seed=int(data["seed"]),
+            index=int(data["index"]),
+            irregularity=float(data["irregularity"]),
+            source=data["source"],
+            configs=tuple(data.get("configs", ())),
+            expect_error=bool(data.get("expect_error", False)),
+            label=data.get("label", ""),
+        )
+
+    def with_source(self, source: str) -> "FuzzCase":
+        return replace(self, source=source)
+
+    def with_configs(self, configs: tuple) -> "FuzzCase":
+        return replace(self, configs=configs)
+
+
+# ---------------------------------------------------------------------
+# Config payloads (fuzz-local serialization, id-ordered)
+# ---------------------------------------------------------------------
+
+def _src_obj(src: Source) -> dict:
+    if isinstance(src, PortRef):
+        return {"kind": "port", "port": src.port}
+    if isinstance(src, NodeRef):
+        return {"kind": "node", "node": src.node}
+    return {"kind": "const", "value": src.value}
+
+
+def _src_from(obj: dict) -> Source:
+    kind = obj.get("kind")
+    if kind == "port":
+        return PortRef(obj["port"])
+    if kind == "node":
+        return NodeRef(obj["node"])
+    if kind == "const":
+        return ConstRef(obj["value"])
+    raise DyserError(f"bad source kind {kind!r}")
+
+
+def config_payload(config_id: int, dfg: Dfg, domain: str) -> dict:
+    """Serialize in node-id order (topo order would choke on the
+    deliberately cyclic mutation)."""
+    return {
+        "config_id": config_id,
+        "name": dfg.name,
+        "domain": domain,
+        "nodes": [
+            {"id": nid, "op": dfg.nodes[nid].op.value,
+             "inputs": [_src_obj(s) for s in dfg.nodes[nid].inputs]}
+            for nid in sorted(dfg.nodes)
+        ],
+        "outputs": {str(p): _src_obj(dfg.outputs[p])
+                    for p in sorted(dfg.outputs)},
+    }
+
+
+def payload_to_dfg(payload: dict) -> Dfg:
+    dfg = Dfg(payload.get("name", "fuzz"))
+    for node in payload["nodes"]:
+        dfg.add_node(FuOp(node["op"]),
+                     [_src_from(s) for s in node["inputs"]],
+                     node_id=node["id"])
+    for port, src in payload["outputs"].items():
+        dfg.set_output(int(port), _src_from(src))
+    return dfg
+
+
+def payload_to_config(payload: dict, fabric: Fabric | None = None
+                      ) -> DyserConfig:
+    """Rebuild an (unvalidated) configuration — broken payloads must
+    reach the simulator and the linter as-is."""
+    return DyserConfig(payload["config_id"], payload_to_dfg(payload),
+                       fabric or default_fabric())
+
+
+# ---------------------------------------------------------------------
+# Scalar programs
+# ---------------------------------------------------------------------
+
+def _fval(rng: random.Random) -> str:
+    return repr(round(rng.uniform(-1e6, 1e6), 6))
+
+
+def _insn(rng: random.Random) -> str:
+    kind = rng.choice(
+        ("int3", "int3", "inti", "shifti", "li", "mov", "sel",
+         "fp3", "fpcmp", "fp1", "fli", "i2f",
+         "ld", "st", "fld", "fst"))
+    rd, r1, r2, r3 = (rng.randint(1, 7) for _ in range(4))
+    imm = rng.randint(-64, 64)
+    slot = rng.randrange(_SLOTS)
+    if kind == "int3":
+        return f"{rng.choice(_INT3)} r{rd}, r{r1}, r{r2}"
+    if kind == "inti":
+        return f"{rng.choice(_INTI)} r{rd}, r{r1}, {imm}"
+    if kind == "shifti":
+        return f"{rng.choice(_SHIFTI)} r{rd}, r{r1}, {rng.randrange(64)}"
+    if kind == "li":
+        return f"li r{rd}, {imm}"
+    if kind == "mov":
+        return f"mov r{rd}, r{r1}"
+    if kind == "sel":
+        return f"sel r{rd}, r{r1}, r{r2}, r{r3}"
+    if kind == "fp3":
+        return f"{rng.choice(_FP3)} f{rd}, f{r1}, f{r2}"
+    if kind == "fpcmp":
+        return f"{rng.choice(_FPCMP)} r{rd}, f{r1}, f{r2}"
+    if kind == "fp1":
+        return f"{rng.choice(_FP1)} f{rd}, f{r1}"
+    if kind == "fli":
+        return f"fli f{rd}, {_fval(rng)}"
+    if kind == "i2f":
+        return f"i2f f{rd}, r{r1}"
+    if kind == "ld":
+        return f"ld r{rd}, r8, {8 * slot}"
+    if kind == "st":
+        return f"st r{r1}, r8, {8 * slot}"
+    if kind == "fld":
+        return f"fld f{rd}, r8, {128 + 8 * slot}"
+    return f"fst f{r1}, r8, {128 + 8 * slot}"
+
+
+def _preamble(rng: random.Random) -> list[str]:
+    lines = [f"li r8, {_BASE}"]
+    for reg in range(1, 8):
+        lines.append(f"li r{reg}, {rng.randint(-64, 64)}")
+        lines.append(f"fli f{reg}, {_fval(rng)}")
+    return lines
+
+
+def _forward_branch(rng: random.Random, block: int, n_blocks: int
+                    ) -> list[str]:
+    """Maybe emit a branch/jump to a *later* block (guarantees
+    termination)."""
+    if block + 1 >= n_blocks:
+        return []
+    op = rng.choice(("beq", "bne", "blt", "bge", "ble", "bgt", "j", "",
+                     ""))
+    if not op:
+        return []
+    target = rng.randint(block + 1, n_blocks - 1)
+    if op == "j":
+        return [f"j L{target}"]
+    return [f"{op} r{rng.randint(1, 7)}, r{rng.randint(1, 7)}, L{target}"]
+
+
+def _gen_scalar(rng: random.Random, seed: int, index: int,
+                irregularity: float) -> FuzzCase:
+    n_blocks = rng.randint(1, 2 + round(4 * irregularity))
+    lines = _preamble(rng)
+    for block in range(n_blocks):
+        lines.append(f"L{block}:")
+        for _ in range(rng.randint(1, 6)):
+            lines.append(_insn(rng))
+        lines.extend(_forward_branch(rng, block, n_blocks))
+    lines.append("halt")
+    return FuzzCase(kind="scalar", seed=seed, index=index,
+                    irregularity=irregularity,
+                    source="\n".join(lines),
+                    label=f"{n_blocks}-block")
+
+
+# ---------------------------------------------------------------------
+# DySER DFGs and configurations
+# ---------------------------------------------------------------------
+
+def _gen_dfg(rng: random.Random, name: str, domain: str,
+             n_in: int, n_nodes: int) -> Dfg:
+    """A legal DFG: every input port is consumed, every node reachable
+    enough to matter, outputs contiguous from port 0."""
+    ops = _DFG_FP if domain == "fp" else _DFG_INT
+    dfg = Dfg(name)
+    ids: list[int] = []
+    for i in range(n_nodes):
+        op = rng.choice(ops)
+        arity = FU_OP_INFO[op].arity
+        inputs: list[Source] = []
+        for j in range(arity):
+            if i < n_in and j == 0:
+                inputs.append(PortRef(i))  # every port gets a consumer
+                continue
+            pick = rng.random()
+            if ids and pick < 0.45:
+                inputs.append(NodeRef(rng.choice(ids)))
+            elif pick < 0.85:
+                inputs.append(PortRef(rng.randrange(n_in)))
+            elif domain == "fp":
+                inputs.append(ConstRef(round(rng.uniform(-8.0, 8.0), 3)))
+            else:
+                inputs.append(ConstRef(rng.randint(-64, 64)))
+        ids.append(dfg.add_node(op, inputs).node)
+    dfg.set_output(0, NodeRef(ids[-1]))
+    if len(ids) > 1 and rng.random() < 0.5:
+        dfg.set_output(1, NodeRef(rng.choice(ids[:-1])))
+    return dfg
+
+
+def _mutate_payload(rng: random.Random, payload: dict, mutation: str
+                    ) -> dict:
+    """Apply one deliberate breakage to a legal config payload."""
+    broken = {**payload, "nodes": [dict(n) for n in payload["nodes"]],
+              "outputs": dict(payload["outputs"])}
+    nodes = broken["nodes"]
+    victim = rng.choice(nodes)
+    if mutation == "bad_port":
+        n_ports = FabricGeometry(*GEOMETRY).num_input_ports
+        victim["inputs"] = [dict(s) for s in victim["inputs"]]
+        victim["inputs"][0] = {"kind": "port", "port": n_ports + 3}
+    elif mutation == "no_outputs":
+        broken["outputs"] = {}
+    elif mutation == "undef_node":
+        victim["inputs"] = [dict(s) for s in victim["inputs"]]
+        victim["inputs"][-1] = {"kind": "node", "node": 999}
+    elif mutation == "cycle":
+        # Route the first node's last input to the last node: with
+        # >= 2 nodes and the last consuming anything earlier this
+        # closes a cycle; force the dependency to make sure.
+        first, last = nodes[0], nodes[-1]
+        first["inputs"] = [dict(s) for s in first["inputs"]]
+        first["inputs"][-1] = {"kind": "node", "node": last["id"]}
+        last["inputs"] = [dict(s) for s in last["inputs"]]
+        last["inputs"][-1] = {"kind": "node", "node": first["id"]}
+    return broken
+
+
+def _scratch_off(rng: random.Random, domain: str, words: int) -> int:
+    """An 8-aligned offset whose ``words``-long window stays inside the
+    domain's scratch region."""
+    slot = rng.randint(0, _SLOTS - words)
+    return (128 if domain == "fp" else 0) + 8 * slot
+
+
+def _emit_group(rng: random.Random, lines: list[str], cfg: dict,
+                m: int, irregularity: float) -> None:
+    """One invocation group: dinit, exactly ``m`` values into every
+    input port, exactly ``m`` out of every output port.  Atomic within
+    a basic block, so curtailed control flow can only skip whole
+    groups."""
+    d = "f" if cfg["domain"] == "fp" else ""
+    dom = cfg["domain"]
+    in_ports, out_ports = cfg["in_ports"], cfg["out_ports"]
+    lines.append(f"dinit {cfg['config_id']}")
+    wide_in = (in_ports == list(range(len(in_ports)))
+               and len(in_ports) >= 2
+               and rng.random() < 0.25 + 0.5 * irregularity)
+    if wide_in:
+        k = len(in_ports)
+        for _ in range(m):
+            off = _scratch_off(rng, dom, k)
+            lines.append(f"addi r9, r8, {off}")
+            lines.append(f"d{d}ldw p0, r9, {k}")
+    else:
+        for port in sorted(in_ports, key=lambda _: rng.random()):
+            style = rng.random()
+            if style < 0.3 + 0.3 * irregularity and m > 1:
+                off = _scratch_off(rng, dom, m)
+                lines.append(f"addi r9, r8, {off}")
+                lines.append(f"d{d}ldv p{port}, r9, {m}")
+            else:
+                for _ in range(m):
+                    if rng.random() < 0.5:
+                        reg = ("f" if d else "r") + str(rng.randint(1, 7))
+                        lines.append(f"d{d}send p{port}, {reg}")
+                    else:
+                        off = _scratch_off(rng, dom, 1)
+                        lines.append(f"d{d}ld p{port}, r8, {off}")
+    wide_out = (out_ports == list(range(len(out_ports)))
+                and len(out_ports) >= 2
+                and rng.random() < 0.25 + 0.5 * irregularity)
+    if wide_out:
+        k = len(out_ports)
+        for _ in range(m):
+            off = _scratch_off(rng, dom, k)
+            lines.append(f"addi r9, r8, {off}")
+            lines.append(f"d{d}stw p0, r9, {k}")
+    else:
+        for port in sorted(out_ports, key=lambda _: rng.random()):
+            style = rng.random()
+            if style < 0.3 + 0.3 * irregularity and m > 1:
+                off = _scratch_off(rng, dom, m)
+                lines.append(f"addi r9, r8, {off}")
+                lines.append(f"d{d}stv p{port}, r9, {m}")
+            else:
+                for _ in range(m):
+                    if rng.random() < 0.5:
+                        reg = ("f" if d else "r") + str(rng.randint(1, 6))
+                        lines.append(f"d{d}recv {reg}, p{port}")
+                    else:
+                        off = _scratch_off(rng, dom, 1)
+                        lines.append(f"d{d}st p{port}, r8, {off}")
+
+
+def _gen_dyser(rng: random.Random, seed: int, index: int,
+               irregularity: float) -> FuzzCase:
+    n_configs = 1 + (rng.random() < 0.25 + 0.5 * irregularity)
+    cfgs, payloads = [], []
+    for cid in range(n_configs):
+        domain = rng.choice(("int", "fp"))
+        n_in = rng.randint(1, 4)
+        dfg = _gen_dfg(rng, f"fz{index}c{cid}", domain, n_in,
+                       rng.randint(n_in, n_in + 4))
+        payloads.append(config_payload(cid, dfg, domain))
+        cfgs.append({"config_id": cid, "domain": domain,
+                     "in_ports": dfg.input_ports,
+                     "out_ports": dfg.output_ports})
+    mutation = ""
+    if rng.random() < 0.18 * (0.5 + irregularity):
+        mutation = rng.choice(MUTATIONS)
+        broken = rng.randrange(n_configs)
+        payloads[broken] = _mutate_payload(rng, payloads[broken],
+                                           mutation)
+    n_blocks = rng.randint(1, 2 + round(3 * irregularity))
+    lines = _preamble(rng)
+    for block in range(n_blocks):
+        lines.append(f"L{block}:")
+        for _ in range(rng.randint(0, 3)):
+            lines.append(_insn(rng))
+        if rng.random() < 0.85 or n_blocks == 1:
+            _emit_group(rng, lines, rng.choice(cfgs),
+                        rng.randint(1, 3), irregularity)
+        if rng.random() < 0.3 + 0.5 * irregularity:
+            lines.extend(_forward_branch(rng, block, n_blocks))
+    lines.append("halt")
+    return FuzzCase(kind="dyser", seed=seed, index=index,
+                    irregularity=irregularity,
+                    source="\n".join(lines),
+                    configs=tuple(payloads),
+                    expect_error=bool(mutation),
+                    label=(f"dyser/{mutation}" if mutation
+                           else f"{n_configs}-config/{n_blocks}-block"))
+
+
+# ---------------------------------------------------------------------
+# Source-language kernels
+# ---------------------------------------------------------------------
+
+def _int_expr(rng: random.Random, depth: int = 0) -> str:
+    if depth >= 2 or rng.random() < 0.4:
+        return rng.choice(("v", "v", str(rng.randint(1, 7))))
+    op = rng.choice(("+", "-", "*", "&", ">>"))
+    lhs = _int_expr(rng, depth + 1)
+    rhs = (str(rng.randint(1, 3)) if op == ">>"
+           else _int_expr(rng, depth + 1))
+    return f"({lhs} {op} {rhs})"
+
+
+def _fp_expr(rng: random.Random, depth: int = 0) -> str:
+    if depth >= 3 or rng.random() < 0.35:
+        return rng.choice(("a[i]", "b[i]",
+                           repr(round(rng.uniform(-4.0, 4.0), 3))))
+    op = rng.choice(("+", "-", "*"))
+    return (f"({_fp_expr(rng, depth + 1)} {op} "
+            f"{_fp_expr(rng, depth + 1)})")
+
+
+def _gen_kernel(rng: random.Random, seed: int, index: int,
+                irregularity: float) -> FuzzCase:
+    if rng.random() < 0.4 + 0.4 * irregularity:
+        # collatz-style integer diamonds (control-flow heavy).
+        stmts = []
+        for _ in range(rng.randint(1, 2 + round(3 * irregularity))):
+            if rng.random() < 0.45 + 0.35 * irregularity:
+                mask = rng.choice((1, 2, 3))
+                stmts.append(f"if (v & {mask}) "
+                             f"{{ v = {_int_expr(rng)}; }} else "
+                             f"{{ v = {_int_expr(rng)}; }}")
+            else:
+                stmts.append(f"v = {_int_expr(rng)};")
+        body = "\n        ".join(stmts)
+        source = (f"kernel fz{index}(out int y[], int x[], int n) {{\n"
+                  f"    for (int i = 0; i < n; i = i + 1) {{\n"
+                  f"        int v = x[i];\n"
+                  f"        {body}\n"
+                  f"        y[i] = v;\n"
+                  f"    }}\n}}\n")
+        label = "int-diamonds"
+    else:
+        source = (f"kernel fz{index}(out float c[], float a[], "
+                  f"float b[], int n) {{\n"
+                  f"    for (int i = 0; i < n; i = i + 1) {{\n"
+                  f"        c[i] = {_fp_expr(rng)};\n"
+                  f"    }}\n}}\n")
+        label = "fp-expr"
+    return FuzzCase(kind="kernel", seed=seed, index=index,
+                    irregularity=irregularity, source=source,
+                    label=label)
+
+
+# ---------------------------------------------------------------------
+# The generator proper
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CaseGenerator:
+    """Pure, replayable case factory.
+
+    ``generate(i)`` depends only on ``(seed, irregularity, i)`` — two
+    generators with equal parameters produce byte-identical cases in
+    any order.
+    """
+
+    seed: int = 0
+    irregularity: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.irregularity <= 1.0:
+            raise ValueError("irregularity must be in [0, 1]")
+
+    def generate(self, index: int) -> FuzzCase:
+        rng = case_rng(self.seed, index)
+        roll = rng.random()
+        if roll < 0.3:
+            return _gen_scalar(rng, self.seed, index, self.irregularity)
+        if roll < 0.78:
+            return _gen_dyser(rng, self.seed, index, self.irregularity)
+        return _gen_kernel(rng, self.seed, index, self.irregularity)
+
+    def cases(self, count: int, start: int = 0):
+        for index in range(start, start + count):
+            yield self.generate(index)

@@ -1,0 +1,240 @@
+"""Differential oracles: what makes a generated case a *finding*.
+
+Three per-case oracles plus the planted-mutation core used by the
+self-check:
+
+- **parity** — run the case on the reference and fast backends; any
+  difference in the full summary (stats, registers, touched scratch
+  memory) or in the error outcome is a finding.  Raising is an outcome
+  too: both backends must fault with the same stable error string.
+- **lint** — static/dynamic agreement.  A run that crashes with no
+  error-severity lint diagnostic is a finding (the linter missed it);
+  a lint diagnostic from the *must-crash* set on a run that completes
+  cleanly is a finding in the other direction.  Codes outside that set
+  (capacity RPR213, style RPR205/RPR214) are advisory: the validator
+  deliberately accepts abstract configs the linter flags.
+- **ir** — kernels must compile in both modes with the pass verifier
+  on, and the verifier must be observer-only: identical listings, IR
+  dumps and configurations with ``verify_passes`` on and off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import lint_config
+from repro.cpu import Core, FastCore, Memory
+from repro.dyser import DyserDevice
+from repro.dyser.serialize import config_to_dict
+from repro.errors import ReproError, stable_error_string
+from repro.harness.fuzz.generator import (
+    _BASE,
+    FuzzCase,
+    default_fabric,
+    payload_to_config,
+)
+from repro.harness.parity import diff_summaries
+from repro.isa import assemble
+
+#: Lint codes whose error-severity firing *must* coincide with a
+#: simulator rejection: arity (RPR201), undefined node (RPR202), no
+#: outputs (RPR203), cycle (RPR204), port out of range (RPR206).
+#: Everything else error-severity is lint-only by design (e.g. fabric
+#: capacity RPR213 on abstract configs).
+MUST_CRASH_CODES = frozenset(
+    {"RPR201", "RPR202", "RPR203", "RPR204", "RPR206"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One oracle violation, reproducible from ``(seed, index)``."""
+
+    oracle: str     # parity | lint | ir | chaos | replay
+    case_key: str   # "s<seed>-i<index>", or the chaos scenario name
+    kind: str       # machine tag: summary-mismatch, crash-not-predicted...
+    detail: str
+    seed: int = 0
+    index: int = -1
+
+    def describe(self) -> str:
+        return f"[{self.oracle}] {self.case_key} {self.kind}: {self.detail}"
+
+    def to_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "case_key": self.case_key,
+            "kind": self.kind,
+            "detail": self.detail,
+            "seed": self.seed,
+            "index": self.index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(oracle=data["oracle"], case_key=data["case_key"],
+                   kind=data["kind"], detail=data["detail"],
+                   seed=int(data.get("seed", 0)),
+                   index=int(data.get("index", -1)))
+
+
+class MutantFastCore(FastCore):
+    """FastCore with a planted off-by-one in the memory-access timing.
+
+    The fuzz self-check pits this against the reference: any generated
+    program that touches memory diverges in ``stats.cycles``, so the
+    harness must catch it, shrink it, and produce a corpus entry that
+    replays red against this core and green against the real one.
+    """
+
+    def _data_access(self, addr: int, is_write: bool = False) -> int:
+        return Core._data_access(self, addr, is_write) + 1
+
+
+def build_program(case: FuzzCase):
+    """Assemble the case and attach its configurations unvalidated —
+    validation is the simulator's job and exactly what the lint oracle
+    cross-examines."""
+    program = assemble(case.source, name=f"fuzz-{case.key}")
+    for payload in case.configs:
+        program.dyser_configs[payload["config_id"]] = (
+            payload_to_config(payload))
+    return program
+
+
+def run_case(case: FuzzCase, core_cls: type = Core) -> tuple[str, object]:
+    """``("ok", summary)`` or ``("error", stable_error_string)``.
+
+    The summary covers everything observable: stats, both register
+    files, and the scratch window every generated program confines its
+    memory traffic to.  Floats are rendered with ``repr`` so the
+    comparison is exact (and NaN-proof) rather than ``==``-based.
+    """
+    try:
+        program = build_program(case)
+        memory = Memory(1 << 16)
+        core = core_cls(program, memory,
+                        dyser=DyserDevice(fabric=default_fabric()))
+        stats = core.run()
+        summary = {
+            "stats": stats.to_dict(),
+            "iregs": list(core.iregs._regs),
+            "fregs": [repr(v) for v in core.fregs._regs],
+            "mem": [repr(memory.load_word(_BASE + 8 * i))
+                    for i in range(32)],
+        }
+        return ("ok", summary)
+    except ReproError as exc:
+        return ("error", stable_error_string(exc))
+
+
+def _render_diff(ref: dict, cand: dict, keys: list[str],
+                 limit: int = 4) -> str:
+    from repro.harness.parity import _flatten
+
+    fr, fc = _flatten(ref), _flatten(cand)
+    parts = [f"{k}: reference={fr.get(k)!r} candidate={fc.get(k)!r}"
+             for k in keys[:limit]]
+    if len(keys) > limit:
+        parts.append(f"... and {len(keys) - limit} more keys")
+    return "; ".join(parts)
+
+
+def parity_oracle(case: FuzzCase,
+                  candidate_cls: type | None = None) -> Finding | None:
+    """Reference vs fast (or a planted-mutant candidate)."""
+    cand_cls = candidate_cls or FastCore
+    ref = run_case(case, Core)
+    cand = run_case(case, cand_cls)
+    if ref == cand:
+        return None
+    if ref[0] == "ok" and cand[0] == "ok":
+        keys = diff_summaries(ref[1], cand[1])
+        kind, detail = "summary-mismatch", _render_diff(ref[1], cand[1],
+                                                        keys)
+    elif ref[0] != cand[0]:
+        kind = "outcome-mismatch"
+        detail = f"reference={ref[0]} candidate={cand[0]}: {cand[1]!r}"
+    else:
+        kind = "error-mismatch"
+        detail = f"reference={ref[1]} candidate={cand[1]}"
+    return Finding("parity", case.key, kind, detail,
+                   seed=case.seed, index=case.index)
+
+
+def lint_case(case: FuzzCase) -> set[str]:
+    """Error-severity diagnostic codes across the case's configs."""
+    predicted: set[str] = set()
+    for payload in case.configs:
+        report = lint_config(payload_to_config(payload))
+        predicted |= {d.code for d in report.errors}
+    return predicted
+
+
+def lint_oracle(case: FuzzCase) -> Finding | None:
+    """Lint-vs-crash agreement (dyser cases only)."""
+    if case.kind != "dyser":
+        return None
+    predicted = lint_case(case)
+    outcome = run_case(case, Core)
+    crashed = outcome[0] == "error"
+    if crashed and not predicted:
+        return Finding(
+            "lint", case.key, "crash-not-predicted",
+            f"run crashed ({outcome[1]}) but lint reported no errors",
+            seed=case.seed, index=case.index)
+    must_crash = predicted & MUST_CRASH_CODES
+    if not crashed and must_crash:
+        return Finding(
+            "lint", case.key, "predicted-crash-ran-clean",
+            f"lint reported {sorted(must_crash)} but the run completed",
+            seed=case.seed, index=case.index)
+    return None
+
+
+def _compile_fingerprint(result) -> str:
+    """A stable rendering of everything a compile produces."""
+    configs = "\n".join(
+        repr(sorted(config_to_dict(c).items()))
+        for _, c in sorted(result.program.dyser_configs.items()))
+    return f"{result.program.listing()}\n--\n{result.ir_dump}\n--\n{configs}"
+
+
+def ir_oracle(case: FuzzCase) -> Finding | None:
+    """Compiler acceptance + verifier-is-observer-only (kernel cases)."""
+    if case.kind != "kernel":
+        return None
+    from repro.compiler import CompilerOptions, compile_dyser, compile_scalar
+
+    # The fuzz fabric and a small unroll keep the spatial scheduler
+    # fast (the default 8x8/unroll-8 routing costs seconds per kernel)
+    # while still exercising every pass the verifier watches.
+    def options(verify: bool) -> CompilerOptions:
+        return CompilerOptions(fabric=default_fabric(), unroll=2,
+                               verify_passes=verify)
+
+    try:
+        compile_scalar(case.source, verify=True)
+        verified = compile_dyser(case.source, options(True))
+        plain = compile_dyser(case.source, options(False))
+    except ReproError as exc:
+        return Finding("ir", case.key, "compile-failure",
+                       stable_error_string(exc),
+                       seed=case.seed, index=case.index)
+    if _compile_fingerprint(verified) != _compile_fingerprint(plain):
+        return Finding(
+            "ir", case.key, "verifier-not-observer-only",
+            "listing/IR/configs differ with verify_passes on vs off",
+            seed=case.seed, index=case.index)
+    return None
+
+
+#: Oracle dispatch used by the driver and by corpus replay.
+def check_case(case: FuzzCase, oracle: str,
+               candidate_cls: type | None = None) -> Finding | None:
+    if oracle == "parity":
+        return parity_oracle(case, candidate_cls)
+    if oracle == "lint":
+        return lint_oracle(case)
+    if oracle == "ir":
+        return ir_oracle(case)
+    raise ValueError(f"unknown per-case oracle {oracle!r}")

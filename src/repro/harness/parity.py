@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ReproError, stable_error_string
 from repro.harness.config import RunConfig
 from repro.harness.runner import execute
 
@@ -90,6 +91,22 @@ class ParityReport:
         return f"{head}\n{body}"
 
 
+def _outcome(config: RunConfig) -> dict:
+    """One backend's observable outcome: the run summary, or — when the
+    simulation faults — the *stable* rendering of the error.
+
+    Raising is an observable behaviour too: a candidate that crashes
+    where the reference completes (or crashes differently) is a parity
+    mismatch, not a harness failure.  :func:`stable_error_string`
+    strips memory addresses and orders context deterministically so
+    identical faults always compare equal.
+    """
+    try:
+        return execute(config).to_dict()
+    except ReproError as exc:
+        return {"error": stable_error_string(exc)}
+
+
 def verify_parity(configs: list[RunConfig] | tuple[RunConfig, ...],
                   candidate: str = "fast",
                   reference: str = "reference") -> ParityReport:
@@ -97,13 +114,16 @@ def verify_parity(configs: list[RunConfig] | tuple[RunConfig, ...],
 
     Both runs share the config's seed/scale/knobs; only ``backend``
     differs.  Tracing is stripped (a traced run already resolves to the
-    reference backend, which would make the check vacuous).
+    reference backend, which would make the check vacuous).  A backend
+    that raises a :class:`ReproError` contributes an ``{"error": ...}``
+    outcome instead of propagating — both backends must fault
+    identically or the config is reported as a mismatch.
     """
     mismatches: list[ParityMismatch] = []
     for config in configs:
         base = config.with_(trace=config.trace.__class__())
-        ref = execute(base.with_(backend=reference)).to_dict()
-        cand = execute(base.with_(backend=candidate)).to_dict()
+        ref = _outcome(base.with_(backend=reference))
+        cand = _outcome(base.with_(backend=candidate))
         if ref != cand:
             mismatches.append(ParityMismatch(
                 config=base, keys=tuple(diff_summaries(ref, cand)),
