@@ -7,8 +7,12 @@ Two entry points:
 - ``python benchmarks/bench_sim_speed.py`` runs the same measurement
   from the command line and appends a machine-readable entry to
   ``BENCH_sim_speed.json`` (the committed history of the speedup
-  acceptance criterion), with ``--check`` running the differential
-  parity harness instead (CI's bench-smoke gate).
+  acceptance criterion); ``--batched`` measures the batched lockstep
+  backend on a timing-knob sweep instead (reference vs fast vs
+  batched, recorded under ``batched_entries`` and gated at
+  :data:`BATCHED_MIN_SPEEDUP` by :func:`validate_batched_gate`);
+  ``--check`` runs the differential parity harnesses instead — solo
+  and batched — with no timing (CI's bench-smoke gate).
 
 Methodology: every (workload, mode) config is executed once per backend
 after a compile warm-up pass, so the numbers compare *simulation* time,
@@ -36,12 +40,44 @@ BENCH_FORMAT = "repro-bench-sim-speed-v1"
 #: CI smoke pair: one regular kernel, one with control flow.
 SMOKE_WORKLOADS = ("mm", "fir")
 
+#: The batched-sweep measurement: per workload, a lane of timing-knob
+#: points (FIFO depth x initiation interval x vector port rate) — the
+#: shape ``repro sweep --backend batched`` produces, and exactly what
+#: the lockstep backend exists to accelerate.
+BATCH_WORKLOADS = ("mm", "fir", "conv2d", "spmv")
+BATCH_DEPTHS = (2, 4, 8)
+BATCH_INTERVALS = (1, 2)
+BATCH_RATES = (1, 2, 4)
+
+#: Acceptance floor for the committed batched entry (vs reference).
+BATCHED_MIN_SPEEDUP = 10.0
+
 
 def _configs(workloads, scale):
     from repro.harness import RunConfig
 
     return [RunConfig(workload=w, mode=m, scale=scale)
             for w in workloads for m in ("scalar", "dyser")]
+
+
+def _batched_configs(workloads, scale):
+    from repro.cpu import CoreConfig
+    from repro.dyser import DyserTimingParams
+    from repro.harness import RunConfig
+
+    return [
+        RunConfig(
+            workload=w, mode="dyser", scale=scale, backend="batched",
+            timing=DyserTimingParams(input_fifo_depth=depth,
+                                     output_fifo_depth=depth,
+                                     initiation_interval=interval),
+            core_config=CoreConfig(vector_port_words_per_cycle=rate),
+        )
+        for w in workloads
+        for depth in BATCH_DEPTHS
+        for interval in BATCH_INTERVALS
+        for rate in BATCH_RATES
+    ]
 
 
 def _time_backend(configs, backend: str) -> float:
@@ -84,6 +120,51 @@ def measure(workloads=None, scale: str = "small") -> dict:
     }
 
 
+def measure_batched(workloads=None, scale: str = "small") -> dict:
+    """One batched-sweep entry: the same config grid through all three
+    backends, with every batched payload asserted byte-identical to
+    its solo reference run before any timing is trusted."""
+    from repro.harness import execute
+    from repro.harness.batch import execute_batch
+
+    workloads = tuple(workloads or BATCH_WORKLOADS)
+    configs = _batched_configs(workloads, scale)
+
+    # Warm the compile cache so the timings measure simulation only.
+    for config in _batched_configs(workloads, "tiny"):
+        execute(config.with_(backend="fast"))
+
+    def timed_solo(backend):
+        started = time.perf_counter()
+        results = [execute(c.with_(backend=backend)) for c in configs]
+        return time.perf_counter() - started, results
+
+    reference_s, reference = timed_solo("reference")
+    fast_s, _ = timed_solo("fast")
+    started = time.perf_counter()
+    outcomes = execute_batch(configs)
+    batched_s = time.perf_counter() - started
+
+    for config, ref, outcome in zip(configs, reference, outcomes):
+        assert outcome.result is not None, config.describe()
+        assert outcome.result.to_dict() == ref.to_dict(), (
+            f"batched diverges from reference: {config.describe()}")
+
+    return {
+        "date": _dt.date.today().isoformat(),
+        "scale": scale,
+        "workloads": len(workloads),
+        "runs": len(configs),
+        "parity_checked": len(configs),
+        "reference_s": round(reference_s, 3),
+        "fast_s": round(fast_s, 3),
+        "batched_s": round(batched_s, 3),
+        "speedup_vs_reference": round(reference_s / batched_s, 2),
+        "speedup_vs_fast": round(fast_s / batched_s, 2),
+        "python": platform.python_version(),
+    }
+
+
 def validate(document: dict) -> None:
     """Schema check for a BENCH_sim_speed.json document."""
     assert document.get("format") == BENCH_FORMAT, document.get("format")
@@ -97,6 +178,29 @@ def validate(document: dict) -> None:
         assert entry["parity_checked"] == entry["runs"]
         assert entry["speedup"] > 1.0, (
             f"fast backend slower than reference: {entry}")
+    for entry in document.get("batched_entries", ()):
+        for key in ("date", "scale", "workloads", "runs",
+                    "parity_checked", "reference_s", "fast_s",
+                    "batched_s", "speedup_vs_reference",
+                    "speedup_vs_fast"):
+            assert key in entry, f"batched entry missing {key!r}: {entry}"
+        assert entry["batched_s"] > 0
+        assert entry["parity_checked"] == entry["runs"]
+        assert entry["speedup_vs_reference"] > 1.0, (
+            f"batched backend slower than reference: {entry}")
+
+
+def validate_batched_gate(document: dict,
+                          minimum: float = BATCHED_MIN_SPEEDUP) -> None:
+    """The committed-history acceptance gate: a batched-sweep entry
+    must exist and hold the >=10x speedup over the reference core."""
+    validate(document)
+    entries = document.get("batched_entries")
+    assert entries, "no batched-sweep entry in the committed history"
+    latest = entries[-1]
+    assert latest["speedup_vs_reference"] >= minimum, (
+        f"batched sweep speedup {latest['speedup_vs_reference']}x "
+        f"is below the {minimum}x acceptance floor: {latest}")
 
 
 def _render(entry: dict) -> str:
@@ -110,6 +214,22 @@ def _render(entry: dict) -> str:
         ["backend", "wall s", "speedup"], rows,
         title=(f"simulator speed @ {entry['scale']} "
                f"({entry['runs']} runs, parity-checked)"))
+
+
+def _render_batched(entry: dict) -> str:
+    from repro.harness import format_table
+
+    rows = [
+        ["reference", f"{entry['reference_s']:.3f}", "1.00x"],
+        ["fast", f"{entry['fast_s']:.3f}",
+         f"{entry['reference_s'] / entry['fast_s']:.2f}x"],
+        ["batched", f"{entry['batched_s']:.3f}",
+         f"{entry['speedup_vs_reference']:.2f}x"],
+    ]
+    return format_table(
+        ["backend", "wall s", "speedup"], rows,
+        title=(f"batched sweep @ {entry['scale']} "
+               f"({entry['runs']} points, parity-checked)"))
 
 
 def test_sim_speed(benchmark):
@@ -128,22 +248,35 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default="small",
                         choices=("tiny", "small", "medium"))
     parser.add_argument("--check", action="store_true",
-                        help="run the parity harness only (no timing); "
-                             "defaults to the CI smoke pair")
+                        help="run the parity harnesses only (no "
+                             "timing): solo fast-vs-reference plus a "
+                             "batched sweep; defaults to the CI smoke "
+                             "pair")
+    parser.add_argument("--batched", action="store_true",
+                        help="measure the batched-sweep entry instead "
+                             "of the solo backend comparison")
     parser.add_argument("--output", default=str(BENCH_PATH),
                         help="benchmark history JSON to append to")
     args = parser.parse_args(argv)
 
     if args.check:
-        from repro.harness import verify_parity
+        from repro.harness import verify_batch_parity, verify_parity
 
         workloads = tuple(args.workloads) or SMOKE_WORKLOADS
         report = verify_parity(_configs(workloads, args.scale))
         print(report.summary())
-        return 0 if report.ok else 1
+        batch_report = verify_batch_parity(
+            _batched_configs(workloads, args.scale))
+        print(batch_report.summary())
+        return 0 if report.ok and batch_report.ok else 1
 
-    entry = measure(args.workloads or None, scale=args.scale)
-    print(_render(entry))
+    if args.batched:
+        entry = measure_batched(args.workloads or None,
+                                scale=args.scale)
+        print(_render_batched(entry))
+    else:
+        entry = measure(args.workloads or None, scale=args.scale)
+        print(_render(entry))
 
     path = pathlib.Path(args.output)
     if path.exists():
@@ -151,7 +284,8 @@ def main(argv=None) -> int:
         validate(document)
     else:
         document = {"format": BENCH_FORMAT, "entries": []}
-    document["entries"].append(entry)
+    key = "batched_entries" if args.batched else "entries"
+    document.setdefault(key, []).append(entry)
     validate(document)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     print(f"\nrecorded in {path}")

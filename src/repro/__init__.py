@@ -73,6 +73,7 @@ from repro.engine import (
     EngineFailure,
     EngineReport,
     JobSpec,
+    SweepSpec,
     run_comparisons,
     run_jobs,
     suite_jobs,
@@ -176,6 +177,7 @@ __all__ = [
     "EngineFailure",
     "EngineReport",
     "JobSpec",
+    "SweepSpec",
     "run_comparisons",
     "run_jobs",
     "suite_jobs",

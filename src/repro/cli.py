@@ -215,7 +215,7 @@ _SWEEP_AXES = (
 def _cmd_sweep(args) -> int:
     import itertools
 
-    from repro import JobSpec, run_jobs
+    from repro import SweepSpec, run_jobs
 
     workloads = args.workloads or sorted(SUITE)
     try:
@@ -230,24 +230,27 @@ def _cmd_sweep(args) -> int:
         if values:
             axes[fieldname] = values
 
+    modes = ("scalar", "dyser") if args.mode == "both" else (args.mode,)
+    sweep = SweepSpec(
+        workloads=tuple(workloads), modes=modes,
+        base={"scale": args.scale, "seed": args.seed,
+              "backend": args.backend},
+        axes=tuple((name, tuple(values))
+                   for name, values in axes.items()))
+    specs = sweep.jobs()
+
+    # Rows stay (workload, grid point); map each cell back into the
+    # SweepSpec expansion order (workload -> mode -> point).
     grid = list(itertools.product(*axes.values())) or [()]
     axis_names = list(axes)
+    npoints = len(grid)
     row_plan = []  # (workload, overrides, spec indices by mode)
-    specs: list[JobSpec] = []
-
-    def submit(spec: JobSpec) -> int:
-        specs.append(spec)
-        return len(specs) - 1
-
-    modes = ("scalar", "dyser") if args.mode == "both" else (args.mode,)
-    for name in workloads:
-        for point in grid:
+    for wi, name in enumerate(workloads):
+        for pi, point in enumerate(grid):
             overrides = dict(zip(axis_names, point))
             indices = {
-                mode: submit(JobSpec(
-                    workload=name, mode=mode, scale=args.scale,
-                    seed=args.seed, backend=args.backend, **overrides))
-                for mode in modes
+                mode: (wi * len(modes) + mi) * npoints + pi
+                for mi, mode in enumerate(modes)
             }
             row_plan.append((name, overrides, indices))
 
@@ -292,6 +295,7 @@ def _cmd_sweep(args) -> int:
 
     print(format_table(headers, rows,
                        title=f"sweep @ {args.scale} ({len(specs)} jobs)"))
+    print(f"sweep hash: {sweep.sweep_hash[:16]}", file=sys.stderr)
     print(report.summary(), file=sys.stderr)
     for record in report.failures:
         print(f"FAILED {record.spec.describe()}: {record.error}",
@@ -469,7 +473,7 @@ def _cmd_fuzz(args) -> int:
 
     oracles = tuple(args.oracle) if args.oracle else ("all",)
     if "all" in oracles:
-        oracles = ("parity", "lint", "ir", "chaos")
+        oracles = ("parity", "batched", "lint", "ir", "chaos")
     try:
         options = FuzzOptions(
             seed=args.seed,
@@ -736,8 +740,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stop generating after S seconds "
                              "(report marked truncated)")
     fuzz_p.add_argument("--oracle", action="append",
-                        choices=("parity", "lint", "ir", "chaos",
-                                 "all"),
+                        choices=("parity", "batched", "lint", "ir",
+                                 "chaos", "all"),
                         help="oracle(s) to run; repeatable "
                              "(default: all)")
     fuzz_p.add_argument("--irregularity", type=float, default=0.35,

@@ -1,5 +1,11 @@
 """The OpenSPARC-T1-flavoured host core model."""
 
+from repro.cpu.batchcore import PER_POINT_FIELDS, BatchCore
+from repro.cpu.batchdecode import (
+    batch_decode_cache_size,
+    batch_decode_program,
+    clear_batch_decode_caches,
+)
 from repro.cpu.cache import Cache, CacheConfig, dcache_config, icache_config
 from repro.cpu.core import Core, CoreConfig
 from repro.cpu.decode import (
@@ -14,6 +20,7 @@ from repro.cpu.regfile import FpRegFile, IntRegFile, wrap64
 from repro.cpu.statistics import ExecStats, StallCause
 
 __all__ = [
+    "BatchCore",
     "Cache",
     "CacheConfig",
     "Core",
@@ -21,6 +28,10 @@ __all__ = [
     "DecodedProgram",
     "ExecStats",
     "FastCore",
+    "PER_POINT_FIELDS",
+    "batch_decode_cache_size",
+    "batch_decode_program",
+    "clear_batch_decode_caches",
     "clear_decode_caches",
     "decode_cache_size",
     "decode_program",

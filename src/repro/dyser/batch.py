@@ -1,0 +1,107 @@
+"""Batched DySER execution: share functional evaluation across a lane.
+
+In a lockstep batch (:mod:`repro.cpu.batchcore`) every point owns its
+own :class:`~repro.dyser.interface.DyserDevice` — FIFO depths,
+initiation interval and config-cache capacity are exactly the knobs a
+sweep varies, so timing state must stay per point.  But the *values*
+flowing through the fabric are identical for every point: all devices
+see the same send sequence (shared architectural registers and memory)
+and the :class:`~repro.dyser.functional.FunctionalEvaluator` is a pure
+function of the input vector.  Per-point evaluation would therefore
+walk the same DFG N times per fire — the dominant cost of a DySER-mode
+batch.
+
+:class:`TapedEvaluator` removes that redundancy: the first device to
+reach fire *k* of a configuration computes it and appends the output
+dict to a shared per-config *tape*; every later device replays the
+tape entry.  Output dicts are served as-is — consumers only iterate
+them (``.items()``), never mutate.
+
+:class:`BatchedDyserDevice` wires the tape in: it wraps the engine's
+evaluator after every (re)configuration and saves the per-config fire
+cursor when an engine retires, so a config that is re-activated later
+(config-cache round trips) resumes its tape where it left off.
+
+Soundness: the tape is only valid while the lane's devices all observe
+the same fire sequence per config — guaranteed by the lockstep core's
+shared control flow and shared operand values.  Do not share a tape
+across devices fed by different programs or memory images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dyser.functional import FunctionalEvaluator
+from repro.dyser.interface import DyserDevice
+
+
+class TapedEvaluator:
+    """Record/replay wrapper around a :class:`FunctionalEvaluator`.
+
+    ``tape`` is the shared per-config list of output dicts; ``index``
+    is this device's private cursor into it (fires already consumed by
+    this device for this config).
+    """
+
+    __slots__ = ("inner", "tape", "index")
+
+    def __init__(self, inner: FunctionalEvaluator,
+                 tape: list, index: int = 0) -> None:
+        self.inner = inner
+        self.tape = tape
+        self.index = index
+
+    def __call__(self, inputs: dict) -> dict:
+        i = self.index
+        tape = self.tape
+        if i < len(tape):
+            outputs = tape[i]
+        else:
+            outputs = self.inner(inputs)
+            tape.append(outputs)
+        self.index = i + 1
+        return outputs
+
+    # Parity with FunctionalEvaluator's public surface.
+    def required_ports(self) -> list[int]:
+        return self.inner.required_ports()
+
+
+@dataclass
+class BatchedDyserDevice(DyserDevice):
+    """A :class:`DyserDevice` whose invocations replay a shared tape.
+
+    Every device of one lane is constructed with the *same* ``tape``
+    dict (config id -> list of output dicts).  Timing behaviour is
+    untouched — only the DFG walk is deduplicated.
+    """
+
+    tape: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        #: Fire cursor per config id, saved when an engine retires so
+        #: a re-activated config resumes its tape position.
+        self._fire_base: dict[int, int] = {}
+
+    def init_config(self, config_id: int, t: int) -> int:
+        ready = super().init_config(config_id, t)
+        engine = self.engine
+        if engine is not None and not isinstance(engine.evaluator,
+                                                 TapedEvaluator):
+            cid = engine.config.config_id
+            engine.evaluator = TapedEvaluator(
+                engine.evaluator,
+                self.tape.setdefault(cid, []),
+                self._fire_base.get(cid, 0),
+            )
+        return ready
+
+    def _fold_engine_stats(self) -> None:
+        engine = self.engine
+        if engine is not None and isinstance(engine.evaluator,
+                                             TapedEvaluator):
+            cid = engine.config.config_id
+            self._fire_base[cid] = engine.evaluator.index
+        super()._fold_engine_stats()

@@ -77,6 +77,18 @@ class InvocationEngine:
             for p in config.dfg.output_ports
         }
         self.fire_times: list[int] = []
+        # Memo for send_wide: (base_port, count) -> tuple of the target
+        # input FIFOs, or None when some target port does not exist.
+        self._wide_fifos: dict[tuple[int, int], tuple | None] = {}
+        # Readiness bookkeeping: number of input FIFOs currently
+        # holding at least one value.  A firing is possible exactly
+        # when every FIFO is non-empty, so `send` compares this count
+        # against the port count instead of scanning all FIFOs.
+        # `_fire_ready` recomputes it on exit; any code that enqueues
+        # without going through `send` must call `_fire_ready` after.
+        self._filled = 0
+        self._in_items = list(self.in_fifos.items())
+        self._out_list = list(self.out_fifos.values())
         # Activity factors for the energy model.
         self.ops_per_fire = len(config.dfg.nodes)
         self.hops_per_fire = config.used_switch_links()
@@ -98,9 +110,11 @@ class InvocationEngine:
         done = fifo.send(value, t_ready, self.fire_times)
         # Invariant: after every fire loop at least one input FIFO is
         # empty, so a send that lands on a non-empty FIFO cannot enable
-        # a firing — skip the all-ports scan entirely.
+        # a firing; one that fills the last empty FIFO always does.
         if was_empty:
-            self._fire_ready()
+            self._filled += 1
+            if self._filled == len(self._in_items):
+                self._fire_ready()
         return done
 
     def send_stream(self, port: int, values, arrivals) -> int:
@@ -175,6 +189,94 @@ class InvocationEngine:
         fifo.total_sent = sent
         return total
 
+    def send_wide(self, base_port: int, values, arrivals) -> list[int]:
+        """Bulk equivalent of ``send(base_port + i, v_i, a_i)`` for a
+        wide transfer (one value per consecutive port); returns the
+        per-element completion cycles.
+
+        Cycle-exact with the per-element path when every target FIFO
+        starts empty: the elements land on *distinct* ports, so no
+        invocation can become ready until the last element is in —
+        enqueueing them all and scanning readiness once reproduces the
+        per-send fire sequence exactly, and no fire interleaves with
+        the enqueues, so each FIFO's freeing recurrence sees the same
+        ``fire_times``.  When the transfer additionally covers *all*
+        input ports (the common compiler shape for ``dldw``), exactly
+        one invocation fires and its time is computed arithmetically —
+        no deque traffic at all, mirroring ``send_stream``'s
+        steady-state fast-forward.  A non-empty target FIFO could let a
+        fire trigger mid-transfer (extending ``fire_times`` under later
+        elements), so that case — like traced engines — takes the
+        per-send path.
+        """
+        k = len(values)
+        if self.events is None:
+            in_fifos = self.in_fifos
+            key = (base_port, k)
+            fifos = self._wide_fifos.get(key, False)
+            if fifos is False:
+                got: list | None = []
+                for i in range(k):
+                    fifo = in_fifos.get(base_port + i)
+                    if fifo is None:
+                        got = None
+                        break
+                    got.append(fifo)
+                fifos = tuple(got) if got is not None else None
+                self._wide_fifos[key] = fifos
+            if fifos is not None:
+                for fifo in fifos:
+                    if fifo.pending:
+                        break
+                else:
+                    ft = self.fire_times
+                    if len(in_fifos) != k:
+                        # Extra (dsend-fed) input ports: enqueue all,
+                        # then run the generic fire scan once.
+                        dones = [fifo.send(value, arrive, ft)
+                                 for fifo, value, arrive
+                                 in zip(fifos, values, arrivals)]
+                        self._fire_ready()
+                        return dones
+                    # Full coverage: exactly one fire, consuming
+                    # exactly these values — compute it in place.
+                    nft = len(ft)
+                    fire_at = (ft[-1] + self.params.initiation_interval
+                               if nft else 0)
+                    dones = []
+                    append = dones.append
+                    inputs: dict[int, int | float] = {}
+                    port = base_port
+                    for fifo, value, arrive in zip(fifos, values,
+                                                   arrivals):
+                        entry = arrive
+                        free = fifo.total_sent - fifo.depth
+                        if free >= 0:
+                            if free < nft:
+                                f = ft[free]
+                                if f > entry:
+                                    entry = f
+                            else:
+                                fifo.unresolved_stalls += 1
+                        fifo.total_sent += 1
+                        append(entry)
+                        if entry > fire_at:
+                            fire_at = entry
+                        inputs[port] = value
+                        port += 1
+                    out_fifos = self.out_fifos
+                    for fo in out_fifos.values():
+                        space = fo.space_time()
+                        if space is not None and space > fire_at:
+                            fire_at = space
+                    ft.append(fire_at)
+                    delays = self.delays
+                    for p, v in self.evaluator(inputs).items():
+                        out_fifos[p].produce(v, fire_at + delays[p])
+                    return dones
+        return [self.send(base_port + i, v, a)
+                for i, (v, a) in enumerate(zip(values, arrivals))]
+
     def recv(self, port: int, t_try: int) -> tuple[int | float, int]:
         fifo = self.out_fifos.get(port)
         if fifo is None:
@@ -189,34 +291,46 @@ class InvocationEngine:
     # -- firing --------------------------------------------------------------
 
     def _fire_ready(self) -> None:
-        while all(f.has_value() for f in self.in_fifos.values()):
+        in_items = self._in_items
+        out_list = self._out_list
+        ft = self.fire_times
+        ii = self.params.initiation_interval
+        delays = self.delays
+        out_fifos = self.out_fifos
+        while True:
+            for _port, fifo in in_items:
+                if not fifo.pending:
+                    filled = 0
+                    for _p, f in in_items:
+                        if f.pending:
+                            filled += 1
+                    self._filled = filled
+                    return
             inputs: dict[int, int | float] = {}
             fire_at = 0
-            for port, fifo in self.in_fifos.items():
-                value, entry = fifo.consume()
+            for port, fifo in in_items:
+                value, entry = fifo.pending.popleft()
                 inputs[port] = value
-                fire_at = max(fire_at, entry)
-            if self.fire_times:
-                fire_at = max(
-                    fire_at,
-                    self.fire_times[-1] + self.params.initiation_interval,
-                )
-            for fifo in self.out_fifos.values():
+                if entry > fire_at:
+                    fire_at = entry
+            if ft:
+                floor = ft[-1] + ii
+                if floor > fire_at:
+                    fire_at = floor
+            for fifo in out_list:
                 space = fifo.space_time()
-                if space is not None:
-                    fire_at = max(fire_at, space)
-            self.fire_times.append(fire_at)
+                if space is not None and space > fire_at:
+                    fire_at = space
+            ft.append(fire_at)
             if self.events is not None:
                 self.events.complete(
                     "invocation", "dyser.invoke", fire_at,
                     self._max_delay,
                     config=self.config.config_id,
-                    index=len(self.fire_times) - 1)
+                    index=len(ft) - 1)
             outputs = self.evaluator(inputs)
             for port, value in outputs.items():
-                self.out_fifos[port].produce(
-                    value, fire_at + self.delays[port]
-                )
+                out_fifos[port].produce(value, fire_at + delays[port])
 
     def steady_state(self) -> SteadyState:
         """Analytic steady-state interval/latency of this configuration."""
@@ -242,6 +356,7 @@ class InvocationEngine:
         for fifo in self.out_fifos.values():
             fifo.reset()
         self.fire_times.clear()
+        self._filled = 0
 
     @property
     def invocations(self) -> int:

@@ -3,7 +3,10 @@
 The substrate every design-space exploration in this repo runs on:
 
 - :mod:`repro.engine.jobs` — declarative :class:`JobSpec` with a stable
-  content hash, plus cartesian sweep builders;
+  content hash (plus deprecated cartesian builder shims);
+- :mod:`repro.engine.sweeps` — first-class :class:`SweepSpec` sweep
+  descriptions with a stable ``sweep_hash``, consumed by ``repro
+  sweep``, :func:`run_jobs` and the service's ``POST /v1/sweep``;
 - :mod:`repro.engine.cache` — persistent, content-addressed store for
   compiled-program bundles and finished run summaries, invalidated by a
   code-version fingerprint of ``src/repro``;
@@ -36,6 +39,7 @@ from repro.engine.jobs import (
     suite_jobs,
     sweep,
 )
+from repro.engine.sweeps import SWEEP_VERSION, SweepSpec
 from repro.engine.pool import execute_job, run_comparisons, run_jobs
 from repro.engine.report import (
     DUPLICATE,
@@ -58,6 +62,8 @@ __all__ = [
     "JobRecord",
     "JobSpec",
     "SPEC_VERSION",
+    "SWEEP_VERSION",
+    "SweepSpec",
     "code_fingerprint",
     "comparison_jobs",
     "default_cache_dir",

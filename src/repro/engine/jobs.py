@@ -16,7 +16,6 @@ config-cache capacity) and anything else a future experiment sweeps.
 from __future__ import annotations
 
 import hashlib
-import itertools
 import json
 from dataclasses import MISSING, asdict, dataclass, fields, replace
 
@@ -312,48 +311,57 @@ _FIELD_DEFAULTS = {
 _FIELD_NAMES = frozenset(f.name for f in fields(JobSpec))
 
 
+# -- deprecated builder shims ------------------------------------------
+#
+# The cartesian builders grew into repro.engine.sweeps.SweepSpec — a
+# frozen, hashable, serializable sweep description shared by the CLI,
+# run_jobs and the service.  These shims expand through SweepSpec (so
+# job order and hashes are bit-identical to what they always produced)
+# and warn so callers migrate.
+
+
 def sweep(workloads, modes=("dyser",), base: dict | None = None,
           **axes) -> list[JobSpec]:
-    """Expand a cartesian grid of :class:`JobSpec`.
+    """Deprecated: build a :class:`~repro.engine.sweeps.SweepSpec` and
+    call :meth:`~repro.engine.sweeps.SweepSpec.jobs` instead."""
+    import warnings
 
-    ``axes`` maps JobSpec field names to iterables of values, e.g.::
+    from repro.engine.sweeps import SweepSpec
 
-        sweep(["mm", "saxpy"], geometry=[(4, 4), (8, 8)], unroll=[1, 8])
-
-    ``base`` supplies fixed non-default values (scale, seed, ...).
-    Axis order is preserved, with the workload as the outermost loop,
-    so the returned list is deterministic.
-    """
-    base = dict(base or {})
-    for name in list(base) + list(axes):
-        if name not in _FIELD_NAMES:
-            raise WorkloadError(f"unknown JobSpec field {name!r}")
-    axis_names = list(axes)
-    axis_values = [list(axes[name]) for name in axis_names]
-    specs = []
-    for workload in workloads:
-        for mode in modes:
-            for values in itertools.product(*axis_values):
-                overrides = dict(zip(axis_names, values))
-                specs.append(JobSpec(workload=workload, mode=mode,
-                                     **{**base, **overrides}))
-    return specs
+    warnings.warn(
+        "repro.engine.sweep() is deprecated; use "
+        "SweepSpec(workloads=..., modes=..., base=..., axes=...).jobs()",
+        DeprecationWarning, stacklevel=2)
+    return SweepSpec(workloads=tuple(workloads), modes=tuple(modes),
+                     base=dict(base or {}),
+                     axes=tuple((name, tuple(values))
+                                for name, values in axes.items())).jobs()
 
 
 def comparison_jobs(workloads, scale: str = "small", seed: int = 7,
                     **knobs) -> list[JobSpec]:
-    """(scalar, dyser) spec pairs for each workload, in order."""
-    specs = []
-    for name in workloads:
-        specs.append(JobSpec(workload=name, mode="scalar", scale=scale,
-                             seed=seed, **knobs))
-        specs.append(JobSpec(workload=name, mode="dyser", scale=scale,
-                             seed=seed, **knobs))
-    return specs
+    """Deprecated: use
+    :meth:`~repro.engine.sweeps.SweepSpec.comparison`."""
+    import warnings
+
+    from repro.engine.sweeps import SweepSpec
+
+    warnings.warn(
+        "repro.engine.comparison_jobs() is deprecated; use "
+        "SweepSpec.comparison(workloads, ...).jobs()",
+        DeprecationWarning, stacklevel=2)
+    return SweepSpec.comparison(workloads, scale=scale, seed=seed,
+                                **knobs).jobs()
 
 
 def suite_jobs(scale: str = "small", seed: int = 7) -> list[JobSpec]:
-    """Scalar+DySER specs for the whole registered workload suite."""
-    from repro.workloads import SUITE
+    """Deprecated: use :meth:`~repro.engine.sweeps.SweepSpec.suite`."""
+    import warnings
 
-    return comparison_jobs(sorted(SUITE), scale=scale, seed=seed)
+    from repro.engine.sweeps import SweepSpec
+
+    warnings.warn(
+        "repro.engine.suite_jobs() is deprecated; use "
+        "SweepSpec.suite(...).jobs()",
+        DeprecationWarning, stacklevel=2)
+    return SweepSpec.suite(scale=scale, seed=seed).jobs()

@@ -24,7 +24,8 @@ from repro.harness.runner import Comparison, RunResult, run_workload
 from repro.obs.events import maybe_span
 
 from repro.engine.cache import ArtifactCache, result_from_dict, result_to_dict
-from repro.engine.jobs import JobSpec, comparison_jobs
+from repro.engine.jobs import JobSpec
+from repro.engine.sweeps import SweepSpec
 from repro.engine.report import (
     DUPLICATE,
     EXECUTED,
@@ -60,8 +61,144 @@ def _worker(spec: JobSpec, cache: ArtifactCache | None = None) -> dict:
     return result_to_dict(execute_job(spec, cache))
 
 
+#: Marker key of a per-point failure inside a batch worker's payload
+#: list; its value is the formatted error string a solo worker raise
+#: would have produced.
+_BATCH_FAILED = "__batch_failed__"
+
+
+def _batch_worker(specs, cache: ArtifactCache | None = None) -> list:
+    """Run one lane of ``batched``-backend specs in lockstep.
+
+    Returns one entry per spec: either the serialized run summary —
+    byte-identical to what :func:`_worker` produces for the same spec,
+    by the batched parity contract — or ``{_BATCH_FAILED: "..."}``
+    carrying the error string the solo path would have recorded.
+    Compiled artifacts are reused from / stored into ``cache`` exactly
+    like :func:`execute_job` (one compile per lane).
+    """
+    from repro.harness.batch import execute_batch_group
+
+    compiled = cache.load_compile(specs[0]) if cache is not None else None
+    stored = compiled is not None
+    outcomes = execute_batch_group(
+        [spec.to_run_config() for spec in specs], compiled=compiled)
+    payloads = []
+    for spec, outcome in zip(specs, outcomes):
+        if outcome.error is not None:
+            payloads.append({_BATCH_FAILED:
+                             f"{type(outcome.error).__name__}: "
+                             f"{outcome.error}"})
+            continue
+        if cache is not None and not stored:
+            cache.store_compile(spec, outcome.result.compile_result)
+            stored = True
+        payloads.append(result_to_dict(outcome.result))
+    return payloads
+
+
+def _plan_job_batches(specs, pending):
+    """Split pending indices into lockstep lanes and leftovers.
+
+    Only ``backend="batched"`` specs batch, grouped by the harness's
+    :func:`~repro.harness.batch.lane_key` over their expanded run
+    configs — the same planner the direct API uses, so engine batching
+    can never group what the harness would refuse.  Lanes need at
+    least two members; everything else stays on the solo path.
+    """
+    from repro.harness.batch import lane_key
+
+    lanes: dict[tuple, list[int]] = {}
+    rest: list[int] = []
+    for i in pending:
+        if specs[i].backend != "batched":
+            rest.append(i)
+            continue
+        lanes.setdefault(lane_key(specs[i].to_run_config()), []).append(i)
+    groups = []
+    for members in lanes.values():
+        if len(members) >= 2:
+            groups.append(members)
+        else:
+            rest.extend(members)
+    groups.sort(key=lambda g: g[0])
+    rest.sort()
+    return groups, rest
+
+
+def _finish_batch(members, payloads, specs, records, results, cache,
+                  wall_s) -> None:
+    """Record one batch group's payload list onto its member jobs."""
+    for i, payload in zip(members, payloads):
+        records[i].attempts += 1
+        records[i].wall_s = wall_s
+        if _BATCH_FAILED in payload:
+            records[i].status = FAILED
+            records[i].error = payload[_BATCH_FAILED]
+        else:
+            _finish(i, payload, specs, records, results, cache)
+
+
+def _run_batches(specs, groups, records, results, cache, jobs, timeout,
+                 events=None) -> list[int]:
+    """Execute lockstep lanes; returns indices needing solo retry.
+
+    A group whose worker call fails outright (crash, timeout, decode
+    error at the lane level) is not retried as a lane — its members
+    are handed back for the ordinary solo path, which has its own
+    retry budget and is always parity-safe.
+    """
+    leftovers: list[int] = []
+    if jobs > 1 and len(groups) > 1:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(groups)))
+        futures = {}
+        starts = {}
+        for members in groups:
+            starts[members[0]] = time.perf_counter()
+            futures[pool.submit(
+                _batch_worker, [specs[i] for i in members], cache)] = members
+        timed_out = False
+        for future, members in futures.items():
+            try:
+                payloads = future.result(timeout=timeout)
+            except FutureTimeout:
+                timed_out = True
+                future.cancel()
+                leftovers.extend(members)
+                continue
+            except Exception:  # noqa: BLE001 — lane falls back to solo
+                leftovers.extend(members)
+                continue
+            _finish_batch(members, payloads, specs, records, results,
+                          cache, time.perf_counter() - starts[members[0]])
+        pool.shutdown(wait=not timed_out, cancel_futures=True)
+        if timed_out:
+            for proc in getattr(pool, "_processes", None) or {}:
+                try:
+                    pool._processes[proc].terminate()
+                except Exception:  # pragma: no cover - best effort
+                    pass
+        return leftovers
+    for members in groups:
+        t0 = time.perf_counter()
+        with maybe_span(events, f"batch[{len(members)}] "
+                                f"{specs[members[0]].describe()}",
+                        "engine.batch") as info:
+            try:
+                payloads = _batch_worker([specs[i] for i in members],
+                                         cache)
+            except Exception:  # noqa: BLE001 — lane falls back to solo
+                info["status"] = "fallback"
+                leftovers.extend(members)
+                continue
+            info["status"] = "executed"
+        _finish_batch(members, payloads, specs, records, results, cache,
+                      time.perf_counter() - t0)
+    return leftovers
+
+
 def run_jobs(
-    specs: list[JobSpec],
+    specs: list[JobSpec] | SweepSpec,
     jobs: int = 1,
     cache: ArtifactCache | None = None,
     timeout: float | None = None,
@@ -71,10 +208,21 @@ def run_jobs(
 ) -> EngineReport:
     """Execute ``specs``; returns a report with results aligned to them.
 
+    ``specs`` is a list of :class:`JobSpec` or a :class:`SweepSpec`
+    (expanded via :meth:`SweepSpec.jobs`, in its documented order).
+
     ``jobs=1`` runs serially in-process (no pool, fully deterministic);
     ``jobs>1`` fans out over worker processes.  ``timeout`` (seconds,
     per job) and crash recovery apply to the pooled path; a job is
     retried at most ``retries`` times before being recorded as FAILED.
+
+    Cache-miss specs with ``backend="batched"`` are grouped by lane
+    (same program, same functional knobs) and dispatched to the
+    lockstep :func:`_batch_worker` before the solo paths run; their
+    cached payloads are byte-identical to solo runs, and a lane that
+    fails wholesale falls back to the solo path transparently.
+    Batching only applies with the default worker — an injected
+    ``worker`` sees every job individually, as before.
 
     ``events`` (an :class:`repro.obs.events.EventStream` or None)
     records the job lifecycle — cache hits, dedups, executions and
@@ -82,6 +230,9 @@ def run_jobs(
     """
     from repro.analysis.speclint import lint_spec
 
+    if isinstance(specs, SweepSpec):
+        specs = specs.jobs()
+    batching = worker is None
     worker = worker or _worker
     started = time.perf_counter()
     n = len(specs)
@@ -132,6 +283,13 @@ def run_jobs(
             except (KeyError, ValueError):
                 pass  # stale/unreadable entry: treat as miss
         pending.append(i)
+
+    if pending and batching:
+        groups, pending = _plan_job_batches(specs, pending)
+        if groups:
+            pending = sorted(pending + _run_batches(
+                specs, groups, records, results, cache, jobs, timeout,
+                events))
 
     if pending:
         if jobs <= 1:
@@ -267,7 +425,8 @@ def run_comparisons(
     Returns ``(comparisons by workload name, report)``.  Raises
     :class:`~repro.engine.report.EngineFailure` if any job failed.
     """
-    specs = comparison_jobs(workloads, scale=scale, seed=seed, **knobs)
+    specs = SweepSpec.comparison(workloads, scale=scale, seed=seed,
+                                 **knobs).jobs()
     report = run_jobs(specs, jobs=jobs, cache=cache, timeout=timeout,
                       retries=retries)
     report.raise_on_failure()

@@ -14,6 +14,13 @@ from repro.harness.bundle import (
     load_bundle,
     save_bundle,
 )
+from repro.harness.batch import (
+    BatchOutcome,
+    execute_batch,
+    lane_key,
+    plan_batches,
+    verify_batch_parity,
+)
 from repro.harness.config import RunConfig
 from repro.harness.parity import (
     ParityMismatch,
@@ -35,6 +42,7 @@ from repro.obs.events import TraceOptions
 
 __all__ = [
     "Backend",
+    "BatchOutcome",
     "Comparison",
     "DEFAULT_BACKEND",
     "ParityMismatch",
@@ -48,16 +56,20 @@ __all__ = [
     "clear_caches",
     "compare",
     "execute",
+    "execute_batch",
     "format_series",
     "format_table",
     "geomean",
     "get_backend",
+    "lane_key",
     "load_bundle",
+    "plan_batches",
     "register_backend",
     "resolve_backend",
     "run_workload",
     "save_bundle",
     "source_hash",
     "suite_configs",
+    "verify_batch_parity",
     "verify_parity",
 ]

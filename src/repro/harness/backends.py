@@ -23,6 +23,7 @@ import contextlib
 from dataclasses import dataclass
 
 from repro.cpu import Core, FastCore
+from repro.cpu.batchcore import BatchCore
 from repro.errors import WorkloadError
 
 #: The registry default (and therefore ``RunConfig``'s default).
@@ -31,12 +32,20 @@ DEFAULT_BACKEND = "fast"
 
 @dataclass(frozen=True)
 class Backend:
-    """One registered core implementation."""
+    """One registered core implementation.
+
+    ``core_cls`` runs a single config (the :class:`Core` constructor
+    contract).  ``batch_cls``, when set, is a lockstep core able to run
+    a whole lane of configs at once (the :class:`BatchCore` contract);
+    single-point dispatch through ``core_cls`` stays available so a
+    batched backend degrades transparently to its solo implementation.
+    """
 
     name: str
     core_cls: type
     supports_tracing: bool
     description: str = ""
+    batch_cls: type | None = None
 
 
 _REGISTRY: dict[str, Backend] = {}
@@ -55,7 +64,7 @@ def unregister_backend(name: str) -> None:
     The built-in backends are load-bearing (``resolve_backend`` falls
     back to ``"reference"``); removing them is refused.
     """
-    if name in ("reference", "fast"):
+    if name in ("reference", "fast", "batched"):
         raise WorkloadError(f"cannot unregister built-in backend {name!r}")
     if name not in _REGISTRY:
         raise WorkloadError(f"unknown backend {name!r}")
@@ -128,4 +137,14 @@ register_backend(Backend(
     supports_tracing=False,
     description="predecoded basic-block interpreter, cycle-exact "
                 "with the reference",
+))
+
+
+register_backend(Backend(
+    name="batched",
+    core_cls=FastCore,
+    supports_tracing=False,
+    description="lockstep structure-of-arrays core for sweep lanes; "
+                "single runs fall back to the fast backend",
+    batch_cls=BatchCore,
 ))

@@ -1,0 +1,264 @@
+"""Batch planning + lane execution for the ``batched`` backend.
+
+This is the middle pass of the batched lowering (decode → batch-plan →
+lockstep-execute; see :mod:`repro.cpu.batchcore`).  It answers two
+questions:
+
+1. **Which sweep points may share one functional execution?**
+   :func:`plan_batches` groups :class:`RunConfig`\\ s into *lanes* keyed
+   by everything that shapes architectural state: workload, mode,
+   scale, seed, memory size, compile options, and every
+   :class:`CoreConfig` field except the per-point timing knobs
+   (:data:`repro.cpu.batchcore.PER_POINT_FIELDS`).  Points in one lane
+   provably execute the same instruction stream over the same values —
+   the remaining knobs (DySER FIFO depths, initiation interval,
+   config-cache capacity, port rate, instruction limits, energy
+   accounting) shift *when* things happen, never *what* happens.
+   Traced configs and lanes of one are returned as singles.
+
+2. **How does a lane run?**  :func:`execute_batch_group` mirrors
+   :func:`repro.harness.runner.execute` exactly — one compile (shared
+   memo), one :class:`Memory` + ``prepare``, per-point
+   :class:`BatchedDyserDevice` over one shared evaluation tape — then
+   drives a :class:`BatchCore` and post-processes per point (energy
+   model, correctness checked once against the shared memory image).
+   Points the core evicts (per-point instruction limits, shared
+   faults) are replayed solo via :func:`execute`, which reproduces
+   byte-identical results *including* stable error strings; a point's
+   fault therefore never poisons its siblings.
+
+The parity contract is the fast backend's, lifted to lanes:
+:func:`verify_batch_parity` diffs every batched point against a solo
+reference run and must report zero mismatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler import CompileResult, CompilerOptions
+from repro.cpu import CoreConfig, Memory
+from repro.cpu.batchcore import _SHARED_FIELDS, BatchCore
+from repro.dyser import DyserTimingParams, Fabric, FabricGeometry
+from repro.dyser.batch import BatchedDyserDevice
+from repro.dyser.config_cache import ConfigCacheParams
+from repro.energy import EnergyModel, EnergyParams
+from repro.errors import ReproError, stable_error_string
+from repro.harness.config import RunConfig
+from repro.harness.parity import (
+    ParityMismatch,
+    ParityReport,
+    _outcome,
+    diff_summaries,
+)
+from repro.harness.runner import (
+    DEFAULT_GEOMETRY,
+    RunResult,
+    _compile,
+    _options_key,
+    execute,
+    source_hash,
+)
+from repro.workloads import get as get_workload
+
+
+@dataclass
+class BatchOutcome:
+    """What happened to one sweep point of a batched execution.
+
+    Exactly one of ``result``/``error`` is set.  ``error`` carries the
+    actual :class:`ReproError` instance (not a rendering) so callers
+    can format it however the solo path would — the engine as
+    ``f"{type(exc).__name__}: {exc}"``, the parity harness via
+    :func:`repro.errors.stable_error_string`.  ``batched`` is False
+    for points that were replayed solo (eviction or singles).
+    """
+
+    config: RunConfig
+    result: RunResult | None = None
+    error: ReproError | None = None
+    batched: bool = False
+
+
+def _default_options(config: RunConfig) -> CompilerOptions:
+    return config.options or CompilerOptions(
+        fabric=Fabric(FabricGeometry(*DEFAULT_GEOMETRY)))
+
+
+def _core_config(config: RunConfig) -> CoreConfig:
+    return config.core_config or CoreConfig(
+        has_dyser=(config.mode == "dyser"))
+
+
+def _wants_trace(config: RunConfig) -> bool:
+    return config.trace.enabled or bool(
+        config.core_config is not None and config.core_config.trace_limit)
+
+
+def lane_key(config: RunConfig) -> tuple:
+    """Everything that shapes a run's *functional* execution.
+
+    Two configs with equal lane keys execute the same instruction
+    stream over the same architectural values and may run in lockstep.
+    Nested parameter objects are keyed by ``repr`` — they are plain
+    dataclasses, so the rendering is total and value-based.
+    """
+    cc = _core_config(config)
+    return (
+        config.workload, config.mode, config.scale, config.seed,
+        config.memory_bytes, _options_key(_default_options(config)),
+        tuple(repr(getattr(cc, name)) for name in _SHARED_FIELDS),
+    )
+
+
+def plan_batches(
+    configs: list[RunConfig] | tuple[RunConfig, ...],
+) -> tuple[list[list[int]], list[int]]:
+    """Group configs into lanes; returns ``(groups, singles)`` as
+    indices into ``configs``.
+
+    Traced configs never batch (the batched core cannot trace, and the
+    registry would route them to the reference backend anyway), and a
+    lane needs at least two points to be worth lockstep.  Groups are
+    ordered by their first member, singles keep input order.
+    """
+    lanes: dict[tuple, list[int]] = {}
+    singles: list[int] = []
+    for i, config in enumerate(configs):
+        if _wants_trace(config):
+            singles.append(i)
+            continue
+        lanes.setdefault(lane_key(config), []).append(i)
+    groups: list[list[int]] = []
+    for members in lanes.values():
+        if len(members) >= 2:
+            groups.append(members)
+        else:
+            singles.extend(members)
+    groups.sort(key=lambda g: g[0])
+    singles.sort()
+    return groups, singles
+
+
+def _solo(config: RunConfig) -> BatchOutcome:
+    try:
+        return BatchOutcome(config=config, result=execute(config))
+    except ReproError as exc:
+        return BatchOutcome(config=config, error=exc)
+
+
+def execute_batch_group(
+    configs: list[RunConfig] | tuple[RunConfig, ...],
+    compiled: CompileResult | None = None,
+) -> list[BatchOutcome]:
+    """Run one lane of configs in lockstep; one outcome per config.
+
+    All configs must share a :func:`lane_key` (the :class:`BatchCore`
+    constructor re-validates the core-config side).  Evicted points —
+    and the whole lane, if lockstep setup or execution faults — fall
+    back to solo :func:`execute` calls, which are always parity-safe.
+    """
+    base = configs[0]
+    n = len(configs)
+    workload = get_workload(base.workload)
+    options = _default_options(base)
+    if compiled is None:
+        compiled = _compile(base.workload, source_hash(workload.source),
+                            base.mode, _options_key(options))
+
+    stats_list: list = [None] * n
+    core = None
+    memory = Memory(base.memory_bytes)
+    instance = workload.prepare(memory, base.scale, base.seed)
+    try:
+        devices: list = [None] * n
+        if base.mode == "dyser":
+            tape: dict = {}
+            devices = [
+                BatchedDyserDevice(
+                    fabric=options.fabric,
+                    timing=cfg.timing or DyserTimingParams(),
+                    cache_params=(cfg.cache_params
+                                  or ConfigCacheParams()),
+                    tape=tape,
+                )
+                for cfg in configs
+            ]
+        core = BatchCore(compiled.program, memory, devices,
+                         [_core_config(cfg) for cfg in configs])
+        core.set_args(instance.int_args, instance.fp_args)
+        stats_list = core.run()
+    except ReproError:
+        # Lockstep itself faulted (shared functional state): every
+        # point would hit the same fault, but solo replay reproduces
+        # each point's exact observable outcome, so take that path.
+        stats_list = [None] * n
+
+    outcomes: list[BatchOutcome | None] = [None] * n
+    survivors = [p for p in range(n) if stats_list[p] is not None]
+    if survivors:
+        correct = instance.check(memory)
+        for p in survivors:
+            cfg = configs[p]
+            stats = stats_list[p]
+            eparams = cfg.energy_params or EnergyParams(
+                dyser_present=(cfg.mode == "dyser"))
+            outcomes[p] = BatchOutcome(
+                config=cfg,
+                result=RunResult(
+                    workload=cfg.workload, mode=cfg.mode,
+                    scale=cfg.scale, correct=correct, stats=stats,
+                    energy=EnergyModel(eparams).account(stats),
+                    compile_result=compiled,
+                    work_items=instance.work_items,
+                ),
+                batched=True,
+            )
+    for p in range(n):
+        if outcomes[p] is None:
+            outcomes[p] = _solo(configs[p])
+    return outcomes  # type: ignore[return-value]
+
+
+def execute_batch(
+    configs: list[RunConfig] | tuple[RunConfig, ...],
+) -> list[BatchOutcome]:
+    """Plan + execute a mixed bag of configs; outcomes in input order."""
+    groups, singles = plan_batches(configs)
+    outcomes: list[BatchOutcome | None] = [None] * len(configs)
+    for members in groups:
+        for idx, outcome in zip(
+                members, execute_batch_group([configs[i]
+                                              for i in members])):
+            outcomes[idx] = outcome
+    for i in singles:
+        outcomes[i] = _solo(configs[i])
+    return outcomes  # type: ignore[return-value]
+
+
+def verify_batch_parity(
+    configs: list[RunConfig] | tuple[RunConfig, ...],
+    reference: str = "reference",
+) -> ParityReport:
+    """Diff every batched point against a solo reference run.
+
+    The batched side goes through :func:`execute_batch` (so planning,
+    lockstep, eviction and solo fallback are all on trial); faults
+    compare via :func:`stable_error_string`, exactly like
+    :func:`repro.harness.parity.verify_parity`.
+    """
+    stripped = [c.with_(trace=c.trace.__class__()) for c in configs]
+    mismatches: list[ParityMismatch] = []
+    for config, outcome in zip(stripped, execute_batch(stripped)):
+        if outcome.result is not None:
+            cand = outcome.result.to_dict()
+        else:
+            cand = {"error": stable_error_string(outcome.error)}
+        ref = _outcome(config.with_(backend=reference))
+        if ref != cand:
+            mismatches.append(ParityMismatch(
+                config=config, keys=tuple(diff_summaries(ref, cand)),
+                reference=ref, candidate=cand))
+    return ParityReport(checked=len(stripped),
+                        mismatches=tuple(mismatches),
+                        candidate="batched", reference=reference)

@@ -9,8 +9,9 @@ The subsystem has four parts, mirroring the paper's evaluation flow:
   control flow around invocation groups, wide vector transfers,
   multi-port sends, deliberately ill-formed configurations.
 - :mod:`repro.harness.fuzz.oracles` — differential oracles per case:
-  fast-vs-reference parity, lint-vs-crash agreement, and IR-verifier
-  stability across compiler passes.
+  fast-vs-reference parity, batched-lockstep-vs-solo parity,
+  lint-vs-crash agreement, and IR-verifier stability across compiler
+  passes.
 - :mod:`repro.harness.fuzz.chaos` — fault injection for the service
   layer: worker crashes mid-batch, queue overflow, artifact-cache
   corruption, slow clients during drain.  The daemon must never serve
@@ -42,7 +43,9 @@ from repro.harness.fuzz.driver import (
 from repro.harness.fuzz.generator import CaseGenerator, FuzzCase
 from repro.harness.fuzz.oracles import (
     Finding,
+    MutantBatchCore,
     MutantFastCore,
+    batched_oracle,
     run_case,
 )
 
@@ -54,7 +57,9 @@ __all__ = [
     "FuzzCase",
     "FuzzOptions",
     "FuzzReport",
+    "MutantBatchCore",
     "MutantFastCore",
+    "batched_oracle",
     "chaos_scenario_names",
     "default_corpus_dir",
     "iter_corpus",

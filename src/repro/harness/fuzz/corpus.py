@@ -22,7 +22,7 @@ from repro.isa import assemble
 CORPUS_FORMAT = "repro-fuzz-case-v1"
 
 #: Oracles whose findings are case-shaped and therefore replayable.
-REPLAYABLE_ORACLES = ("parity", "lint", "ir")
+REPLAYABLE_ORACLES = ("parity", "batched", "lint", "ir")
 
 
 def default_corpus_dir() -> pathlib.Path:

@@ -20,15 +20,19 @@ from repro.harness.fuzz.generator import CASE_KINDS, CaseGenerator
 from repro.harness.fuzz.oracles import Finding, check_case
 from repro.obs import MetricsRegistry, maybe_span
 
-ALL_ORACLES = ("parity", "lint", "ir", "chaos")
+ALL_ORACLES = ("parity", "batched", "lint", "ir", "chaos")
 REPORT_FORMAT = "repro-fuzz-report-v1"
 
 #: Which case kinds each per-case oracle applies to.
 _ORACLE_KINDS = {
     "parity": ("scalar", "dyser"),
+    "batched": ("scalar", "dyser"),
     "lint": ("dyser",),
     "ir": ("kernel",),
 }
+
+#: Oracles that accept a planted-mutant candidate class.
+_CANDIDATE_ORACLES = ("parity", "batched")
 
 
 @dataclass(frozen=True)
@@ -43,8 +47,8 @@ class FuzzOptions:
     shrink: bool = True
     #: Directory to persist shrunk findings into (None: don't persist).
     corpus_dir: str | None = None
-    #: Parity candidate override — the self-check plants
-    #: :class:`~repro.harness.fuzz.oracles.MutantFastCore` here.
+    #: Candidate override for the parity/batched oracles — the
+    #: self-check plants ``MutantFastCore`` / ``MutantBatchCore`` here.
     candidate_cls: type | None = None
     chaos_scenarios: tuple | None = None
 
@@ -138,7 +142,7 @@ def run_fuzz(options: FuzzOptions | None = None, *,
                 if case.kind not in _ORACLE_KINDS[oracle]:
                     continue
                 candidate = (options.candidate_cls
-                             if oracle == "parity" else None)
+                             if oracle in _CANDIDATE_ORACLES else None)
                 finding = check_case(case, oracle, candidate)
                 if finding is None:
                     continue

@@ -1,6 +1,6 @@
 """Differential oracles: what makes a generated case a *finding*.
 
-Three per-case oracles plus the planted-mutation core used by the
+Four per-case oracles plus the planted-mutation cores used by the
 self-check:
 
 - **parity** — run the case on the reference and fast backends; any
@@ -16,6 +16,10 @@ self-check:
 - **ir** — kernels must compile in both modes with the pass verifier
   on, and the verifier must be observer-only: identical listings, IR
   dumps and configurations with ``verify_passes`` on and off.
+- **batched** — run the case as one multi-point lockstep lane
+  (differing per-point knobs) and demand each point reproduce its
+  solo run exactly, evicted points included via the harness's solo
+  fallback.
 """
 
 from __future__ import annotations
@@ -23,8 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis import lint_config
-from repro.cpu import Core, FastCore, Memory
-from repro.dyser import DyserDevice
+from repro.cpu import BatchCore, Core, CoreConfig, FastCore, Memory
+from repro.dyser import ConfigCacheParams, DyserDevice, DyserTimingParams
+from repro.dyser.batch import BatchedDyserDevice
 from repro.dyser.serialize import config_to_dict
 from repro.errors import ReproError, stable_error_string
 from repro.harness.fuzz.generator import (
@@ -90,6 +95,18 @@ class MutantFastCore(FastCore):
         return Core._data_access(self, addr, is_write) + 1
 
 
+class MutantBatchCore(BatchCore):
+    """BatchCore with the same planted off-by-one, batch-path only.
+
+    Solo runs stay clean, so every divergence the batched oracle sees
+    against this core is attributable to the lockstep path — the exact
+    failure mode the oracle exists to catch.
+    """
+
+    def _data_access(self, addr: int, is_write: bool = False) -> int:
+        return Core._data_access(self, addr, is_write) + 1
+
+
 def build_program(case: FuzzCase):
     """Assemble the case and attach its configurations unvalidated —
     validation is the simulator's job and exactly what the lint oracle
@@ -101,28 +118,29 @@ def build_program(case: FuzzCase):
     return program
 
 
-def run_case(case: FuzzCase, core_cls: type = Core) -> tuple[str, object]:
-    """``("ok", summary)`` or ``("error", stable_error_string)``.
+def _summary(core, memory, stats) -> dict:
+    """Everything observable after a run: stats, both register files,
+    and the scratch window every generated program confines its memory
+    traffic to.  Floats are rendered with ``repr`` so the comparison
+    is exact (and NaN-proof) rather than ``==``-based."""
+    return {
+        "stats": stats.to_dict(),
+        "iregs": list(core.iregs._regs),
+        "fregs": [repr(v) for v in core.fregs._regs],
+        "mem": [repr(memory.load_word(_BASE + 8 * i))
+                for i in range(32)],
+    }
 
-    The summary covers everything observable: stats, both register
-    files, and the scratch window every generated program confines its
-    memory traffic to.  Floats are rendered with ``repr`` so the
-    comparison is exact (and NaN-proof) rather than ``==``-based.
-    """
+
+def run_case(case: FuzzCase, core_cls: type = Core) -> tuple[str, object]:
+    """``("ok", summary)`` or ``("error", stable_error_string)``."""
     try:
         program = build_program(case)
         memory = Memory(1 << 16)
         core = core_cls(program, memory,
                         dyser=DyserDevice(fabric=default_fabric()))
         stats = core.run()
-        summary = {
-            "stats": stats.to_dict(),
-            "iregs": list(core.iregs._regs),
-            "fregs": [repr(v) for v in core.fregs._regs],
-            "mem": [repr(memory.load_word(_BASE + 8 * i))
-                    for i in range(32)],
-        }
-        return ("ok", summary)
+        return ("ok", _summary(core, memory, stats))
     except ReproError as exc:
         return ("error", stable_error_string(exc))
 
@@ -159,6 +177,105 @@ def parity_oracle(case: FuzzCase,
         detail = f"reference={ref[1]} candidate={cand[1]}"
     return Finding("parity", case.key, kind, detail,
                    seed=case.seed, index=case.index)
+
+
+#: Per-point knob grid the batched oracle runs as one lane: exactly
+#: the kinds of variation a real sweep packs into a batch — the two
+#: per-point CoreConfig fields plus per-device FIFO/II/config-cache
+#: knobs.  Point 2's tight instruction limit makes longer cases evict
+#: mid-batch, exercising split-and-fallback against live siblings.
+_BATCH_POINTS = (
+    ({}, {}, {}),
+    ({"vector_port_words_per_cycle": 1},
+     {"input_fifo_depth": 2, "initiation_interval": 2},
+     {"capacity": 1}),
+    ({"max_instructions": 250}, {"output_fifo_depth": 2}, {}),
+)
+
+
+def _run_point_solo(case: FuzzCase, core_cls: type, config, timing,
+                    cache_params) -> tuple[str, object]:
+    """One sweep point run solo — same outcome shape as run_case."""
+    try:
+        program = build_program(case)
+        memory = Memory(1 << 16)
+        core = core_cls(
+            program, memory,
+            dyser=DyserDevice(fabric=default_fabric(), timing=timing,
+                              cache_params=cache_params),
+            config=config)
+        stats = core.run()
+        return ("ok", _summary(core, memory, stats))
+    except ReproError as exc:
+        return ("error", stable_error_string(exc))
+
+
+def batched_oracle(case: FuzzCase,
+                   candidate_cls: type | None = None) -> Finding | None:
+    """Batched lockstep vs solo fast, point by point.
+
+    The case runs once as a three-point lane (:data:`_BATCH_POINTS`)
+    and every point's summary — or error string — must match a solo
+    run with identical knobs.  Evicted points are replayed solo just
+    like the harness fallback, so what this oracle really pins down is
+    the lockstep machinery: shared functional state, per-point timing
+    vectors, and eviction leaving siblings unpoisoned.
+
+    ``candidate_cls`` swaps the lane core when it is a
+    :class:`~repro.cpu.BatchCore` subclass (the self-check plants
+    :class:`MutantBatchCore`); anything else — e.g. a parity campaign's
+    ``MutantFastCore`` — is ignored.
+    """
+    if case.kind not in ("scalar", "dyser"):
+        return None
+    batch_cls = BatchCore
+    if candidate_cls is not None and issubclass(candidate_cls, BatchCore):
+        batch_cls = candidate_cls
+    points = [(CoreConfig(**ck), DyserTimingParams(**tk),
+               ConfigCacheParams(**pk))
+              for ck, tk, pk in _BATCH_POINTS]
+    expected = [_run_point_solo(case, FastCore, *point)
+                for point in points]
+    shared = None
+    try:
+        program = build_program(case)
+        memory = Memory(1 << 16)
+        tape: dict = {}
+        devices = [BatchedDyserDevice(fabric=default_fabric(),
+                                      timing=timing,
+                                      cache_params=cache_params,
+                                      tape=tape)
+                   for _, timing, cache_params in points]
+        core = batch_cls(program, memory, devices,
+                         [config for config, _, _ in points])
+        stats_list = core.run()
+        shared = (core, memory)
+    except ReproError:
+        # A setup/shared fault evicts the whole lane; solo replay (the
+        # fallback below) must reproduce each point's exact outcome.
+        stats_list = [None] * len(points)
+    for p, stats in enumerate(stats_list):
+        if stats is None:
+            got = _run_point_solo(case, FastCore, *points[p])
+        else:
+            got = ("ok", _summary(shared[0], shared[1], stats))
+        exp = expected[p]
+        if got == exp:
+            continue
+        if exp[0] == "ok" and got[0] == "ok":
+            keys = diff_summaries(exp[1], got[1])
+            kind = "summary-mismatch"
+            detail = f"point {p}: " + _render_diff(exp[1], got[1], keys)
+        elif exp[0] != got[0]:
+            kind = "outcome-mismatch"
+            detail = (f"point {p}: solo={exp[0]} batched={got[0]}: "
+                      f"{got[1]!r}")
+        else:
+            kind = "error-mismatch"
+            detail = f"point {p}: solo={exp[1]} batched={got[1]}"
+        return Finding("batched", case.key, kind, detail,
+                       seed=case.seed, index=case.index)
+    return None
 
 
 def lint_case(case: FuzzCase) -> set[str]:
@@ -233,6 +350,8 @@ def check_case(case: FuzzCase, oracle: str,
                candidate_cls: type | None = None) -> Finding | None:
     if oracle == "parity":
         return parity_oracle(case, candidate_cls)
+    if oracle == "batched":
+        return batched_oracle(case, candidate_cls)
     if oracle == "lint":
         return lint_oracle(case)
     if oracle == "ir":

@@ -215,6 +215,26 @@ class ServiceClient:
         }
         if timeout_s is not None:
             body["timeout_s"] = timeout_s
+        return self._post_sweep(body)
+
+    def sweep_spec(self, spec, *, priority: int = 0,
+                   timeout_s: float | None = None) -> dict:
+        """Submit a first-class sweep description.
+
+        ``spec`` is a :class:`repro.engine.sweeps.SweepSpec` or its
+        :meth:`~repro.engine.sweeps.SweepSpec.to_dict` rendering; the
+        response echoes its ``sweep_hash``.
+        """
+        body: dict = {
+            "sweep": spec.to_dict() if hasattr(spec, "to_dict")
+            else dict(spec),
+            "priority": priority,
+        }
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._post_sweep(body)
+
+    def _post_sweep(self, body: dict) -> dict:
         status, payload = self.request("POST", "/v1/sweep", body)
         if "jobs" not in payload:
             raise ServiceError(

@@ -30,7 +30,7 @@ import threading
 import time
 
 from repro.engine.cache import ArtifactCache
-from repro.engine.jobs import sweep as sweep_specs
+from repro.engine.sweeps import SweepSpec
 from repro.analysis.speclint import lint_spec
 
 from repro.service import protocol as P
@@ -355,29 +355,43 @@ class ReproService:
         body = request.json()
         if not isinstance(body, dict):
             raise P.ProtocolError("sweep body must be a JSON object")
-        workloads = body.get("workloads")
-        if not isinstance(workloads, list) or not workloads:
-            raise P.ProtocolError(
-                "sweep.workloads must be a non-empty list")
-        modes = tuple(body.get("modes", ["dyser"]))
-        base = body.get("base", {})
-        axes = body.get("axes", {})
-        if not isinstance(base, dict) or not isinstance(axes, dict):
-            raise P.ProtocolError("sweep.base/axes must be JSON objects")
-        base = dict(base)
-        axes = {name: list(values) for name, values in axes.items()}
-        for obj in (base, axes):
-            if "geometry" in obj:
-                value = obj["geometry"]
-                obj["geometry"] = ([tuple(v) for v in value]
-                                   if isinstance(value, list)
-                                   and value
-                                   and isinstance(value[0],
-                                                  (list, tuple))
-                                   else tuple(value))
+        if "sweep" in body:
+            # First-class form: the body carries a serialized SweepSpec.
+            try:
+                sweep = SweepSpec.from_dict(body["sweep"])
+            except Exception as exc:
+                raise P.ProtocolError(f"bad sweep: {exc}") from exc
+        else:
+            # Legacy form: loose workloads/modes/base/axes fields.
+            workloads = body.get("workloads")
+            if not isinstance(workloads, list) or not workloads:
+                raise P.ProtocolError(
+                    "sweep.workloads must be a non-empty list")
+            modes = tuple(body.get("modes", ["dyser"]))
+            base = body.get("base", {})
+            axes = body.get("axes", {})
+            if not isinstance(base, dict) or not isinstance(axes, dict):
+                raise P.ProtocolError(
+                    "sweep.base/axes must be JSON objects")
+            base = dict(base)
+            axes = {name: list(values) for name, values in axes.items()}
+            for obj in (base, axes):
+                if "geometry" in obj:
+                    value = obj["geometry"]
+                    obj["geometry"] = ([tuple(v) for v in value]
+                                       if isinstance(value, list)
+                                       and value
+                                       and isinstance(value[0],
+                                                      (list, tuple))
+                                       else tuple(value))
+            try:
+                sweep = SweepSpec(workloads=tuple(workloads), modes=modes,
+                                  base=base, axes=tuple(axes.items()))
+            except Exception as exc:  # bad field names/values
+                raise P.ProtocolError(f"bad sweep: {exc}") from exc
         try:
-            specs = sweep_specs(workloads, modes=modes, base=base, **axes)
-        except Exception as exc:  # bad field names/values
+            specs = sweep.jobs()
+        except Exception as exc:
             raise P.ProtocolError(f"bad sweep: {exc}") from exc
         if len(specs) > self.max_sweep_specs:
             raise P.ProtocolError(
@@ -413,6 +427,7 @@ class ReproService:
         ok = all(o.status in (P.STATUS_EXECUTED, P.STATUS_HIT,
                               P.STATUS_COALESCED) for o in outcomes)
         return 200, P.envelope(ok, jobs=jobs, counts=counts,
+                               sweep_hash=sweep.sweep_hash,
                                latency_ms=round(latency_ms, 3)), None
 
     def _handle_lint(self, request: _Request):

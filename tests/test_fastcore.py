@@ -272,9 +272,14 @@ class TestLimitMessages:
 
 class TestBackendDispatch:
     def test_registry_names(self):
-        assert backend_names() == ("fast", "reference")
+        assert backend_names() == ("batched", "fast", "reference")
         assert get_backend("fast").core_cls is FastCore
         assert get_backend("reference").core_cls is Core
+        # The batched backend degrades to the fast core for solo runs
+        # and carries its lockstep implementation alongside.
+        batched = get_backend("batched")
+        assert batched.core_cls is FastCore
+        assert batched.batch_cls is not None
 
     def test_fast_resolves_to_reference_when_traced(self):
         base = RunConfig(workload="mm", scale="tiny", backend="fast")

@@ -37,7 +37,9 @@ from repro.harness.fuzz import (
     CaseGenerator,
     FuzzCase,
     FuzzOptions,
+    MutantBatchCore,
     MutantFastCore,
+    batched_oracle,
     iter_corpus,
     load_entry,
     replay_entry,
@@ -185,6 +187,30 @@ class TestSelfCheck:
             # The shrunk case still assembles and runs standalone.
             verdict, _ = run_case(case, Core)
             assert verdict in ("ok", "error")
+
+    def test_batch_mutant_is_caught_shrunk_and_replayable(self, tmp_path):
+        report = run_fuzz(FuzzOptions(
+            seed=2026, cases=2, oracles=("batched",),
+            candidate_cls=MutantBatchCore, corpus_dir=str(tmp_path)))
+        assert not report.ok, "planted batch off-by-one was never caught"
+        entries = iter_corpus(tmp_path)
+        assert entries, "finding was not persisted to the corpus"
+        for path in entries:
+            case, finding = load_entry(path)
+            assert finding.oracle == "batched"
+            # Red against the mutant lane, green against the real one.
+            assert replay_entry(path, MutantBatchCore) is not None
+            assert replay_entry(path) is None
+            verdict, _ = run_case(case, Core)
+            assert verdict in ("ok", "error")
+
+    def test_batched_oracle_ignores_non_batch_candidate(self):
+        # A parity campaign's MutantFastCore must not leak into the
+        # lane construction (its constructor signature differs).
+        case = CaseGenerator(seed=5).generate(1)
+        if case.kind == "kernel":  # pragma: no cover - seed-stable
+            pytest.skip("kernel case")
+        assert batched_oracle(case, MutantFastCore) is None
 
     def test_shrinking_reduces_the_case(self):
         gen = CaseGenerator(seed=0)
