@@ -44,11 +44,17 @@ from repro.cpu import Core, CoreConfig, ExecStats, FastCore, Memory
 from repro.analysis import (
     Diagnostic,
     DiagnosticReport,
+    PerfPrediction,
+    RegionPerf,
     Severity,
+    analyze_program,
+    analyze_workload,
     describe_code,
+    estimate_job_cost,
     lint_config,
     lint_spec,
     lint_workload,
+    perf_report,
     verify_function,
 )
 from repro.dyser import (
@@ -219,11 +225,17 @@ __all__ = [
     # static analysis
     "Diagnostic",
     "DiagnosticReport",
+    "PerfPrediction",
+    "RegionPerf",
     "Severity",
+    "analyze_program",
+    "analyze_workload",
     "describe_code",
+    "estimate_job_cost",
     "lint_config",
     "lint_spec",
     "lint_workload",
+    "perf_report",
     "verify_function",
     # errors
     "ReproError",

@@ -116,6 +116,14 @@ CODES: dict[str, CodeInfo] = {
             "RPR302": "loop-carried control serializes invocations",
             "RPR303": "deep diamonds collapse useful-op density",
         }),
+        # -- RPR4xx: static performance attribution (lint --perf) ------
+        *_bank(Severity.NOTE, {
+            "RPR400": "region is port-bandwidth-bound",
+            "RPR401": "region is recurrence-bound",
+            "RPR402": "region is config-thrash-bound",
+            "RPR403": "region is capability-bound",
+            "RPR404": "static performance prediction",
+        }),
     )
 }
 
@@ -276,6 +284,10 @@ class DiagnosticReport:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
+        # Sorted by (code, location) so JSON reports are byte-stable
+        # regardless of emission/traversal order.
+        ordered = sorted(self.diagnostics,
+                         key=lambda d: (d.code, d.location))
         return {
             "subject": self.subject,
             "ok": self.ok,
@@ -284,7 +296,7 @@ class DiagnosticReport:
                 "warning": len(self.warnings),
                 "note": len(self.notes),
             },
-            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "diagnostics": [d.to_dict() for d in ordered],
         }
 
     @classmethod

@@ -259,7 +259,7 @@ def _lint_routes(config: DyserConfig, report: DiagnosticReport) -> None:
                 f"{expected_end}",
                 location=where, source=_SOURCE, signal=skey, sink=sink,
                 end=path[-1], expected=expected_end)
-        for a, b in zip(path, path[1:]):
+        for a, b in zip(path, path[1:], strict=False):
             if b not in geometry.switch_neighbors(a):
                 report.emit(
                     "RPR210",

@@ -122,6 +122,7 @@ def _cmd_lint(args) -> int:
         FabricGeometry,
         Severity,
         lint_workload,
+        perf_report,
     )
 
     options = None
@@ -131,19 +132,29 @@ def _cmd_lint(args) -> int:
     names = args.workloads or sorted(SUITE)
     reports = [lint_workload(name, mode=args.mode, options=options)
                for name in names]
-    ok = all(report.ok for report in reports)
+    perf_reports = []
+    if args.perf:
+        perf_reports = [perf_report(name, mode=args.mode,
+                                    options=options)
+                        for name in names]
+    ok = all(report.ok for report in reports + perf_reports)
     if args.json:
         print(json.dumps({
             "ok": ok,
-            "reports": [report.to_dict() for report in reports],
+            "reports": [report.to_dict()
+                        for report in reports + perf_reports],
         }, indent=2, sort_keys=True))
         return 0 if ok else 1
     min_severity = (Severity.WARNING if not args.notes
                     else Severity.NOTE)
     for report in reports:
         print(report.render(min_severity=min_severity))
-    total_errors = sum(len(r.errors) for r in reports)
-    total_warnings = sum(len(r.warnings) for r in reports)
+    for report in perf_reports:
+        # Perf attributions are notes; hiding them would make --perf
+        # a no-op, so they render unconditionally.
+        print(report.render(min_severity=Severity.NOTE))
+    total_errors = sum(len(r.errors) for r in reports + perf_reports)
+    total_warnings = sum(len(r.warnings) for r in reports + perf_reports)
     print(f"\nlint: {len(reports)} workload"
           f"{'s' if len(reports) != 1 else ''}, "
           f"{total_errors} error{'s' if total_errors != 1 else ''}, "
@@ -247,7 +258,7 @@ def _cmd_sweep(args) -> int:
     row_plan = []  # (workload, overrides, spec indices by mode)
     for wi, name in enumerate(workloads):
         for pi, point in enumerate(grid):
-            overrides = dict(zip(axis_names, point))
+            overrides = dict(zip(axis_names, point, strict=True))
             indices = {
                 mode: (wi * len(modes) + mi) * npoints + pi
                 for mi, mode in enumerate(modes)
@@ -473,7 +484,8 @@ def _cmd_fuzz(args) -> int:
 
     oracles = tuple(args.oracle) if args.oracle else ("all",)
     if "all" in oracles:
-        oracles = ("parity", "batched", "lint", "ir", "chaos")
+        oracles = ("parity", "batched", "lint", "ir", "perfbound",
+                   "chaos")
     try:
         options = FuzzOptions(
             seed=args.seed,
@@ -576,6 +588,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--notes", action="store_true",
                         help="also show note-severity advisories "
                              "(offload decisions)")
+    lint_p.add_argument("--perf", action="store_true",
+                        help="also run the static performance-bound "
+                             "analyzer (RPR4xx): predicted cycles, "
+                             "sound lower bound, and per-region "
+                             "bottleneck attribution, no simulation")
     lint_p.set_defaults(func=_cmd_lint)
 
     def add_engine_flags(p) -> None:
@@ -741,7 +758,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "(report marked truncated)")
     fuzz_p.add_argument("--oracle", action="append",
                         choices=("parity", "batched", "lint", "ir",
-                                 "chaos", "all"),
+                                 "perfbound", "chaos", "all"),
                         help="oracle(s) to run; repeatable "
                              "(default: all)")
     fuzz_p.add_argument("--irregularity", type=float, default=0.35,

@@ -97,16 +97,17 @@ def natural_loops(func: Function) -> list[Loop]:
     loops = [Loop(header=h, blocks=b) for h, b in per_header.items()]
     loops.sort(key=lambda lp: len(lp.blocks), reverse=True)
     # Nesting: a loop is a child of the smallest loop strictly containing it.
-    for i, inner in enumerate(loops):
+    for inner in loops:
         best: Loop | None = None
         for outer in loops:
             if outer is inner:
                 continue
-            if inner.blocks < outer.blocks or (
-                    inner.blocks <= outer.blocks
-                    and inner.header != outer.header):
-                if best is None or len(outer.blocks) < len(best.blocks):
-                    best = outer
+            contains = inner.blocks < outer.blocks or (
+                inner.blocks <= outer.blocks
+                and inner.header != outer.header)
+            if contains and (best is None
+                             or len(outer.blocks) < len(best.blocks)):
+                best = outer
         if best is not None:
             inner.parent = best
             best.children.append(inner)

@@ -196,10 +196,8 @@ class Parser:
         then_body = self.parse_block()
         else_body: list[ast.Stmt] = []
         if self.accept("else"):
-            if self.check("if"):
-                else_body = [self.parse_if()]
-            else:
-                else_body = self.parse_block()
+            else_body = ([self.parse_if()] if self.check("if")
+                         else self.parse_block())
         return ast.If(cond=cond, then_body=then_body, else_body=else_body,
                       line=line)
 

@@ -254,7 +254,7 @@ def _route(dfg: Dfg, fabric: Fabric, placement: dict[int, Coord],
                     code="RPR210", dfg=dfg.name, signal=skey, sink=sink)
             path = _backtrack(tree, target)
             routes[(skey, sink)] = path
-            for a, b in zip(path, path[1:]):
+            for a, b in zip(path, path[1:], strict=False):
                 usage.setdefault((a, b), set()).add(skey)
         shared = [link for link, users in usage.items() if len(users) > 1]
         if not shared:

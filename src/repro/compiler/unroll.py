@@ -110,11 +110,10 @@ def analyze_loop(func: Function, loop: Loop) -> LoopInfo:
 def _is_invariant(func: Function, loop: Loop, op: Operand) -> bool:
     if isinstance(op, Const):
         return True
-    for name in loop.blocks:
-        for instr in func.blocks[name].all_instrs():
-            if instr.result is op:
-                return False
-    return True
+    return not any(
+        instr.result is op
+        for name in loop.blocks
+        for instr in func.blocks[name].all_instrs())
 
 
 def can_unroll(info: LoopInfo) -> bool:

@@ -126,9 +126,9 @@ class Core:
 
         if len(int_args) > len(ARG_INT_REGS) or len(fp_args) > len(ARG_FP_REGS):
             raise SimulationError("too many kernel arguments")
-        for reg, value in zip(ARG_INT_REGS, int_args):
+        for reg, value in zip(ARG_INT_REGS, int_args, strict=False):
             self.iregs.write(reg, int(value))
-        for reg, value in zip(ARG_FP_REGS, fp_args):
+        for reg, value in zip(ARG_FP_REGS, fp_args, strict=False):
             self.fregs.write(reg, float(value))
 
 
@@ -589,10 +589,8 @@ class Core:
                 addr = base + int(insn.imm)
                 lat = self._data_access(addr)
                 value = self.memory.load_word(addr)
-                if op is O.DFLD:
-                    value = float(value)
-                else:
-                    value = int(value)
+                value = (float(value) if op is O.DFLD
+                         else int(value))
                 done = dev.send(insn.port, value, issue + lat)
                 charge(StallCause.DYSER_SEND, done - (issue + lat))
             else:

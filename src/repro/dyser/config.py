@@ -129,7 +129,7 @@ class DyserConfig:
                     code="RPR210", signal=skey, sink=sink,
                     end=path[-1], expected=expected_end,
                 )
-            for a, b in zip(path, path[1:]):
+            for a, b in zip(path, path[1:], strict=False):
                 if b not in geometry.switch_neighbors(a):
                     raise ConfigurationError(
                         f"route {skey}->{sink}: {a}->{b} not adjacent",
@@ -240,5 +240,5 @@ class DyserConfig:
         return len({
             (a, b)
             for path in self.routes.values()
-            for a, b in zip(path, path[1:])
+            for a, b in zip(path, path[1:], strict=False)
         })

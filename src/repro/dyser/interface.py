@@ -125,7 +125,7 @@ class DyserDevice:
         """
         if self.events is not None:
             total = 0
-            for value, arrive in zip(values, arrivals):
+            for value, arrive in zip(values, arrivals, strict=True):
                 done = self.send(port, value, arrive)
                 if done > arrive:
                     total += done - arrive
@@ -148,7 +148,7 @@ class DyserDevice:
         """
         if self.events is not None:
             total = 0
-            for i, (value, arrive) in enumerate(zip(values, arrivals)):
+            for i, (value, arrive) in enumerate(zip(values, arrivals, strict=True)):
                 done = self.send(base_port + i, value, arrive)
                 if done > arrive:
                     total += done - arrive
@@ -158,7 +158,7 @@ class DyserDevice:
         self.stats.values_sent += len(dones)
         total = 0
         stalls = self.send_stall_cycles
-        for i, (done, arrive) in enumerate(zip(dones, arrivals)):
+        for i, (done, arrive) in enumerate(zip(dones, arrivals, strict=True)):
             if done > arrive:
                 stall = done - arrive
                 stalls[base_port + i] += stall

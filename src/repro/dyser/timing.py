@@ -142,7 +142,7 @@ class InvocationEngine:
         if (self.events is not None or len(self.in_fifos) != 1
                 or fifo.pending):
             total = 0
-            for value, arrive in zip(values, arrivals):
+            for value, arrive in zip(values, arrivals, strict=True):
                 done = self.send(port, value, arrive)
                 if done > arrive:
                     total += done - arrive
@@ -156,7 +156,7 @@ class InvocationEngine:
         out_fifos = self.out_fifos
         sent = fifo.total_sent
         total = 0
-        for value, arrive in zip(values, arrivals):
+        for value, arrive in zip(values, arrivals, strict=True):
             # InputPortFifo.send: wait for the freeing invocation.
             entry = arrive
             free = sent - depth
@@ -235,7 +235,8 @@ class InvocationEngine:
                         # then run the generic fire scan once.
                         dones = [fifo.send(value, arrive, ft)
                                  for fifo, value, arrive
-                                 in zip(fifos, values, arrivals)]
+                                 in zip(fifos, values, arrivals,
+                                        strict=True)]
                         self._fire_ready()
                         return dones
                     # Full coverage: exactly one fire, consuming
@@ -248,7 +249,7 @@ class InvocationEngine:
                     inputs: dict[int, int | float] = {}
                     port = base_port
                     for fifo, value, arrive in zip(fifos, values,
-                                                   arrivals):
+                                                   arrivals, strict=True):
                         entry = arrive
                         free = fifo.total_sent - fifo.depth
                         if free >= 0:
@@ -275,7 +276,8 @@ class InvocationEngine:
                         out_fifos[p].produce(v, fire_at + delays[p])
                     return dones
         return [self.send(base_port + i, v, a)
-                for i, (v, a) in enumerate(zip(values, arrivals))]
+                for i, (v, a) in enumerate(zip(values, arrivals,
+                                               strict=True))]
 
     def recv(self, port: int, t_try: int) -> tuple[int | float, int]:
         fifo = self.out_fifos.get(port)

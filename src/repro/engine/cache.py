@@ -25,6 +25,7 @@ with identical content.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import json
 import os
@@ -189,10 +190,8 @@ class ArtifactCache:
         except OSError:
             # Never leave a stage file behind on a failed publish; the
             # entry simply stays absent (a future probe re-misses).
-            try:
+            with contextlib.suppress(OSError):
                 tmp.unlink()
-            except OSError:
-                pass
             raise
 
     # -- typed helpers -------------------------------------------------
@@ -253,11 +252,9 @@ class ArtifactCache:
         """Delete every entry (all fingerprints); returns count removed."""
         removed = 0
         for path in self.entries():
-            try:
+            with contextlib.suppress(OSError):
                 path.unlink()
                 removed += 1
-            except OSError:
-                pass
         return removed
 
     def stats(self) -> dict:

@@ -15,6 +15,7 @@ sleeping workers to exercise the retry/timeout machinery.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
@@ -84,7 +85,7 @@ def _batch_worker(specs, cache: ArtifactCache | None = None) -> list:
     outcomes = execute_batch_group(
         [spec.to_run_config() for spec in specs], compiled=compiled)
     payloads = []
-    for spec, outcome in zip(specs, outcomes):
+    for spec, outcome in zip(specs, outcomes, strict=True):
         if outcome.error is not None:
             payloads.append({_BATCH_FAILED:
                              f"{type(outcome.error).__name__}: "
@@ -97,7 +98,7 @@ def _batch_worker(specs, cache: ArtifactCache | None = None) -> list:
     return payloads
 
 
-def _plan_job_batches(specs, pending):
+def _plan_job_batches(specs, pending, costs=None):
     """Split pending indices into lockstep lanes and leftovers.
 
     Only ``backend="batched"`` specs batch, grouped by the harness's
@@ -105,6 +106,11 @@ def _plan_job_batches(specs, pending):
     configs — the same planner the direct API uses, so engine batching
     can never group what the harness would refuse.  Lanes need at
     least two members; everything else stays on the solo path.
+
+    ``costs`` (index → predicted cycles, from the static perf
+    analyzer) orders lanes and leftovers longest-first for better pool
+    utilization; with no (or incomplete) cost data the historical
+    first-index order is preserved.
     """
     from repro.harness.batch import lane_key
 
@@ -121,15 +127,20 @@ def _plan_job_batches(specs, pending):
             groups.append(members)
         else:
             rest.extend(members)
-    groups.sort(key=lambda g: g[0])
-    rest.sort()
+    if costs and all(costs.get(i) is not None for i in pending):
+        # A lockstep lane's wall time tracks its slowest member.
+        groups.sort(key=lambda g: (-max(costs[i] for i in g), g[0]))
+        rest.sort(key=lambda i: (-costs[i], i))
+    else:
+        groups.sort(key=lambda g: g[0])
+        rest.sort()
     return groups, rest
 
 
 def _finish_batch(members, payloads, specs, records, results, cache,
                   wall_s) -> None:
     """Record one batch group's payload list onto its member jobs."""
-    for i, payload in zip(members, payloads):
+    for i, payload in zip(members, payloads, strict=False):
         records[i].attempts += 1
         records[i].wall_s = wall_s
         if _BATCH_FAILED in payload:
@@ -174,10 +185,8 @@ def _run_batches(specs, groups, records, results, cache, jobs, timeout,
         pool.shutdown(wait=not timed_out, cancel_futures=True)
         if timed_out:
             for proc in getattr(pool, "_processes", None) or {}:
-                try:
+                with contextlib.suppress(Exception):  # pragma: no cover
                     pool._processes[proc].terminate()
-                except Exception:  # pragma: no cover - best effort
-                    pass
         return leftovers
     for members in groups:
         t0 = time.perf_counter()
@@ -275,21 +284,36 @@ def run_jobs(
         primary[h] = i
         payload = cache.load_run(spec) if cache is not None else None
         if payload is not None:
-            try:
+            # A stale/unreadable entry falls through as a miss.
+            with contextlib.suppress(KeyError, ValueError):
                 results[i] = result_from_dict(payload)
                 records[i].status = HIT
                 mark("job_cache_hit", spec)
                 continue
-            except (KeyError, ValueError):
-                pass  # stale/unreadable entry: treat as miss
         pending.append(i)
 
+    # Cost pre-flight: with real parallelism ahead, predict each
+    # pending job's cycle cost statically (memoized per hash; the
+    # compile is shared with the run via the harness memo) and dispatch
+    # longest-first — the classic LPT heuristic.  Serial runs skip it:
+    # ordering cannot change their wall time.
+    costs: dict[int, int | None] = {}
+    if len(pending) > 1 and jobs > 1:
+        from repro.analysis.perf import estimate_job_cost
+
+        for i in pending:
+            records[i].cost = costs[i] = estimate_job_cost(specs[i])
+
     if pending and batching:
-        groups, pending = _plan_job_batches(specs, pending)
+        groups, pending = _plan_job_batches(specs, pending, costs)
         if groups:
             pending = sorted(pending + _run_batches(
                 specs, groups, records, results, cache, jobs, timeout,
                 events))
+
+    if pending and costs and all(costs.get(i) is not None
+                                 for i in pending):
+        pending = sorted(pending, key=lambda i: (-costs[i], i))
 
     if pending:
         if jobs <= 1:
@@ -404,10 +428,8 @@ def _run_pooled(specs, pending, records, results, cache, jobs, timeout,
         if timed_out:
             # Don't let a hung worker outlive its round.
             for proc in getattr(pool, "_processes", None) or {}:
-                try:
+                with contextlib.suppress(Exception):  # pragma: no cover
                     pool._processes[proc].terminate()
-                except Exception:  # pragma: no cover - best effort
-                    pass
 
 
 def run_comparisons(

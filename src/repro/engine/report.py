@@ -38,6 +38,10 @@ class JobRecord:
     #: Diagnostic`); populated for REJECTED jobs, and for jobs whose
     #: spec linted with warnings but still ran.
     diagnostics: list = field(default_factory=list)
+    #: Predicted cycle cost from the static perf analyzer; populated
+    #: by the pooled pre-flight (longest-first dispatch), None when the
+    #: estimate was skipped or unavailable.
+    cost: int | None = None
 
 
 @dataclass
@@ -81,7 +85,8 @@ class EngineReport:
     def result_for(self, spec: JobSpec):
         """The result of the first record matching ``spec``'s hash."""
         want = spec.job_hash
-        for record, result in zip(self.records, self.results):
+        for record, result in zip(self.records, self.results,
+                                  strict=True):
             if record.spec.job_hash == want:
                 return result
         raise KeyError(spec.describe())

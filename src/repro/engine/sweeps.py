@@ -125,7 +125,8 @@ class SweepSpec:
         for workload in self.workloads:
             for mode in self.modes:
                 for values in itertools.product(*axis_values):
-                    overrides = dict(zip(axis_names, values))
+                    overrides = dict(zip(axis_names, values,
+                                         strict=True))
                     specs.append(JobSpec(workload=workload, mode=mode,
                                          **{**base, **overrides}))
         return specs
@@ -152,10 +153,8 @@ class SweepSpec:
             raise WorkloadError(
                 f"unsupported sweep spec version {version!r}")
         axes = data.get("axes", [])
-        if isinstance(axes, dict):
-            axes = axes.items()
-        else:
-            axes = [tuple(pair) for pair in axes]
+        axes = (axes.items() if isinstance(axes, dict)
+                else [tuple(pair) for pair in axes])
         return cls(
             workloads=tuple(data.get("workloads", ())),
             modes=tuple(data.get("modes", ("dyser",))),

@@ -229,7 +229,8 @@ def execute_batch(
     for members in groups:
         for idx, outcome in zip(
                 members, execute_batch_group([configs[i]
-                                              for i in members])):
+                                              for i in members]),
+                strict=True):
             outcomes[idx] = outcome
     for i in singles:
         outcomes[i] = _solo(configs[i])
@@ -249,11 +250,11 @@ def verify_batch_parity(
     """
     stripped = [c.with_(trace=c.trace.__class__()) for c in configs]
     mismatches: list[ParityMismatch] = []
-    for config, outcome in zip(stripped, execute_batch(stripped)):
-        if outcome.result is not None:
-            cand = outcome.result.to_dict()
-        else:
-            cand = {"error": stable_error_string(outcome.error)}
+    for config, outcome in zip(stripped, execute_batch(stripped),
+                               strict=True):
+        cand = (outcome.result.to_dict()
+                if outcome.result is not None
+                else {"error": stable_error_string(outcome.error)})
         ref = _outcome(config.with_(backend=reference))
         if ref != cand:
             mismatches.append(ParityMismatch(

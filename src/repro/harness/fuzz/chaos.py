@@ -119,33 +119,33 @@ def _scenario_worker_crash(rng: random.Random) -> list[Finding]:
         return dict(payload)
 
     with ServiceThread(cache=None, batch_max=1, batch_window_s=0.0,
-                       worker=worker) as srv:
-        with ServiceClient(port=srv.port, retries=0,
-                           timeout=60) as client:
-            poisoned = client.run({**SPEC, "seed": 1},
-                                  raise_on_error=False)
-            if poisoned.get("ok") or (poisoned.get("status")
-                                      != P.STATUS_FAILED):
-                findings.append(Finding(
-                    "chaos", "worker-crash", "not-failed-closed",
-                    f"poisoned job answered "
-                    f"{poisoned.get('status')!r} ok="
-                    f"{poisoned.get('ok')!r} instead of failing"))
-            healthy = client.run({**SPEC, "seed": 2},
-                                 raise_on_error=False)
-            if healthy.get("status") != P.STATUS_EXECUTED:
-                findings.append(Finding(
-                    "chaos", "worker-crash", "no-recovery",
-                    f"job after the crash answered "
-                    f"{healthy.get('status')!r}"))
-            elif _canonical(healthy["result"]) != _canonical(payload):
-                findings.append(Finding(
-                    "chaos", "worker-crash", "wrong-bytes",
-                    "post-crash result differs from the direct run"))
-            if not client.health().get("ready"):
-                findings.append(Finding(
-                    "chaos", "worker-crash", "not-ready",
-                    "daemon not ready after worker crash"))
+                       worker=worker) as srv, \
+            ServiceClient(port=srv.port, retries=0,
+                          timeout=60) as client:
+        poisoned = client.run({**SPEC, "seed": 1},
+                              raise_on_error=False)
+        if poisoned.get("ok") or (poisoned.get("status")
+                                  != P.STATUS_FAILED):
+            findings.append(Finding(
+                "chaos", "worker-crash", "not-failed-closed",
+                f"poisoned job answered "
+                f"{poisoned.get('status')!r} ok="
+                f"{poisoned.get('ok')!r} instead of failing"))
+        healthy = client.run({**SPEC, "seed": 2},
+                             raise_on_error=False)
+        if healthy.get("status") != P.STATUS_EXECUTED:
+            findings.append(Finding(
+                "chaos", "worker-crash", "no-recovery",
+                f"job after the crash answered "
+                f"{healthy.get('status')!r}"))
+        elif _canonical(healthy["result"]) != _canonical(payload):
+            findings.append(Finding(
+                "chaos", "worker-crash", "wrong-bytes",
+                "post-crash result differs from the direct run"))
+        if not client.health().get("ready"):
+            findings.append(Finding(
+                "chaos", "worker-crash", "not-ready",
+                "daemon not ready after worker crash"))
     return findings
 
 
@@ -235,41 +235,41 @@ def _scenario_cache_corruption(rng: random.Random) -> list[Finding]:
         cache = ArtifactCache(tmp)
         path = cache._path("run", spec_from_payload(SPEC).job_hash)
         with ServiceThread(cache=cache, batch_max=1,
-                           batch_window_s=0.0) as srv:
-            with ServiceClient(port=srv.port, retries=0,
-                               timeout=120) as client:
-                first = client.run(SPEC, raise_on_error=False)
-                if (first.get("status") != P.STATUS_EXECUTED
-                        or _canonical(first["result"]) != expected):
-                    return [Finding(
-                        "chaos", "cache-corruption", "harness-error",
-                        f"baseline run answered "
-                        f"{first.get('status')!r}")]
-                if not path.exists():
-                    return [Finding(
-                        "chaos", "cache-corruption", "harness-error",
-                        "run artifact never reached the cache")]
-                warm = client.run(SPEC, raise_on_error=False)
-                if warm.get("status") != P.STATUS_HIT:
+                           batch_window_s=0.0) as srv, \
+                ServiceClient(port=srv.port, retries=0,
+                              timeout=120) as client:
+            first = client.run(SPEC, raise_on_error=False)
+            if (first.get("status") != P.STATUS_EXECUTED
+                    or _canonical(first["result"]) != expected):
+                return [Finding(
+                    "chaos", "cache-corruption", "harness-error",
+                    f"baseline run answered "
+                    f"{first.get('status')!r}")]
+            if not path.exists():
+                return [Finding(
+                    "chaos", "cache-corruption", "harness-error",
+                    "run artifact never reached the cache")]
+            warm = client.run(SPEC, raise_on_error=False)
+            if warm.get("status") != P.STATUS_HIT:
+                findings.append(Finding(
+                    "chaos", "cache-corruption", "no-cache-hit",
+                    f"warm request answered {warm.get('status')!r}"))
+            for name, mutate in _corruptions(rng):
+                text = path.read_text()
+                path.write_text(mutate(text))
+                resp = client.run(SPEC, raise_on_error=False)
+                if not resp.get("ok"):
                     findings.append(Finding(
-                        "chaos", "cache-corruption", "no-cache-hit",
-                        f"warm request answered {warm.get('status')!r}"))
-                for name, mutate in _corruptions(rng):
-                    text = path.read_text()
-                    path.write_text(mutate(text))
-                    resp = client.run(SPEC, raise_on_error=False)
-                    if not resp.get("ok"):
-                        findings.append(Finding(
-                            "chaos", "cache-corruption",
-                            f"{name}-not-recovered",
-                            f"request after {name} answered "
-                            f"{resp.get('status')!r}"))
-                    elif _canonical(resp["result"]) != expected:
-                        findings.append(Finding(
-                            "chaos", "cache-corruption",
-                            f"{name}-wrong-bytes",
-                            f"response after {name} corruption "
-                            f"differs from the direct run"))
+                        "chaos", "cache-corruption",
+                        f"{name}-not-recovered",
+                        f"request after {name} answered "
+                        f"{resp.get('status')!r}"))
+                elif _canonical(resp["result"]) != expected:
+                    findings.append(Finding(
+                        "chaos", "cache-corruption",
+                        f"{name}-wrong-bytes",
+                        f"response after {name} corruption "
+                        f"differs from the direct run"))
     return findings
 
 

@@ -20,7 +20,7 @@ from repro.harness.fuzz.generator import CASE_KINDS, CaseGenerator
 from repro.harness.fuzz.oracles import Finding, check_case
 from repro.obs import MetricsRegistry, maybe_span
 
-ALL_ORACLES = ("parity", "batched", "lint", "ir", "chaos")
+ALL_ORACLES = ("parity", "batched", "lint", "ir", "perfbound", "chaos")
 REPORT_FORMAT = "repro-fuzz-report-v1"
 
 #: Which case kinds each per-case oracle applies to.
@@ -29,6 +29,7 @@ _ORACLE_KINDS = {
     "batched": ("scalar", "dyser"),
     "lint": ("dyser",),
     "ir": ("kernel",),
+    "perfbound": ("scalar", "dyser"),
 }
 
 #: Oracles that accept a planted-mutant candidate class.
@@ -168,7 +169,7 @@ def run_fuzz(options: FuzzOptions | None = None, *,
         with maybe_span(events, "fuzz.chaos", "fuzz") as span:
             chaos_findings = run_chaos(options.seed,
                                        options.chaos_scenarios)
-            for finding in chaos_findings:
+            for _ in chaos_findings:
                 metrics.counter("fuzz.findings").inc()
                 metrics.counter("fuzz.findings.chaos").inc()
             report.findings.extend(chaos_findings)

@@ -1,6 +1,6 @@
 """Differential oracles: what makes a generated case a *finding*.
 
-Four per-case oracles plus the planted-mutation cores used by the
+Five per-case oracles plus the planted-mutation cores used by the
 self-check:
 
 - **parity** — run the case on the reference and fast backends; any
@@ -20,6 +20,9 @@ self-check:
   (differing per-point knobs) and demand each point reproduce its
   solo run exactly, evicted points included via the harness's solo
   fallback.
+- **perfbound** — the static performance analyzer's lower bound must
+  never exceed the reference run's measured cycles, and an ``exact``
+  walk must predict them exactly.
 """
 
 from __future__ import annotations
@@ -255,10 +258,9 @@ def batched_oracle(case: FuzzCase,
         # fallback below) must reproduce each point's exact outcome.
         stats_list = [None] * len(points)
     for p, stats in enumerate(stats_list):
-        if stats is None:
-            got = _run_point_solo(case, FastCore, *points[p])
-        else:
-            got = ("ok", _summary(shared[0], shared[1], stats))
+        got = (_run_point_solo(case, FastCore, *points[p])
+               if stats is None
+               else ("ok", _summary(shared[0], shared[1], stats)))
         exp = expected[p]
         if got == exp:
             continue
@@ -345,6 +347,52 @@ def ir_oracle(case: FuzzCase) -> Finding | None:
     return None
 
 
+def perfbound_oracle(case: FuzzCase) -> Finding | None:
+    """Static prediction vs reference run (scalar + dyser cases).
+
+    Holds the perf analyzer to its two contracts on every generated
+    program whose reference run completes:
+
+    - **soundness** — the static lower bound never exceeds the
+      measured cycle count;
+    - **exactness** — a walk that claims ``exact`` must predict the
+      measured cycles, well, exactly (the walker is a timing mirror of
+      the reference core; any drift here is a modelling bug).
+
+    The analyzer crashing on a case the simulator accepts is a finding
+    too: static analysis must be total over valid programs.
+    """
+    from repro.analysis.perf import analyze_program
+
+    outcome = run_case(case, Core)
+    if outcome[0] != "ok":
+        return None
+    measured = outcome[1]["stats"]["cycles"]
+    try:
+        prediction = analyze_program(build_program(case),
+                                     fabric=default_fabric(),
+                                     subject=case.key)
+    except ReproError as exc:
+        return Finding(
+            "perfbound", case.key, "analyzer-crash",
+            f"run ok but analyze_program raised: "
+            f"{stable_error_string(exc)}",
+            seed=case.seed, index=case.index)
+    if prediction.lower_bound > measured:
+        return Finding(
+            "perfbound", case.key, "bound-unsound",
+            f"static lower bound {prediction.lower_bound} exceeds "
+            f"measured {measured} cycles",
+            seed=case.seed, index=case.index)
+    if prediction.exact and prediction.predicted_cycles != measured:
+        return Finding(
+            "perfbound", case.key, "exact-walk-mismatch",
+            f"walk claimed exact but predicted "
+            f"{prediction.predicted_cycles} vs measured {measured}",
+            seed=case.seed, index=case.index)
+    return None
+
+
 #: Oracle dispatch used by the driver and by corpus replay.
 def check_case(case: FuzzCase, oracle: str,
                candidate_cls: type | None = None) -> Finding | None:
@@ -356,4 +404,6 @@ def check_case(case: FuzzCase, oracle: str,
         return lint_oracle(case)
     if oracle == "ir":
         return ir_oracle(case)
+    if oracle == "perfbound":
+        return perfbound_oracle(case)
     raise ValueError(f"unknown per-case oracle {oracle!r}")

@@ -55,7 +55,7 @@ def format_series(name: str, xs: Sequence, ys: Sequence[float]) -> str:
     """A figure rendered as an (x, y) series plus an ASCII bar sketch."""
     lines = [f"series {name}:"]
     peak = max((abs(y) for y in ys), default=1.0) or 1.0
-    for x, y in zip(xs, ys):
+    for x, y in zip(xs, ys, strict=False):
         # y == 0 renders an empty bar: a zero is data, not a sliver.
         bar = "" if y == 0 else "#" * max(1, int(24 * abs(y) / peak))
         lines.append(f"  {str(x):>10}  {y:10.3f}  {bar}".rstrip())

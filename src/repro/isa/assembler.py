@@ -95,7 +95,7 @@ def assemble(text: str, name: str = "program") -> Program:
                 f"{signature}, got {len(tokens)}", lineno,
             )
         fields: dict[str, object] = {}
-        for kind, token in zip(signature, tokens):
+        for kind, token in zip(signature, tokens, strict=True):
             value = _parse_operand(kind, token, lineno)
             slot = {
                 "rd": "rd", "fd": "rd",

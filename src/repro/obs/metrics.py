@@ -290,7 +290,8 @@ class MetricsRegistry:
                 lines += [f"# HELP {pname} {help_text}",
                           f"# TYPE {pname} histogram"]
                 cumulative = 0
-                for bound, binned in zip(data["buckets"], data["counts"]):
+                for bound, binned in zip(data["buckets"], data["counts"],
+                                         strict=False):
                     cumulative += binned
                     lines.append(f'{pname}_bucket{{le="'
                                  f'{_prometheus_value(bound)}"}} '

@@ -20,7 +20,14 @@ before it can cost an engine slot, in strictly increasing price order:
    copy; N callers asking for the same point cost one simulation.
 
 Only a request that clears all four gates reaches the scheduler's
-bounded queue, where backpressure (429) is the final gate.
+bounded queue, where backpressure (429) is the final gate.  On the way
+in, the static perf analyzer (:mod:`repro.analysis.perf`) annotates
+the job with its predicted cycle cost (computed on an executor thread,
+memoized by hash): the scheduler calibrates cycles-per-second from
+completed jobs, turns queued cost into a queue-wait estimate and a
+cost-aware ``Retry-After``, and a deadline that the calibrated
+estimate already exceeds is answered 504 at admission instead of
+after the wait.
 """
 
 from __future__ import annotations
@@ -34,6 +41,16 @@ from repro.engine.jobs import JobSpec
 
 from repro.service import protocol as P
 from repro.service.scheduler import JobOutcome, QueueFull, Scheduler
+
+
+def _estimate_cost(spec: JobSpec) -> int | None:
+    """Predicted cycle cost of a spec; never raises (daemon path)."""
+    from repro.analysis.perf import estimate_job_cost
+
+    try:
+        return estimate_job_cost(spec)
+    except Exception:  # noqa: BLE001 — estimation must not kill admits
+        return None
 
 
 class AdmissionController:
@@ -134,12 +151,33 @@ class AdmissionController:
                 P.STATUS_DRAINING,
                 error="service is draining; resubmit elsewhere")
 
+        # Static cost pre-flight (executor thread: the first estimate
+        # for a spec compiles and walks the program; repeats are memo
+        # hits).  The cost feeds the scheduler's queue-wait estimate
+        # and cost-aware Retry-After.
+        loop = asyncio.get_running_loop()
+        cost = await loop.run_in_executor(None, _estimate_cost, spec)
+
         deadline = None
         if timeout_s is not None:
-            deadline = asyncio.get_running_loop().time() + timeout_s
+            # Fail fast when the calibrated queue-wait estimate already
+            # exceeds the caller's deadline: a predictable 504 now beats
+            # one after timeout_s of queueing.  Without calibration (or
+            # without full cost data) jobs queue as before and expiry
+            # is decided at dispatch.
+            wait = self.scheduler.estimated_wait_s()
+            if wait is not None and wait > timeout_s:
+                if self.instruments is not None:
+                    self.instruments.expired.inc()
+                self._mark("request_predicted_expired", spec)
+                return JobOutcome(
+                    P.STATUS_EXPIRED,
+                    error=f"predicted queue wait {wait:.3f}s exceeds "
+                          f"deadline {timeout_s:.3f}s")
+            deadline = loop.time() + timeout_s
         try:
             job = self.scheduler.submit(spec, priority=priority,
-                                        deadline=deadline)
+                                        deadline=deadline, cost=cost)
         except QueueFull as exc:
             if self.instruments is not None:
                 self.instruments.throttled.inc()

@@ -21,6 +21,7 @@ it can never run the same work twice.
 
 from __future__ import annotations
 
+import contextlib
 import http.client
 import json
 import socket
@@ -115,12 +116,10 @@ class ServiceClient:
                 delay = self._backoff(attempt)
                 retry_after = headers.get("Retry-After")
                 if retry_after:
-                    try:
+                    with contextlib.suppress(ValueError):
                         delay = max(delay,
                                     min(float(retry_after),
                                         self.backoff_cap_s))
-                    except ValueError:
-                        pass
                 self._sleep(delay)
                 continue
             return status, payload

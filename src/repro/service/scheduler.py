@@ -26,6 +26,7 @@ governed by the engine's own per-job ``timeout`` (pooled mode).
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import heapq
 import itertools
 import time
@@ -64,10 +65,11 @@ class Job:
     """One admitted run request travelling through the scheduler."""
 
     __slots__ = ("spec", "job_hash", "priority", "future", "enqueued_at",
-                 "deadline", "waiters")
+                 "deadline", "waiters", "cost")
 
     def __init__(self, spec: JobSpec, job_hash: str, priority: int,
-                 future: asyncio.Future, deadline: float | None) -> None:
+                 future: asyncio.Future, deadline: float | None,
+                 cost: int | None = None) -> None:
         self.spec = spec
         self.job_hash = job_hash
         self.priority = priority
@@ -76,6 +78,9 @@ class Job:
         self.deadline = deadline
         #: How many coalesced requests share this job's future.
         self.waiters = 1
+        #: Predicted cycle cost from the static perf analyzer (None
+        #: when unavailable); feeds queue-wait estimates.
+        self.cost = cost
 
 
 class Scheduler:
@@ -107,6 +112,10 @@ class Scheduler:
         self._draining = False
         self._task: asyncio.Task | None = None
         self._executing = 0
+        #: Throughput calibration from completed jobs: predicted
+        #: cycles delivered vs wall seconds spent executing them.
+        self._cycles_done = 0
+        self._wall_done = 0.0
 
     # -- capacity ------------------------------------------------------
 
@@ -119,8 +128,38 @@ class Scheduler:
     def queue_depth(self) -> int:
         return len(self._heap)
 
+    def cycles_per_s(self) -> float | None:
+        """Calibrated simulation throughput, or None before any
+        completed job carried a cost estimate."""
+        if self._cycles_done > 0 and self._wall_done > 0.0:
+            return self._cycles_done / self._wall_done
+        return None
+
+    def estimated_wait_s(self) -> float | None:
+        """Predicted time to drain the current queue.
+
+        Needs both a calibrated throughput and a cost estimate on
+        every queued job; returns None otherwise (callers fall back to
+        the latency-histogram heuristic).
+        """
+        rate = self.cycles_per_s()
+        if rate is None or not self._heap:
+            return None
+        costs = [entry.job.cost for entry in self._heap]
+        if any(cost is None for cost in costs):
+            return None
+        return sum(costs) / rate
+
     def retry_after_s(self) -> float:
-        """Backpressure hint: rough time for one queued job to clear."""
+        """Backpressure hint: rough time for one queued job to clear.
+
+        Prefers the cost-model estimate (predicted queued cycles over
+        calibrated throughput); falls back to the observed latency
+        histogram, then to a flat 0.5s before any data exists.
+        """
+        estimate = self.estimated_wait_s()
+        if estimate is not None:
+            return max(0.05, min(30.0, estimate))
         hist = getattr(self.instruments, "latency_ms", None)
         if hist is not None and hist.count:
             return max(0.05, min(30.0, hist.mean / 1000.0))
@@ -129,14 +168,16 @@ class Scheduler:
     # -- submission (event-loop thread only) ---------------------------
 
     def submit(self, spec: JobSpec, *, priority: int = 0,
-               deadline: float | None = None) -> Job:
+               deadline: float | None = None,
+               cost: int | None = None) -> Job:
         """Enqueue a new primary job; raises :class:`QueueFull`."""
         if self.outstanding >= self.queue_limit:
             raise QueueFull(
                 f"{self.outstanding} outstanding jobs "
                 f"(limit {self.queue_limit})")
         future = asyncio.get_running_loop().create_future()
-        job = Job(spec, spec.job_hash, priority, future, deadline)
+        job = Job(spec, spec.job_hash, priority, future, deadline,
+                  cost=cost)
         self.inflight[job.job_hash] = job
         heapq.heappush(self._heap,
                        _QueueEntry(priority, next(self._seq), job))
@@ -170,10 +211,8 @@ class Scheduler:
         await self.drain()
         if self._task is not None:
             self._task.cancel()
-            try:
+            with contextlib.suppress(asyncio.CancelledError):
                 await self._task
-            except asyncio.CancelledError:
-                pass
             self._task = None
 
     # -- dispatch ------------------------------------------------------
@@ -241,7 +280,11 @@ class Scheduler:
                     self.instruments.failed.inc()
             return
         for job, record, result in zip(batch, report.records,
-                                       report.results):
+                                       report.results, strict=True):
+            if record.status == EXECUTED and job.cost \
+                    and record.wall_s > 0.0:
+                self._cycles_done += job.cost
+                self._wall_done += record.wall_s
             if record.status in (EXECUTED, HIT, DUPLICATE) \
                     and result is not None:
                 status = (P.STATUS_HIT if record.status == HIT

@@ -408,7 +408,7 @@ class ReproService:
         latency_ms = (time.perf_counter() - started) * 1e3
         self.instruments.latency_ms.observe(latency_ms)
         jobs = []
-        for spec, outcome in zip(specs, outcomes):
+        for spec, outcome in zip(specs, outcomes, strict=True):
             entry = {
                 "spec": spec.describe(),
                 "job_hash": spec.job_hash,
