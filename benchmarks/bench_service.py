@@ -21,6 +21,17 @@ admission gates, cache probe, response serialization.  Acceptance:
 zero dropped completed jobs across the run and warm-cache p50 < 10 ms.
 Cold-path latency is recorded alongside for context (it rides the
 fast backend, PR 4).
+
+``--workers N`` (N > 0) benchmarks the sharded gateway instead: an
+in-process :class:`~repro.service.GatewayThread` fleet (gateway with
+*no* shared cache, so every request crosses the forwarding hop; N
+workers with shard-local caches) under the same closed loop, with the
+clients spread across ``--tenants`` tenant identities.  Every response
+is compared byte-for-byte against a direct engine run, and per-tenant
+served counts feed a no-starvation gate (min/max served ratio).  The
+gateway hop relaxes the warm-p50 gate (one forwarded HTTP round trip
+per request) but adds gates of its own: zero wrong bytes and no
+starved tenant.
 """
 
 from __future__ import annotations
@@ -53,6 +64,13 @@ MIX = (
 #: Acceptance gates (see ISSUE 5 / CI bench-smoke).
 WARM_P50_LIMIT_MS = 10.0
 
+#: Gateway-mode gates (ISSUE 9): the forwarded hop buys one extra
+#: HTTP round trip per request, so the latency gate is looser; in
+#: exchange the run must be byte-perfect and starvation-free.
+GATEWAY_WARM_P50_LIMIT_MS = 50.0
+GATEWAY_MIN_REQUESTS = 2000
+TENANT_FAIRNESS_FLOOR = 0.5
+
 
 def _percentile(values: list[float], q: float) -> float:
     ordered = sorted(values)
@@ -75,18 +93,35 @@ def _latency_summary(latencies_ms: list[float],
     }
 
 
-def _closed_loop(port: int, requests: int, clients: int) -> dict:
-    """``clients`` threads issue ``requests`` total, one at a time each."""
-    from repro.service import ServiceClient
+def _spec_key(spec: dict) -> str:
+    return f"{spec['workload']}/{spec['mode']}"
+
+
+def _closed_loop(port: int, requests: int, clients: int, *,
+                 tenants: int = 0,
+                 expected: dict[str, str] | None = None) -> dict:
+    """``clients`` threads issue ``requests`` total, one at a time each.
+
+    With ``tenants`` > 0 client *i* identifies as ``tenant-{i % n}``
+    and per-tenant served counts are recorded.  With ``expected``
+    (spec key -> canonical result JSON) every OK response is checked
+    byte-for-byte and mismatches counted as ``wrong_bytes``.
+    """
+    from repro.service import Client
 
     latencies: list[float] = []
     statuses: dict[str, int] = {}
+    served_by_tenant: dict[str, int] = {}
     errors: list[str] = []
+    wrong_bytes = 0
     lock = threading.Lock()
     counter = iter(range(requests))
 
-    def worker() -> None:
-        client = ServiceClient(port=port, timeout=120, retries=3)
+    def worker(slot: int) -> None:
+        nonlocal wrong_bytes
+        tenant = f"tenant-{slot % tenants}" if tenants else None
+        client = Client(port=port, timeout=120, retries=3,
+                        tenant=tenant)
         with client:
             while True:
                 with lock:
@@ -96,22 +131,33 @@ def _closed_loop(port: int, requests: int, clients: int) -> dict:
                 spec = MIX[i % len(MIX)]
                 t0 = time.perf_counter()
                 try:
-                    reply = client.run(spec, raise_on_error=False)
+                    reply = client.execute(spec, raise_on_error=False)
                 except Exception as exc:  # noqa: BLE001 - recorded
                     with lock:
                         errors.append(f"{type(exc).__name__}: {exc}")
                     continue
                 dt_ms = (time.perf_counter() - t0) * 1e3
+                parity_ok = True
+                if expected is not None and reply.get("ok"):
+                    canon = json.dumps(reply.get("result"),
+                                       sort_keys=True)
+                    parity_ok = canon == expected[_spec_key(spec)]
                 with lock:
                     latencies.append(dt_ms)
                     status = reply.get("status", "no-status")
                     statuses[status] = statuses.get(status, 0) + 1
+                    if tenant is not None and reply.get("ok"):
+                        served_by_tenant[tenant] = \
+                            served_by_tenant.get(tenant, 0) + 1
+                    if not parity_ok:
+                        wrong_bytes += 1
                     if not reply.get("ok"):
                         errors.append(f"{spec['workload']}: {status} "
                                       f"{reply.get('error')}")
 
-    threads = [threading.Thread(target=worker, daemon=True)
-               for _ in range(clients)]
+    threads = [threading.Thread(target=worker, args=(slot,),
+                                daemon=True)
+               for slot in range(clients)]
     started = time.perf_counter()
     for thread in threads:
         thread.start()
@@ -122,13 +168,18 @@ def _closed_loop(port: int, requests: int, clients: int) -> dict:
     summary["statuses"] = {k: statuses[k] for k in sorted(statuses)}
     summary["dropped"] = (requests - len(latencies)) + len(errors)
     summary["errors"] = errors[:10]
+    if expected is not None:
+        summary["wrong_bytes"] = wrong_bytes
+    if tenants:
+        summary["served_by_tenant"] = {
+            k: served_by_tenant[k] for k in sorted(served_by_tenant)}
     return summary
 
 
 def measure(requests: int = 200, clients: int = 4) -> dict:
     """One benchmark entry: cold warm-up pass + warm closed-loop run."""
     from repro.engine.cache import ArtifactCache
-    from repro.service import ServiceClient, ServiceThread
+    from repro.service import Client, ServiceThread
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as tmp:
         cache = ArtifactCache(tmp)
@@ -137,10 +188,10 @@ def measure(requests: int = 200, clients: int = 4) -> dict:
             # Cold pass: every spec in the mix takes the full path once
             # (compile + fast-backend run + artifact store).
             cold_latencies = []
-            with ServiceClient(port=srv.port, timeout=300) as client:
+            with Client(port=srv.port, timeout=300) as client:
                 for spec in MIX:
                     t0 = time.perf_counter()
-                    reply = client.run(spec)
+                    reply = client.execute(spec)
                     cold_latencies.append(
                         (time.perf_counter() - t0) * 1e3)
                     assert reply["status"] == "executed", reply
@@ -148,7 +199,7 @@ def measure(requests: int = 200, clients: int = 4) -> dict:
                                     / 1e3)
             # Warm closed loop: all answered from the artifact cache.
             warm = _closed_loop(srv.port, requests, clients)
-            with ServiceClient(port=srv.port) as client:
+            with Client(port=srv.port) as client:
                 metrics_ok = client.metrics_text() \
                     .count("# TYPE repro_service") >= 5
                 health = client.health()
@@ -166,6 +217,91 @@ def measure(requests: int = 200, clients: int = 4) -> dict:
     }
 
 
+def _expected_results() -> dict[str, str]:
+    """Canonical direct-run bytes per spec key (the parity oracle)."""
+    from repro import RunConfig, run_workload
+    from repro.engine import result_to_dict
+
+    return {
+        _spec_key(spec): json.dumps(
+            result_to_dict(run_workload(RunConfig(**spec))),
+            sort_keys=True)
+        for spec in MIX
+    }
+
+
+def measure_gateway(requests: int = 2000, clients: int = 8,
+                    workers: int = 2, tenants: int = 4) -> dict:
+    """One gateway-mode entry: sharded fleet, tenants, byte parity."""
+    import contextlib
+
+    from repro.engine.cache import ArtifactCache
+    from repro.service import Client, ServiceThread
+    from repro.service.gateway import _GatewayServiceThread
+
+    expected = _expected_results()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-gw-") as tmp:
+        root = pathlib.Path(tmp)
+        # Workers keep shard-local caches; the gateway itself runs
+        # cache-less so every measured request crosses the forward hop.
+        fleet: list[ServiceThread] = []
+        gateway = None
+        try:
+            for i in range(workers):
+                shard = ServiceThread(
+                    cache=ArtifactCache(root / f"shard-{i}"),
+                    batch_window_s=0.001,
+                    queue_limit=max(64, clients * 4))
+                shard.start()
+                fleet.append(shard)
+            gateway = _GatewayServiceThread(
+                workers=[f"{w.host}:{w.port}" for w in fleet],
+                cache=None, journal=root / "gateway-jobs.jsonl")
+            gateway.start()
+            cold_latencies = []
+            with Client(port=gateway.port, timeout=300) as client:
+                for spec in MIX:
+                    t0 = time.perf_counter()
+                    reply = client.execute(spec)
+                    cold_latencies.append(
+                        (time.perf_counter() - t0) * 1e3)
+                    assert reply["status"] == "executed", reply
+            cold = _latency_summary(cold_latencies, sum(cold_latencies)
+                                    / 1e3)
+            warm = _closed_loop(gateway.port, requests, clients,
+                                tenants=tenants, expected=expected)
+            with Client(port=gateway.port) as client:
+                metrics_ok = client.metrics_text() \
+                    .count("# TYPE repro_service") >= 5
+                health = client.health()
+        finally:
+            if gateway is not None:
+                gateway.shutdown(timeout=60)
+            for shard in fleet:
+                with contextlib.suppress(RuntimeError):
+                    shard.shutdown(timeout=60)
+    served = warm.get("served_by_tenant", {})
+    fairness = (min(served.values()) / max(served.values())
+                if served and max(served.values()) else 0.0)
+    return {
+        "date": _dt.date.today().isoformat(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "kind": "gateway",
+        "requests": requests,
+        "clients": clients,
+        "workers": workers,
+        "tenants": tenants,
+        "mix": len(MIX),
+        "cold": cold,
+        "warm": warm,
+        "tenant_fairness": round(fairness, 3),
+        "metrics_exposition_ok": metrics_ok,
+        "ring_size": health.get("ring_size"),
+        "requests_served": health["requests_served"],
+    }
+
+
 def validate(doc: dict) -> None:
     """Acceptance gates for a history document (raises on violation)."""
     assert doc.get("format") == BENCH_FORMAT, \
@@ -174,20 +310,42 @@ def validate(doc: dict) -> None:
     assert entries, "no benchmark entries"
     for entry in entries:
         warm = entry["warm"]
+        is_gateway = entry.get("kind") == "gateway"
+        p50_limit = (GATEWAY_WARM_P50_LIMIT_MS if is_gateway
+                     else WARM_P50_LIMIT_MS)
         assert warm["dropped"] == 0, \
             f"{entry['date']}: {warm['dropped']} dropped requests"
-        assert warm["p50_ms"] < WARM_P50_LIMIT_MS, \
+        assert warm["p50_ms"] < p50_limit, \
             (f"{entry['date']}: warm p50 {warm['p50_ms']}ms over the "
-             f"{WARM_P50_LIMIT_MS}ms gate")
+             f"{p50_limit}ms gate")
         assert entry.get("metrics_exposition_ok"), \
             f"{entry['date']}: /metrics exposition failed to parse"
+        if is_gateway:
+            assert entry["requests"] >= GATEWAY_MIN_REQUESTS, \
+                (f"{entry['date']}: gateway run of "
+                 f"{entry['requests']} requests under the "
+                 f"{GATEWAY_MIN_REQUESTS} floor")
+            assert warm.get("wrong_bytes") == 0, \
+                (f"{entry['date']}: {warm.get('wrong_bytes')} "
+                 f"responses differed from the direct run")
+            assert entry["tenant_fairness"] >= TENANT_FAIRNESS_FLOOR, \
+                (f"{entry['date']}: tenant fairness "
+                 f"{entry['tenant_fairness']} under the "
+                 f"{TENANT_FAIRNESS_FLOOR} no-starvation floor: "
+                 f"{warm.get('served_by_tenant')}")
 
 
 def _render(entry: dict) -> str:
     warm, cold = entry["warm"], entry["cold"]
-    return (
-        f"service closed loop: {entry['requests']} requests, "
-        f"{entry['clients']} clients\n"
+    head = (f"service closed loop: {entry['requests']} requests, "
+            f"{entry['clients']} clients")
+    if entry.get("kind") == "gateway":
+        head = (f"gateway closed loop: {entry['requests']} requests, "
+                f"{entry['clients']} clients over "
+                f"{entry['workers']} workers, "
+                f"{entry['tenants']} tenants")
+    text = (
+        f"{head}\n"
         f"  warm (artifact-cache dispatch): "
         f"p50={warm['p50_ms']}ms p95={warm['p95_ms']}ms "
         f"p99={warm['p99_ms']}ms, {warm['throughput_rps']} req/s, "
@@ -197,14 +355,26 @@ def _render(entry: dict) -> str:
         f"({entry['mix']} specs)\n"
         f"  statuses: {warm['statuses']}"
     )
+    if entry.get("kind") == "gateway":
+        text += (f"\n  parity: {warm.get('wrong_bytes')} wrong bytes; "
+                 f"tenant fairness {entry['tenant_fairness']} "
+                 f"{warm.get('served_by_tenant')}")
+    return text
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--requests", type=int, default=200,
-                        help="closed-loop request count (default 200)")
-    parser.add_argument("--clients", type=int, default=4,
-                        help="concurrent closed-loop clients")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="closed-loop request count "
+                             "(default 200; 2000 with --workers)")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="concurrent closed-loop clients "
+                             "(default 4; 8 with --workers)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="benchmark a sharded gateway over N "
+                             "workers instead of a single daemon")
+    parser.add_argument("--tenants", type=int, default=4,
+                        help="tenant identities in gateway mode")
     parser.add_argument("--check", action="store_true",
                         help="measure and gate without writing history")
     parser.add_argument("--output", default=None, metavar="PATH",
@@ -213,14 +383,23 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    entry = measure(requests=args.requests, clients=args.clients)
+    if args.workers > 0:
+        entry = measure_gateway(
+            requests=args.requests or 2000,
+            clients=args.clients or 8,
+            workers=args.workers, tenants=args.tenants)
+    else:
+        entry = measure(requests=args.requests or 200,
+                        clients=args.clients or 4)
     print(_render(entry))
 
     if args.check:
         validate({"format": BENCH_FORMAT, "entries": [entry]})
+        p50_limit = (GATEWAY_WARM_P50_LIMIT_MS if args.workers
+                     else WARM_P50_LIMIT_MS)
         print("service bench gates OK "
               f"(warm p50 {entry['warm']['p50_ms']}ms < "
-              f"{WARM_P50_LIMIT_MS}ms, 0 dropped)")
+              f"{p50_limit}ms, 0 dropped)")
         return 0
 
     path = pathlib.Path(args.output) if args.output else BENCH_PATH

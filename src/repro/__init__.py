@@ -130,7 +130,18 @@ from repro.obs import (
     trace_workload,
     write_chrome_trace,
 )
-from repro.service import ReproService, ServiceClient, ServiceError
+from repro.service import (
+    Client,
+    GatewayService,
+    GatewayThread,
+    JobHandle,
+    JobStatus,
+    ReproService,
+    ServiceClient,
+    ServiceError,
+    TenancyController,
+    controller_from_config,
+)
 from repro.workloads import SUITE, get as get_workload
 
 __version__ = "1.2.0"
@@ -175,9 +186,16 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     # service
+    "Client",
+    "GatewayService",
+    "GatewayThread",
+    "JobHandle",
+    "JobStatus",
     "ReproService",
     "ServiceClient",
     "ServiceError",
+    "TenancyController",
+    "controller_from_config",
     # engine
     "ArtifactCache",
     "EngineFailure",

@@ -12,7 +12,11 @@ Subcommands::
     python -m repro cache --clear            # artifact-cache maintenance
     python -m repro cache prune --max-age-days 7 --max-bytes 500M
     python -m repro serve --port 8787        # simulation-as-a-service
+    python -m repro serve --workers 4        # sharded gateway + workers
+    python -m repro gateway --worker-addr 127.0.0.1:9001
     python -m repro submit mm --scale tiny   # client for a running serve
+    python -m repro submit mm --no-wait      # durable async /v2 job
+    python -m repro jobs watch j-...         # poll a durable job
     python -m repro fpga --width 8 --height 8
     python -m repro fuzz --seed 0 --cases 200 --oracle all
     python -m repro fuzz --replay tests/corpus/
@@ -359,7 +363,30 @@ def _cmd_cache_prune(args) -> int:
     return 0
 
 
+def _load_tenancy(args):
+    """Per-tenant quota controller from ``--tenancy-config`` (JSON)."""
+    path = getattr(args, "tenancy_config", None)
+    if not path:
+        return None
+    import json
+
+    from repro import controller_from_config
+
+    with open(path) as handle:
+        return controller_from_config(json.load(handle))
+
+
+def _free_port(host: str) -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
 def _cmd_serve(args) -> int:
+    if args.workers > 0:
+        return _serve_multi(args)
     from repro import ArtifactCache, ReproService, TraceOptions
 
     cache = (None if args.no_cache
@@ -371,7 +398,8 @@ def _cmd_serve(args) -> int:
         queue_limit=args.queue_limit, jobs=args.jobs,
         batch_window_s=args.batch_window_ms / 1000.0,
         batch_max=args.batch_max, cache=cache,
-        timeout=args.timeout, retries=args.retries, events=events)
+        timeout=args.timeout, retries=args.retries, events=events,
+        journal=args.journal, tenancy=_load_tenancy(args))
     code = service.run()
     if args.trace_export and events is not None:
         from repro import write_chrome_trace
@@ -379,6 +407,156 @@ def _cmd_serve(args) -> int:
         path = write_chrome_trace(events, args.trace_export)
         print(f"service trace written to {path}")
     return code
+
+
+def _serve_multi(args) -> int:
+    """``repro serve --workers N``: spawn N shards + run the gateway."""
+    import contextlib
+    import signal as signal_mod
+    import subprocess
+
+    from repro import (
+        ArtifactCache,
+        Client,
+        GatewayService,
+        ServiceError,
+    )
+
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    procs: list[subprocess.Popen] = []
+    addrs: list[str] = []
+    for i in range(args.workers):
+        port = _free_port(args.host)
+        cmd = [sys.executable, "-m", "repro", "serve",
+               "--host", args.host, "--port", str(port),
+               "--queue-limit", str(args.queue_limit),
+               "--jobs", str(args.jobs),
+               "--batch-window-ms", str(args.batch_window_ms),
+               "--batch-max", str(args.batch_max),
+               "--retries", str(args.retries)]
+        if args.timeout is not None:
+            cmd += ["--timeout", str(args.timeout)]
+        if cache is None:
+            cmd += ["--no-cache"]
+        else:
+            # Shard-local caches stay hot for each worker's slice of
+            # the hash space; the gateway keeps the shared fallback.
+            cmd += ["--cache-dir", str(cache.root / f"shard-{i}")]
+        proc = subprocess.Popen(cmd)
+        procs.append(proc)
+        addrs.append(f"{args.host}:{port}")
+        print(f"repro worker {i} pid={proc.pid} "
+              f"addr={args.host}:{port}", flush=True)
+    try:
+        for addr in addrs:
+            host, _, port = addr.rpartition(":")
+            probe = Client(host=host, port=int(port), timeout=5,
+                           retries=40, backoff_s=0.25)
+            try:
+                probe.health()
+            except ServiceError as exc:
+                print(f"worker {addr} failed to come up: {exc}",
+                      file=sys.stderr)
+                return 1
+            finally:
+                probe.close()
+        journal = args.journal
+        if journal is None and cache is not None:
+            journal = cache.root / "gateway-jobs.jsonl"
+        gateway = GatewayService(
+            host=args.host, port=args.port, workers=addrs,
+            cache=cache, tenancy=_load_tenancy(args), journal=journal)
+        return gateway.run()
+    finally:
+        for proc in procs:
+            with contextlib.suppress(OSError):
+                proc.send_signal(signal_mod.SIGTERM)
+        for proc in procs:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+def _cmd_gateway(args) -> int:
+    from repro import ArtifactCache, GatewayService
+
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    journal = args.journal
+    if journal is None and cache is not None:
+        journal = cache.root / "gateway-jobs.jsonl"
+    gateway = GatewayService(
+        host=args.host, port=args.port,
+        workers=list(args.worker_addr), cache=cache,
+        tenancy=_load_tenancy(args), journal=journal,
+        health_interval_s=args.health_interval,
+        forward_timeout_s=args.forward_timeout)
+    return gateway.run()
+
+
+def _job_row(status) -> list:
+    progress = f"{status.done}/{status.total}"
+    return [status.id, status.kind, status.state, progress,
+            status.tenant, status.label or "-"]
+
+
+def _cmd_jobs(args) -> int:
+    import dataclasses
+    import json
+    import time as time_mod
+
+    from repro import Client, ServiceError
+
+    client = Client(host=args.host, port=args.port,
+                    timeout=args.request_timeout,
+                    tenant=getattr(args, "tenant", None))
+    try:
+        if args.jobs_cmd == "list":
+            statuses = client.jobs(state=args.state)
+            if args.json:
+                print(json.dumps(
+                    [dataclasses.asdict(s) for s in statuses],
+                    indent=2, sort_keys=True))
+                return 0
+            if not statuses:
+                print("no jobs")
+                return 0
+            print(format_table(
+                ["id", "kind", "state", "progress", "tenant", "label"],
+                [_job_row(s) for s in statuses], title="jobs"))
+            return 0
+        if args.jobs_cmd == "show":
+            status = client.job(args.id, results=args.results)
+            print(json.dumps(dataclasses.asdict(status), indent=2,
+                             sort_keys=True))
+            return 0 if status.state != "failed" else 1
+        if args.jobs_cmd == "watch":
+            last = None
+            while True:
+                status = client.job(args.id)
+                line = (f"{status.id}: {status.state} "
+                        f"{status.done}/{status.total}")
+                if line != last:
+                    print(line, flush=True)
+                    last = line
+                if status.terminal:
+                    if status.error:
+                        print(f"error: {status.error}",
+                              file=sys.stderr)
+                    return 0 if status.succeeded else 1
+                time_mod.sleep(args.poll)
+        if args.jobs_cmd == "cancel":
+            status = client.cancel(args.id)
+            print(f"{status.id}: {status.state}")
+            return 0
+        print("jobs: choose one of list/show/watch/cancel",
+              file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"jobs {args.jobs_cmd} failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
 
 
 def _submit_spec(args) -> dict:
@@ -395,11 +573,11 @@ def _submit_spec(args) -> dict:
 def _cmd_submit(args) -> int:
     import json
 
-    from repro import ServiceClient, ServiceError
+    from repro import Client, ServiceError
 
-    client = ServiceClient(host=args.host, port=args.port,
-                           timeout=args.request_timeout,
-                           retries=args.retries)
+    client = Client(host=args.host, port=args.port,
+                    timeout=args.request_timeout,
+                    retries=args.retries, tenant=args.tenant)
     try:
         if args.health:
             payload = client.health()
@@ -417,9 +595,24 @@ def _cmd_submit(args) -> int:
             payload = client.lint(spec)
             print(json.dumps(payload, indent=2, sort_keys=True))
             return 0 if payload.get("ok") else 1
-        payload = client.run(spec, priority=args.priority,
-                             timeout_s=args.timeout_s,
-                             raise_on_error=False)
+        if not args.wait:
+            handle = client.submit(spec, priority=args.priority,
+                                   timeout_s=args.timeout_s,
+                                   label=args.label)
+            snap = handle.submitted
+            if args.json:
+                import dataclasses
+
+                print(json.dumps(dataclasses.asdict(snap), indent=2,
+                                 sort_keys=True))
+            else:
+                print(f"job {snap.id} {snap.state} "
+                      f"({snap.done}/{snap.total}) — "
+                      f"poll with: repro jobs watch {snap.id}")
+            return 0
+        payload = client.execute(spec, priority=args.priority,
+                                 timeout_s=args.timeout_s,
+                                 raise_on_error=False)
     except ServiceError as exc:
         body = exc.payload or exc.to_dict()
         if args.json:
@@ -693,7 +886,92 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--trace-export", default=None, metavar="PATH",
                          help="write a Chrome trace of request/job "
                               "lifecycle events here on shutdown")
+    serve_p.add_argument("--workers", type=int, default=0,
+                         help="spawn N worker shards and serve as a "
+                              "sharding gateway in front of them "
+                              "(0 = single-node daemon; default)")
+    serve_p.add_argument("--journal", default=None, metavar="PATH",
+                         help="durable job journal (default: "
+                              "<cache>/jobs.jsonl)")
+    serve_p.add_argument("--tenancy-config", default=None,
+                         metavar="PATH",
+                         help="JSON per-tenant quota config "
+                              "({'default': {...}, 'tenants': {...}})")
     serve_p.set_defaults(func=_cmd_serve)
+
+    gateway_p = sub.add_parser(
+        "gateway", help="shard requests across running workers",
+        description="Sharding front end over already-running 'repro "
+                    "serve' workers: consistent-hash routing on "
+                    "job/sweep hashes, /healthz-driven ring eviction "
+                    "and failover, shared artifact-cache fallback, "
+                    "per-tenant quotas, and the durable /v2/jobs API.")
+    gateway_p.add_argument("--host", default="127.0.0.1")
+    gateway_p.add_argument("--port", type=int, default=8787,
+                           help="TCP port (0 = ephemeral; default 8787)")
+    gateway_p.add_argument("--worker-addr", action="append",
+                           required=True, metavar="HOST:PORT",
+                           help="worker daemon address; repeatable")
+    gateway_p.add_argument("--no-cache", action="store_true",
+                           help="no shared artifact-cache fallback")
+    gateway_p.add_argument("--cache-dir", default=None)
+    gateway_p.add_argument("--journal", default=None, metavar="PATH",
+                           help="durable job journal (default: "
+                                "<cache>/gateway-jobs.jsonl)")
+    gateway_p.add_argument("--tenancy-config", default=None,
+                           metavar="PATH",
+                           help="JSON per-tenant quota config")
+    gateway_p.add_argument("--health-interval", type=float,
+                           default=0.5, metavar="S",
+                           help="worker health-probe period (seconds)")
+    gateway_p.add_argument("--forward-timeout", type=float,
+                           default=120.0, metavar="S",
+                           help="per-request forward timeout (seconds)")
+    gateway_p.set_defaults(func=_cmd_gateway)
+
+    jobs_p = sub.add_parser(
+        "jobs", help="inspect durable jobs on a running service",
+        description="Client for the /v2/jobs API: repro jobs list; "
+                    "repro jobs show <id>; repro jobs watch <id>; "
+                    "repro jobs cancel <id>.")
+    jobs_sub = jobs_p.add_subparsers(dest="jobs_cmd", required=True)
+
+    def _jobs_common(p) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=8787)
+        p.add_argument("--request-timeout", type=float, default=60.0,
+                       help="client-side HTTP timeout in seconds")
+        p.add_argument("--tenant", default=None,
+                       help="tenant name (X-Repro-Tenant header)")
+
+    jobs_list_p = jobs_sub.add_parser("list", help="list known jobs")
+    jobs_list_p.add_argument("--state", default=None,
+                             choices=("queued", "running", "succeeded",
+                                      "failed", "cancelled"),
+                             help="only jobs in this state")
+    jobs_list_p.add_argument("--json", action="store_true",
+                             help="print raw job status JSON")
+    _jobs_common(jobs_list_p)
+
+    jobs_show_p = jobs_sub.add_parser("show", help="show one job")
+    jobs_show_p.add_argument("id", help="job id (j-...)")
+    jobs_show_p.add_argument("--results", action="store_true",
+                             help="include per-spec result payloads")
+    _jobs_common(jobs_show_p)
+
+    jobs_watch_p = jobs_sub.add_parser(
+        "watch", help="poll a job until it finishes")
+    jobs_watch_p.add_argument("id", help="job id (j-...)")
+    jobs_watch_p.add_argument("--poll", type=float, default=0.5,
+                              metavar="S",
+                              help="poll period (default: 0.5s)")
+    _jobs_common(jobs_watch_p)
+
+    jobs_cancel_p = jobs_sub.add_parser(
+        "cancel", help="cancel a queued or running job")
+    jobs_cancel_p.add_argument("id", help="job id (j-...)")
+    _jobs_common(jobs_cancel_p)
+    jobs_p.set_defaults(func=_cmd_jobs)
 
     submit_p = sub.add_parser(
         "submit", help="submit one request to a running service",
@@ -732,6 +1010,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the Prometheus /metrics dump")
     submit_p.add_argument("--json", action="store_true",
                           help="print the raw response envelope")
+    submit_p.add_argument("--wait", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="--wait (default) runs synchronously; "
+                               "--no-wait submits a durable /v2 job "
+                               "and prints its id")
+    submit_p.add_argument("--label", default=None,
+                          help="label for --no-wait job submissions")
+    submit_p.add_argument("--tenant", default=None,
+                          help="tenant name (X-Repro-Tenant header)")
     submit_p.set_defaults(func=_cmd_submit)
 
     fpga_p = sub.add_parser("fpga", help="FPGA utilization table")

@@ -137,8 +137,16 @@ def _plan_job_batches(specs, pending, costs=None):
     return groups, rest
 
 
+def _notify(progress, record) -> None:
+    """Fire a progress callback; a broken observer never kills a run."""
+    if progress is None:
+        return
+    with contextlib.suppress(Exception):
+        progress(record)
+
+
 def _finish_batch(members, payloads, specs, records, results, cache,
-                  wall_s) -> None:
+                  wall_s, progress=None) -> None:
     """Record one batch group's payload list onto its member jobs."""
     for i, payload in zip(members, payloads, strict=False):
         records[i].attempts += 1
@@ -148,10 +156,11 @@ def _finish_batch(members, payloads, specs, records, results, cache,
             records[i].error = payload[_BATCH_FAILED]
         else:
             _finish(i, payload, specs, records, results, cache)
+        _notify(progress, records[i])
 
 
 def _run_batches(specs, groups, records, results, cache, jobs, timeout,
-                 events=None) -> list[int]:
+                 events=None, progress=None) -> list[int]:
     """Execute lockstep lanes; returns indices needing solo retry.
 
     A group whose worker call fails outright (crash, timeout, decode
@@ -181,7 +190,8 @@ def _run_batches(specs, groups, records, results, cache, jobs, timeout,
                 leftovers.extend(members)
                 continue
             _finish_batch(members, payloads, specs, records, results,
-                          cache, time.perf_counter() - starts[members[0]])
+                          cache, time.perf_counter() - starts[members[0]],
+                          progress)
         pool.shutdown(wait=not timed_out, cancel_futures=True)
         if timed_out:
             for proc in getattr(pool, "_processes", None) or {}:
@@ -202,7 +212,7 @@ def _run_batches(specs, groups, records, results, cache, jobs, timeout,
                 continue
             info["status"] = "executed"
         _finish_batch(members, payloads, specs, records, results, cache,
-                      time.perf_counter() - t0)
+                      time.perf_counter() - t0, progress)
     return leftovers
 
 
@@ -214,6 +224,7 @@ def run_jobs(
     retries: int = 1,
     worker=None,
     events=None,
+    progress=None,
 ) -> EngineReport:
     """Execute ``specs``; returns a report with results aligned to them.
 
@@ -236,6 +247,11 @@ def run_jobs(
     ``events`` (an :class:`repro.obs.events.EventStream` or None)
     records the job lifecycle — cache hits, dedups, executions and
     failures — as wall-clock events for the timeline exporter.
+
+    ``progress`` (callable or None) fires once per job as it reaches a
+    terminal status, with its :class:`~repro.engine.report.JobRecord`
+    — the service layer streams these as live progress for async jobs.
+    Callback exceptions are swallowed; observation never aborts work.
     """
     from repro.analysis.speclint import lint_spec
 
@@ -275,11 +291,13 @@ def run_jobs(
             records[i].error = "; ".join(
                 f"{d.code}: {d.message}" for d in lint.errors)
             mark("job_rejected", spec)
+            _notify(progress, records[i])
             continue
         if h in primary:
             dup_of[i] = primary[h]
             records[i].status = DUPLICATE
             mark("job_duplicate", spec)
+            _notify(progress, records[i])
             continue
         primary[h] = i
         payload = cache.load_run(spec) if cache is not None else None
@@ -289,6 +307,7 @@ def run_jobs(
                 results[i] = result_from_dict(payload)
                 records[i].status = HIT
                 mark("job_cache_hit", spec)
+                _notify(progress, records[i])
                 continue
         pending.append(i)
 
@@ -309,7 +328,7 @@ def run_jobs(
         if groups:
             pending = sorted(pending + _run_batches(
                 specs, groups, records, results, cache, jobs, timeout,
-                events))
+                events, progress))
 
     if pending and costs and all(costs.get(i) is not None
                                  for i in pending):
@@ -318,10 +337,10 @@ def run_jobs(
     if pending:
         if jobs <= 1:
             _run_serial(specs, pending, records, results, cache, retries,
-                        worker, events)
+                        worker, events, progress)
         else:
             _run_pooled(specs, pending, records, results, cache, jobs,
-                        timeout, retries, worker, events)
+                        timeout, retries, worker, events, progress)
 
     for i, j in dup_of.items():
         results[i] = results[j]
@@ -349,7 +368,7 @@ def _finish(index: int, payload: dict, specs, records, results, cache) -> bool:
 
 
 def _run_serial(specs, pending, records, results, cache, retries,
-                worker, events=None) -> None:
+                worker, events=None, progress=None) -> None:
     for i in pending:
         record = records[i]
         t0 = time.perf_counter()
@@ -369,10 +388,11 @@ def _run_serial(specs, pending, records, results, cache, retries,
             record.status = FAILED
         else:
             _finish(i, payload, specs, records, results, cache)
+        _notify(progress, record)
 
 
 def _run_pooled(specs, pending, records, results, cache, jobs, timeout,
-                retries, worker, events=None) -> None:
+                retries, worker, events=None, progress=None) -> None:
     queue = list(pending)
     while queue:
         round_jobs, queue = queue, []
@@ -397,6 +417,7 @@ def _run_pooled(specs, pending, records, results, cache, jobs, timeout,
                     queue.append(i)
                 else:
                     record.status = FAILED
+                    _notify(progress, record)
                 continue
             except BrokenProcessPool:
                 # A worker died (segfault/os._exit); every unfinished
@@ -408,6 +429,7 @@ def _run_pooled(specs, pending, records, results, cache, jobs, timeout,
                     queue.append(i)
                 else:
                     record.status = FAILED
+                    _notify(progress, record)
                 continue
             except Exception as exc:  # noqa: BLE001 — sweep must survive
                 record.error = f"{type(exc).__name__}: {exc}"
@@ -416,9 +438,11 @@ def _run_pooled(specs, pending, records, results, cache, jobs, timeout,
                     queue.append(i)
                 else:
                     record.status = FAILED
+                    _notify(progress, record)
                 continue
             record.wall_s = time.perf_counter() - starts[i]
             _finish(i, payload, specs, records, results, cache)
+            _notify(progress, record)
             if events is not None:
                 events.complete(specs[i].describe(), "engine.job",
                                 starts[i] * 1e6, record.wall_s * 1e6,

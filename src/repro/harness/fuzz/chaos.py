@@ -23,6 +23,11 @@ Scenarios:
 - ``slow-client-drain`` — a client that stalls mid-request while the
   server drains; shutdown must still complete and the in-flight job
   must be served.
+- ``gateway-worker-kill`` — a sharded gateway loses a worker while a
+  durable ``/v2`` sweep job is executing on it; the gateway must
+  evict the dead shard, re-dispatch to a survivor and finish the job
+  byte-identical.  The gateway itself is then crashed mid-job and
+  restarted on the same journal; the replayed job must complete.
 
 Violations surface as :class:`~repro.harness.fuzz.oracles.Finding`
 objects with ``oracle="chaos"``; an unexpected scenario exception is
@@ -330,11 +335,160 @@ def _scenario_slow_client_drain(rng: random.Random) -> list[Finding]:
     return findings
 
 
+class _ArmedGate:
+    """Engine worker for the gateway scenario: serves canned payloads
+    per mode, and blocks the next call after every :meth:`arm` until
+    ``release`` fires (so a fault can land while a spec executes)."""
+
+    def __init__(self, payloads: dict):
+        self.payloads = payloads
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self._lock = threading.Lock()
+        self._armed = 0
+
+    def arm(self) -> None:
+        with self._lock:
+            self._armed += 1
+        self.release.clear()
+        self.started.clear()
+
+    def __call__(self, spec, cache=None):
+        blocked = False
+        with self._lock:
+            if self._armed:
+                self._armed -= 1
+                blocked = True
+        if blocked:
+            self.started.set()
+            self.release.wait(timeout=30)
+        return dict(self.payloads[spec.mode])
+
+
+def _scenario_gateway_worker_kill(rng: random.Random) -> list[Finding]:
+    import pathlib
+
+    from repro import RunConfig, run_workload
+    from repro.engine import result_to_dict
+    from repro.service import Client, GatewayThread
+    from repro.service.gateway import _GatewayServiceThread
+
+    findings: list[Finding] = []
+    payloads = {
+        mode: result_to_dict(run_workload(RunConfig(**{**SPEC,
+                                                       "mode": mode})))
+        for mode in ("dyser", "scalar")
+    }
+    expected = sorted(_canonical(p) for p in payloads.values())
+    sweep = {"workloads": [SPEC["workload"]],
+             "modes": ["dyser", "scalar"],
+             "base": {"scale": SPEC["scale"]}}
+    gate = _ArmedGate(payloads)
+
+    def job_bytes(status) -> list[str]:
+        return sorted(_canonical(r["result"]) for r in status.results)
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        journal = pathlib.Path(tmp) / "journal.jsonl"
+        fleet = GatewayThread(
+            n_workers=2,
+            worker_kwargs={"cache": None, "batch_max": 1,
+                           "batch_window_s": 0.0, "worker": gate},
+            cache=None, journal=journal, health_interval_s=0.2)
+        with fleet:
+            client = Client(port=fleet.port, retries=0, timeout=60)
+            probes = [Client(port=w.port, retries=0, timeout=10)
+                      for w in fleet.workers]
+
+            # -- phase 1: lose the executing worker mid-job ------------
+            gate.arm()
+            handle = client.submit(sweep=sweep)
+            if not gate.started.wait(timeout=10):
+                return [Finding("chaos", "gateway-worker-kill",
+                                "harness-error",
+                                "armed gate never blocked a spec")]
+
+            def busy() -> list[int]:
+                out = []
+                for i, probe in enumerate(probes):
+                    try:
+                        if probe.health().get("inflight", 0) > 0:
+                            out.append(i)
+                    except Exception:  # noqa: BLE001 — dead worker
+                        pass
+                return out
+
+            if not _poll(lambda: len(busy()) == 1):
+                return [Finding("chaos", "gateway-worker-kill",
+                                "harness-error",
+                                f"expected one busy worker, saw "
+                                f"{busy()}")]
+            victim = busy()[0]
+            fleet.kill_worker(victim)
+            gate.release.set()
+            final = client.wait(handle, timeout=60, results=True)
+            if not final.succeeded:
+                findings.append(Finding(
+                    "chaos", "gateway-worker-kill", "job-lost",
+                    f"job after worker kill finished "
+                    f"{final.state!r}: {final.error!r}"))
+            elif job_bytes(final) != expected:
+                findings.append(Finding(
+                    "chaos", "gateway-worker-kill", "wrong-bytes",
+                    "re-dispatched sweep differs from direct runs"))
+            if not _poll(lambda: client.health().get("ring_size") == 1):
+                findings.append(Finding(
+                    "chaos", "gateway-worker-kill", "no-eviction",
+                    f"dead worker never left the ring "
+                    f"(ring_size="
+                    f"{client.health().get('ring_size')!r})"))
+
+            # -- phase 2: crash the gateway mid-job, replay journal ----
+            gate.arm()
+            handle2 = client.submit(sweep=sweep)
+            if not gate.started.wait(timeout=10):
+                return findings + [Finding(
+                    "chaos", "gateway-worker-kill", "harness-error",
+                    "armed gate never blocked the second job")]
+            fleet.gateway.kill()
+            client.close()
+            gate.release.set()
+            reborn = _GatewayServiceThread(
+                workers=fleet.worker_addrs(), cache=None,
+                journal=journal, health_interval_s=0.2)
+            reborn.start()
+            try:
+                client2 = Client(port=reborn.port, retries=0,
+                                 timeout=60)
+                final2 = client2.wait(handle2.id, timeout=60,
+                                      results=True)
+                if not final2.succeeded:
+                    findings.append(Finding(
+                        "chaos", "gateway-worker-kill",
+                        "journal-replay-lost",
+                        f"replayed job finished {final2.state!r}: "
+                        f"{final2.error!r}"))
+                elif job_bytes(final2) != expected:
+                    findings.append(Finding(
+                        "chaos", "gateway-worker-kill",
+                        "journal-replay-wrong-bytes",
+                        "replayed job differs from direct runs"))
+                client2.close()
+            finally:
+                reborn.shutdown(timeout=60)
+            for probe in probes:
+                probe.close()
+            # fleet.__exit__ shuts the (already dead) gateway + workers
+            fleet.gateway = None
+    return findings
+
+
 _SCENARIOS = {
     "worker-crash": _scenario_worker_crash,
     "queue-overflow": _scenario_queue_overflow,
     "cache-corruption": _scenario_cache_corruption,
     "slow-client-drain": _scenario_slow_client_drain,
+    "gateway-worker-kill": _scenario_gateway_worker_kill,
 }
 
 

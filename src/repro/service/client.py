@@ -1,9 +1,26 @@
 """Synchronous client for the simulation service (stdlib ``http.client``).
 
-One :class:`ServiceClient` holds one keep-alive connection (it is not
-thread-safe — give each thread its own; the closed-loop benchmark
-does exactly that).  The retry policy treats the service's explicit
-backpressure signals as *retryable*, everything else as final:
+The v2 surface is one coherent :class:`Client`:
+
+- :meth:`Client.execute` — the synchronous v1 fast path: submit one
+  run and block for its envelope (cache hits answer in microseconds);
+- :meth:`Client.submit` / :meth:`Client.sweep` — the durable async
+  path: ``POST /v2/jobs`` returns a typed :class:`JobHandle`
+  immediately; the job keeps running if this process goes away;
+- :meth:`Client.job` / :meth:`Client.jobs` / :meth:`Client.wait` /
+  :meth:`Client.cancel` — poll, list, block on, or stop a job, all
+  returning typed :class:`JobStatus` snapshots.
+
+:class:`ServiceClient` is the legacy name: it *is* a :class:`Client`,
+plus the pre-v2 per-endpoint methods (``run`` / ``sweep(workloads)``
+/ ``sweep_spec``) kept as ``DeprecationWarning`` shims — same pattern
+as the PR 7 ``SweepSpec`` migration.  Existing code keeps working
+unchanged; new code should construct :class:`Client`.
+
+One client holds one keep-alive connection (it is not thread-safe —
+give each thread its own; the closed-loop benchmark does exactly
+that).  The retry policy treats the service's explicit backpressure
+signals as *retryable*, everything else as final:
 
 - transport failures (connection refused/reset, truncated response)
   retry with capped exponential backoff — this is what lets
@@ -26,9 +43,12 @@ import http.client
 import json
 import socket
 import time
+import warnings
+from dataclasses import dataclass, field
 
 from repro.errors import ReproError
 
+from repro.service import protocol as P
 from repro.service.protocol import DEFAULT_PORT
 
 #: Transport-level failures worth a retry.
@@ -50,13 +70,95 @@ class ServiceError(ReproError):
         self.payload = payload or {}
 
 
-class ServiceClient:
-    """JSON-over-HTTP client for a :class:`~repro.service.ReproService`."""
+def _error_message(payload: dict, status: int) -> str:
+    """Human-readable error from a v1 or v2 response body."""
+    error = payload.get("error")
+    if isinstance(error, dict):
+        return str(error.get("message") or error.get("code")
+                   or f"HTTP {status}")
+    if error:
+        return str(error)
+    return f"HTTP {status}"
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Immutable snapshot of one async job, as the server reported it."""
+
+    id: str
+    kind: str
+    state: str
+    tenant: str = P.DEFAULT_TENANT
+    label: str | None = None
+    priority: int = 0
+    created: float = 0.0
+    updated: float = 0.0
+    done: int = 0
+    total: int = 0
+    error: str | None = None
+    #: Per-spec response envelopes; only populated when the status was
+    #: fetched with ``results=True``.
+    results: tuple = field(default=())
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in P.TERMINAL_JOB_STATES
+
+    @property
+    def succeeded(self) -> bool:
+        return self.state == P.JOB_SUCCEEDED
+
+    @classmethod
+    def from_payload(cls, doc: dict) -> "JobStatus":
+        progress = doc.get("progress") or {}
+        return cls(
+            id=doc.get("id", ""), kind=doc.get("kind", P.JOB_KIND_RUN),
+            state=doc.get("state", P.JOB_QUEUED),
+            tenant=doc.get("tenant", P.DEFAULT_TENANT),
+            label=doc.get("label"),
+            priority=int(doc.get("priority", 0)),
+            created=float(doc.get("created", 0.0)),
+            updated=float(doc.get("updated", 0.0)),
+            done=int(progress.get("done", 0)),
+            total=int(progress.get("total", 0)),
+            error=doc.get("error"),
+            results=tuple(doc.get("results") or ()))
+
+
+class JobHandle:
+    """A submitted job: its id plus the client to poll it with."""
+
+    def __init__(self, client: "Client", job_id: str,
+                 status: JobStatus | None = None) -> None:
+        self.client = client
+        self.id = job_id
+        #: The submission-time snapshot (state ``queued``).
+        self.submitted = status
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JobHandle({self.id!r})"
+
+    def status(self, *, results: bool = False) -> JobStatus:
+        return self.client.job(self.id, results=results)
+
+    def wait(self, timeout: float | None = None,
+             poll_s: float = 0.05, *,
+             results: bool = False) -> JobStatus:
+        return self.client.wait(self, timeout=timeout, poll_s=poll_s,
+                                results=results)
+
+    def cancel(self) -> JobStatus:
+        return self.client.cancel(self.id)
+
+
+class Client:
+    """JSON-over-HTTP client for a repro service or gateway."""
 
     def __init__(self, host: str = "127.0.0.1",
                  port: int = DEFAULT_PORT, *,
                  timeout: float = 120.0, retries: int = 3,
                  backoff_s: float = 0.1, backoff_cap_s: float = 2.0,
+                 tenant: str | None = None,
                  sleep=time.sleep) -> None:
         self.host = host
         self.port = int(port)
@@ -64,6 +166,9 @@ class ServiceClient:
         self.retries = max(0, int(retries))
         self.backoff_s = backoff_s
         self.backoff_cap_s = backoff_cap_s
+        #: Tenant name sent as ``X-Repro-Tenant`` on every request
+        #: (None → the server's ``anonymous`` default).
+        self.tenant = tenant
         self._sleep = sleep
         self._conn: http.client.HTTPConnection | None = None
 
@@ -76,7 +181,7 @@ class ServiceClient:
             finally:
                 self._conn = None
 
-    def __enter__(self) -> "ServiceClient":
+    def __enter__(self) -> "Client":
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -87,6 +192,8 @@ class ServiceClient:
             self._conn = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout)
         headers = {"Content-Type": "application/json"} if body else {}
+        if self.tenant:
+            headers["X-Repro-Tenant"] = self.tenant
         self._conn.request(method, path, body=body, headers=headers)
         response = self._conn.getresponse()
         data = response.read()
@@ -146,12 +253,11 @@ class ServiceClient:
                    body: dict | None = None) -> dict:
         status, payload = self.request(method, path, body)
         if not payload.get("ok", status == 200):
-            raise ServiceError(
-                payload.get("error", f"HTTP {status}"),
-                status=status, payload=payload)
+            raise ServiceError(_error_message(payload, status),
+                               status=status, payload=payload)
         return payload
 
-    # -- endpoints -----------------------------------------------------
+    # -- service introspection -----------------------------------------
 
     def health(self) -> dict:
         status, payload = self.request("GET", "/healthz")
@@ -170,10 +276,12 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._expect_ok("GET", "/v1/stats")
 
-    def run(self, spec: dict, *, priority: int = 0,
-            timeout_s: float | None = None,
-            raise_on_error: bool = True) -> dict:
-        """Submit one run; returns the full response envelope.
+    # -- synchronous v1 path -------------------------------------------
+
+    def execute(self, spec: dict, *, priority: int = 0,
+                timeout_s: float | None = None,
+                raise_on_error: bool = True) -> dict:
+        """Submit one run and block for its envelope (v1 fast path).
 
         With ``raise_on_error`` (default) a non-served verdict
         (rejected / failed / throttled-after-retries / expired) raises
@@ -185,9 +293,8 @@ class ServiceClient:
             body["timeout_s"] = timeout_s
         status, payload = self.request("POST", "/v1/run", body)
         if raise_on_error and not payload.get("ok"):
-            raise ServiceError(
-                payload.get("error", f"HTTP {status}"),
-                status=status, payload=payload)
+            raise ServiceError(_error_message(payload, status),
+                               status=status, payload=payload)
         return payload
 
     def compile(self, spec: dict) -> dict:
@@ -197,14 +304,136 @@ class ServiceClient:
         status, payload = self.request("POST", "/v1/lint",
                                        {"spec": spec})
         if status != 200:
-            raise ServiceError(
-                payload.get("error", f"HTTP {status}"),
-                status=status, payload=payload)
+            raise ServiceError(_error_message(payload, status),
+                               status=status, payload=payload)
         return payload
+
+    # -- durable async jobs (v2) ---------------------------------------
+
+    def submit(self, spec: dict | None = None, *,
+               sweep=None, priority: int = 0,
+               timeout_s: float | None = None,
+               label: str | None = None,
+               wait: bool = False, poll_s: float = 0.05,
+               wait_timeout: float | None = None):
+        """Submit a durable job; returns a :class:`JobHandle`.
+
+        Exactly one of ``spec`` (single run) or ``sweep`` (a
+        :class:`~repro.engine.sweeps.SweepSpec` or its dict form) must
+        be given.  With ``wait=True`` the call polls to completion and
+        returns the final :class:`JobStatus` instead.
+        """
+        if (spec is None) == (sweep is None):
+            raise ValueError("pass exactly one of spec= or sweep=")
+        body: dict = {"priority": priority}
+        if spec is not None:
+            body["spec"] = spec
+        else:
+            body["sweep"] = (sweep.to_dict()
+                             if hasattr(sweep, "to_dict")
+                             else dict(sweep))
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        if label is not None:
+            body["label"] = label
+        status, payload = self.request("POST", "/v2/jobs", body)
+        if status != 202 or not payload.get("ok"):
+            raise ServiceError(_error_message(payload, status),
+                               status=status, payload=payload)
+        snapshot = JobStatus.from_payload(payload.get("job", {}))
+        handle = JobHandle(self, snapshot.id, snapshot)
+        if wait:
+            return self.wait(handle, timeout=wait_timeout,
+                             poll_s=poll_s, results=True)
+        return handle
+
+    def sweep(self, sweep, *, priority: int = 0,
+              timeout_s: float | None = None,
+              label: str | None = None, wait: bool = False,
+              poll_s: float = 0.05,
+              wait_timeout: float | None = None):
+        """Submit a sweep as a durable job (see :meth:`submit`)."""
+        return self.submit(sweep=sweep, priority=priority,
+                           timeout_s=timeout_s, label=label,
+                           wait=wait, poll_s=poll_s,
+                           wait_timeout=wait_timeout)
+
+    def job(self, job_id: str, *, results: bool = False) -> JobStatus:
+        """Fetch one job's current status (404 → ServiceError)."""
+        path = f"/v2/jobs/{job_id}"
+        if results:
+            path += "?results=1"
+        payload = self._expect_ok("GET", path)
+        return JobStatus.from_payload(payload.get("job", {}))
+
+    def jobs(self, *, state: str | None = None,
+             tenant: str | None = None) -> list[JobStatus]:
+        path = "/v2/jobs"
+        params = []
+        if state is not None:
+            params.append(f"state={state}")
+        if tenant is not None:
+            params.append(f"tenant={tenant}")
+        if params:
+            path += "?" + "&".join(params)
+        payload = self._expect_ok("GET", path)
+        return [JobStatus.from_payload(doc)
+                for doc in payload.get("jobs", [])]
+
+    def wait(self, job, *, timeout: float | None = None,
+             poll_s: float = 0.05,
+             results: bool = False) -> JobStatus:
+        """Poll a job (handle, status, or id) until terminal."""
+        job_id = getattr(job, "id", job)
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        poll_s = max(0.005, float(poll_s))
+        while True:
+            status = self.job(job_id, results=results)
+            if status.terminal:
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status.state} after "
+                    f"{timeout:g}s", status=0,
+                    payload=status.__dict__)
+            self._sleep(poll_s)
+
+    def cancel(self, job) -> JobStatus:
+        job_id = getattr(job, "id", job)
+        payload = self._expect_ok("POST", f"/v2/jobs/{job_id}/cancel")
+        return JobStatus.from_payload(payload.get("job", {}))
+
+
+class ServiceClient(Client):
+    """The legacy client surface (pre-v2), kept as deprecation shims.
+
+    ``run``/``sweep``/``sweep_spec`` forward to the same endpoints
+    they always hit, but emit :class:`DeprecationWarning` pointing at
+    the :class:`Client` replacement.  Note ``sweep`` keeps its legacy
+    *synchronous* ``(workloads, ...)`` signature here; the async
+    :meth:`Client.sweep` takes a ``SweepSpec``.
+    """
+
+    def run(self, spec: dict, *, priority: int = 0,
+            timeout_s: float | None = None,
+            raise_on_error: bool = True) -> dict:
+        warnings.warn(
+            "ServiceClient.run() is deprecated; use Client.execute() "
+            "(synchronous) or Client.submit() (durable async)",
+            DeprecationWarning, stacklevel=2)
+        return self.execute(spec, priority=priority,
+                            timeout_s=timeout_s,
+                            raise_on_error=raise_on_error)
 
     def sweep(self, workloads: list, *, modes=("dyser",),
               base: dict | None = None, axes: dict | None = None,
               priority: int = 0, timeout_s: float | None = None) -> dict:
+        warnings.warn(
+            "ServiceClient.sweep(workloads, ...) is deprecated; use "
+            "Client.sweep(SweepSpec) for a durable async sweep or "
+            "POST /v1/sweep via request() for the synchronous form",
+            DeprecationWarning, stacklevel=2)
         body: dict = {
             "workloads": list(workloads),
             "modes": list(modes),
@@ -218,12 +447,16 @@ class ServiceClient:
 
     def sweep_spec(self, spec, *, priority: int = 0,
                    timeout_s: float | None = None) -> dict:
-        """Submit a first-class sweep description.
+        """Submit a first-class sweep description (deprecated).
 
         ``spec`` is a :class:`repro.engine.sweeps.SweepSpec` or its
         :meth:`~repro.engine.sweeps.SweepSpec.to_dict` rendering; the
         response echoes its ``sweep_hash``.
         """
+        warnings.warn(
+            "ServiceClient.sweep_spec() is deprecated; use "
+            "Client.sweep(SweepSpec)",
+            DeprecationWarning, stacklevel=2)
         body: dict = {
             "sweep": spec.to_dict() if hasattr(spec, "to_dict")
             else dict(spec),
@@ -236,7 +469,6 @@ class ServiceClient:
     def _post_sweep(self, body: dict) -> dict:
         status, payload = self.request("POST", "/v1/sweep", body)
         if "jobs" not in payload:
-            raise ServiceError(
-                payload.get("error", f"HTTP {status}"),
-                status=status, payload=payload)
+            raise ServiceError(_error_message(payload, status),
+                               status=status, payload=payload)
         return payload

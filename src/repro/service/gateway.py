@@ -1,0 +1,845 @@
+"""Sharding front end: consistent hashing over N worker daemons.
+
+``repro serve --workers N`` (or ``repro gateway --worker-addr ...``)
+runs a :class:`GatewayService` in front of a fleet of single-node
+:class:`~repro.service.server.ReproService` workers.  The gateway owns
+no engine — it routes:
+
+- **Sharding.**  Every run is forwarded to the worker chosen by a
+  consistent-hash ring over ``JobSpec.job_hash`` (sweeps are expanded
+  at the gateway and each point is sharded independently).  The same
+  spec always lands on the same worker, so each shard's compile and
+  artifact caches stay hot for *its* slice of the design space — the
+  whole fleet behaves like one big cache without any coordination.
+- **Shared-cache fallback.**  When the gateway is given an
+  :class:`~repro.engine.cache.ArtifactCache`, a warm entry answers at
+  the gateway without burning a forward; executed results are stored
+  back, so a re-sharded spec (after an eviction) still hits.
+- **Health + failover.**  A background task probes every worker's
+  ``/healthz``; consecutive failures evict the worker from the ring
+  (its keys rebalance to the survivors) and recovery re-adds it.  A
+  forward that dies mid-request is retried on the next live shard —
+  safe because specs are content-addressed and deterministic, so a
+  replayed run returns a byte-identical result.
+- **Tenancy.**  Per-tenant token buckets / quotas / allowlists
+  (:mod:`repro.service.tenancy`) gate admission before any forward,
+  answering 429 with a cost-aware ``Retry-After`` or 403.
+- **Durable jobs.**  The same v2 job API as the worker
+  (``POST /v2/jobs``), journaled at the gateway, with each spec
+  forwarded to its shard; a gateway restart replays the journal and
+  resumes unfinished jobs.
+
+The ring uses sha1 with 64 virtual nodes per worker, so a 2-worker
+fleet splits hot hashes roughly evenly and an eviction moves only the
+dead worker's arcs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import contextlib
+import hashlib
+import json
+import time
+
+from repro.engine.cache import ArtifactCache, result_from_dict
+from repro.obs.metrics import MetricsRegistry
+
+from repro.service import protocol as P
+from repro.service.instruments import LATENCY_BUCKETS_MS
+from repro.service.jobstore import JobManager, JobStore
+from repro.service.server import HttpDaemon, ServiceThread, _Request
+from repro.service.tenancy import TenancyController
+
+
+class HashRing:
+    """Consistent-hash ring (sha1, virtual nodes).
+
+    ``node_for(key)`` walks clockwise from the key's point;
+    ``preference(key)`` yields every node in walk order — the failover
+    sequence a request tries when shards die mid-flight.
+    """
+
+    def __init__(self, nodes=(), *, replicas: int = 64) -> None:
+        self.replicas = max(1, int(replicas))
+        self._points: list[tuple[int, str]] = []
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        return int.from_bytes(
+            hashlib.sha1(value.encode("utf-8")).digest()[:8], "big")
+
+    @property
+    def nodes(self) -> set[str]:
+        return set(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self.replicas):
+            self._points.append((self._hash(f"{node}#{i}"), node))
+        self._points.sort()
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if p[1] != node]
+
+    def node_for(self, key: str) -> str | None:
+        if not self._points:
+            return None
+        point = self._hash(key)
+        index = bisect.bisect_right(self._points,
+                                    (point, "￿"))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def preference(self, key: str) -> list[str]:
+        """All nodes in clockwise walk order from ``key`` (deduped)."""
+        if not self._points:
+            return []
+        point = self._hash(key)
+        index = bisect.bisect_right(self._points, (point, "￿"))
+        seen: list[str] = []
+        for offset in range(len(self._points)):
+            node = self._points[(index + offset)
+                                % len(self._points)][1]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) == len(self._nodes):
+                    break
+        return seen
+
+
+class GatewayInstruments:
+    """Gateway-scoped metrics, named under ``service.gateway.*``."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        r = self.registry
+        self.forwarded = r.counter(
+            "service.gateway.forwarded",
+            "requests forwarded to a worker shard")
+        self.cache_hits = r.counter(
+            "service.gateway.cache.hits",
+            "requests answered from the gateway's shared cache")
+        self.retries = r.counter(
+            "service.gateway.retries",
+            "forwards retried on another shard after a failure")
+        self.evictions = r.counter(
+            "service.gateway.evictions",
+            "workers evicted from the ring after health failures")
+        self.recoveries = r.counter(
+            "service.gateway.recoveries",
+            "evicted workers re-added after passing health checks")
+        self.throttled = r.counter(
+            "service.gateway.throttled",
+            "requests refused by tenancy rate limits (HTTP 429)")
+        self.denied = r.counter(
+            "service.gateway.denied",
+            "requests refused by the tenant allowlist (HTTP 403)")
+        self.unavailable = r.counter(
+            "service.gateway.unavailable",
+            "requests failed because no live worker remained")
+        self.workers_live = r.gauge(
+            "service.gateway.workers.live",
+            "workers currently in the ring")
+        self.latency_ms = r.histogram(
+            "service.gateway.latency.e2e_ms",
+            "gateway request latency in milliseconds",
+            buckets=LATENCY_BUCKETS_MS)
+
+    def to_prometheus(self) -> str:
+        return self.registry.to_prometheus()
+
+    def to_dict(self) -> dict:
+        return self.registry.to_dict()
+
+
+class _WorkerState:
+    """Gateway-side view of one worker daemon."""
+
+    __slots__ = ("addr", "healthy", "fails", "forwarded", "errors")
+
+    def __init__(self, addr: str) -> None:
+        self.addr = addr
+        self.healthy = True
+        self.fails = 0
+        self.forwarded = 0
+        self.errors = 0
+
+    def to_dict(self) -> dict:
+        return {"addr": self.addr, "healthy": self.healthy,
+                "forwarded": self.forwarded, "errors": self.errors}
+
+
+#: Transport failures that trigger shard failover.
+_FORWARD_EXC = (ConnectionError, OSError, asyncio.IncompleteReadError,
+                asyncio.TimeoutError, TimeoutError, EOFError)
+
+
+class GatewayService(HttpDaemon):
+    """The sharding front end (no engine of its own)."""
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int = P.DEFAULT_PORT, *,
+                 workers: list[str] | tuple[str, ...] = (),
+                 cache: ArtifactCache | None = None,
+                 tenancy: TenancyController | None = None,
+                 journal=None,
+                 health_interval_s: float = 0.5,
+                 health_fail_threshold: int = 3,
+                 forward_timeout_s: float = 120.0,
+                 max_sweep_specs: int = 1024,
+                 ring_replicas: int = 64) -> None:
+        super().__init__(host, port)
+        if not workers:
+            raise ValueError("a gateway needs at least one worker")
+        self.cache = cache
+        self.tenancy = tenancy or TenancyController()
+        self.health_interval_s = max(0.05, float(health_interval_s))
+        self.health_fail_threshold = max(1, int(health_fail_threshold))
+        self.forward_timeout_s = float(forward_timeout_s)
+        self.max_sweep_specs = max(1, int(max_sweep_specs))
+        self.instruments = GatewayInstruments()
+        self.workers: dict[str, _WorkerState] = {
+            addr: _WorkerState(addr) for addr in workers}
+        self.ring = HashRing(workers, replicas=ring_replicas)
+        self.instruments.workers_live.set(len(self.ring))
+        self.job_store = JobStore(journal)
+        self.job_manager = JobManager(self.job_store, self._job_runner)
+        self.jobs_recovered = 0
+        self._health_task: asyncio.Task | None = None
+
+    # -- lifecycle hooks -----------------------------------------------
+
+    async def _start_tasks(self) -> None:
+        self.jobs_recovered = self.job_manager.recover()
+        self._health_task = asyncio.get_running_loop().create_task(
+            self._health_loop(), name="repro-gateway-health")
+
+    async def _drain(self) -> None:
+        self.job_manager.stopping = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._health_task
+            self._health_task = None
+        await self.job_manager.quiesce(timeout=10)
+        self.job_store.close()
+
+    def _abort_tasks(self) -> None:
+        self.job_manager.stopping = True
+        self.job_manager.abort()
+        if self._health_task is not None:
+            self._health_task.cancel()
+            self._health_task = None
+        self.job_store.close()
+
+    def _banner(self) -> str:
+        extra = ""
+        if self.jobs_recovered:
+            extra = (f", {self.jobs_recovered} journaled job"
+                     f"{'s' if self.jobs_recovered != 1 else ''} "
+                     f"recovered")
+        return (f"repro gateway listening on "
+                f"http://{self.host}:{self.port} "
+                f"({len(self.workers)} worker"
+                f"{'s' if len(self.workers) != 1 else ''}: "
+                f"{', '.join(sorted(self.workers))}{extra})")
+
+    def _summary(self) -> str:
+        return (f"repro gateway drained: {self.requests_served} "
+                f"requests served, "
+                f"{int(self.instruments.forwarded.value)} forwarded, "
+                f"{int(self.instruments.evictions.value)} evictions")
+
+    # -- worker health -------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.health_interval_s)
+            await asyncio.gather(*[
+                self._probe_worker(worker)
+                for worker in self.workers.values()],
+                return_exceptions=True)
+
+    async def _probe_worker(self, worker: _WorkerState) -> None:
+        try:
+            status, _, body = await self._forward_raw(
+                worker.addr, "GET", "/healthz", None, timeout=5.0)
+            ok = status == 200 and json.loads(body).get("ready", False)
+        except (_FORWARD_EXC, ValueError):
+            ok = False
+        if ok:
+            worker.fails = 0
+            if not worker.healthy:
+                worker.healthy = True
+                self.ring.add(worker.addr)
+                self.instruments.recoveries.inc()
+                self.instruments.workers_live.set(len(self.ring))
+        else:
+            worker.fails += 1
+            if worker.healthy \
+                    and worker.fails >= self.health_fail_threshold:
+                self._evict(worker)
+
+    def _evict(self, worker: _WorkerState) -> None:
+        """Drop a worker from the ring; its keys rebalance."""
+        if not worker.healthy:
+            return
+        worker.healthy = False
+        self.ring.remove(worker.addr)
+        self.instruments.evictions.inc()
+        self.instruments.workers_live.set(len(self.ring))
+
+    # -- forwarding ----------------------------------------------------
+
+    async def _forward_raw(self, addr: str, method: str, path: str,
+                           body: bytes | None, *,
+                           headers: dict | None = None,
+                           timeout: float | None = None):
+        """One HTTP exchange with a worker (Connection: close)."""
+        host, _, port = addr.rpartition(":")
+        timeout = timeout if timeout is not None \
+            else self.forward_timeout_s
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, int(port)), timeout)
+        try:
+            head = [f"{method} {path} HTTP/1.1",
+                    f"Host: {addr}",
+                    "Connection: close"]
+            for name, value in (headers or {}).items():
+                head.append(f"{name}: {value}")
+            if body:
+                head.append("Content-Type: application/json")
+                head.append(f"Content-Length: {len(body)}")
+            writer.write(("\r\n".join(head) + "\r\n\r\n")
+                         .encode("latin-1") + (body or b""))
+            await writer.drain()
+            status_line = await asyncio.wait_for(reader.readline(),
+                                                 timeout)
+            parts = status_line.decode("latin-1").split(None, 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise EOFError(f"bad status line {status_line!r}")
+            status = int(parts[1])
+            response_headers: dict[str, str] = {}
+            while True:
+                line = await asyncio.wait_for(reader.readline(),
+                                              timeout)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                response_headers[name.strip().lower()] = value.strip()
+            length = int(response_headers.get("content-length", "0")
+                         or "0")
+            data = await asyncio.wait_for(
+                reader.readexactly(length), timeout) if length \
+                else await asyncio.wait_for(reader.read(), timeout)
+            return status, response_headers, data
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _forward_sharded(self, key: str, method: str, path: str,
+                               payload: dict | None, *,
+                               tenant: str | None = None):
+        """Forward to the key's shard, failing over on dead workers.
+
+        Returns ``(http_status, headers, body_dict, worker_addr)``.
+        Raises :class:`NoLiveWorker` when every shard is down.
+        """
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        headers = ({P.TENANT_HEADER: tenant}
+                   if tenant and tenant != P.DEFAULT_TENANT else None)
+        attempted: set[str] = set()
+        first = True
+        while True:
+            candidates = [addr for addr in self.ring.preference(key)
+                          if addr not in attempted]
+            if not candidates:
+                self.instruments.unavailable.inc()
+                raise NoLiveWorker(
+                    f"no live worker for {key[:12]} "
+                    f"({len(attempted)} tried)")
+            addr = candidates[0]
+            worker = self.workers[addr]
+            attempted.add(addr)
+            if not first:
+                self.instruments.retries.inc()
+            first = False
+            try:
+                status, response_headers, data = \
+                    await self._forward_raw(addr, method, path, body,
+                                            headers=headers)
+            except _FORWARD_EXC:
+                # Inline failure: evict now (the health loop would
+                # take threshold×interval to notice) and re-dispatch.
+                worker.errors += 1
+                worker.fails = self.health_fail_threshold
+                self._evict(worker)
+                continue
+            worker.forwarded += 1
+            self.instruments.forwarded.inc()
+            try:
+                decoded = json.loads(data) if data else {}
+            except ValueError:
+                decoded = {"text": data.decode("utf-8", "replace")}
+            if not isinstance(decoded, dict):
+                decoded = {"body": decoded}
+            return status, response_headers, decoded, addr
+
+    # -- routing -------------------------------------------------------
+
+    async def _route(self, request: _Request):
+        method, path = request.method, request.path.split("?", 1)[0]
+        started = time.perf_counter()
+        try:
+            result = await self._route_inner(request, method, path)
+        finally:
+            self.instruments.latency_ms.observe(
+                (time.perf_counter() - started) * 1e3)
+        return result
+
+    async def _route_inner(self, request: _Request, method: str,
+                           path: str):
+        try:
+            if path == "/healthz" and method == "GET":
+                return 200, self._health_body(), None
+            if path == "/metrics" and method == "GET":
+                return 200, self.instruments.to_prometheus(), None
+            if path == "/v1/stats" and method == "GET":
+                return 200, P.envelope(
+                    True, metrics=self.instruments.to_dict(),
+                    tenancy=self.tenancy.stats(),
+                    workers=[w.to_dict()
+                             for w in self.workers.values()]), None
+            if path == "/v1/run" and method == "POST":
+                return await self._handle_run(request)
+            if path == "/v1/sweep" and method == "POST":
+                return await self._handle_sweep(request)
+            if path in ("/v1/compile", "/v1/lint") and method == "POST":
+                return await self._handle_forward_simple(request, path)
+            if path == "/v2/jobs" and method == "POST":
+                return self._handle_job_submit(request)
+            if path == "/v2/jobs" and method == "GET":
+                return self._handle_job_list(request)
+            parts = path.strip("/").split("/")
+            if len(parts) == 3 and parts[:2] == ["v2", "jobs"] \
+                    and method == "GET":
+                return self._handle_job_get(request, parts[2])
+            if len(parts) == 4 and parts[:2] == ["v2", "jobs"] \
+                    and parts[3] == "cancel" and method == "POST":
+                return self._handle_job_cancel(parts[2])
+            message = f"no such endpoint {method} {path}"
+            if path.startswith("/v2/"):
+                status, body = P.error_envelope(P.ERR_NOT_FOUND,
+                                                message)
+                return status, body, None
+            return 404, P.envelope(
+                False, error=message,
+                error_detail=P.error_object(P.ERR_NOT_FOUND,
+                                            message)), None
+        except P.ProtocolError as exc:
+            code = (P.ERR_TOO_LARGE if exc.http_status == 413
+                    else P.ERR_BAD_REQUEST)
+            if path.startswith("/v2/"):
+                status, body = P.error_envelope(code, str(exc))
+                return exc.http_status, body, None
+            return exc.http_status, P.envelope(
+                False, error=str(exc),
+                error_detail=P.error_object(code, str(exc))), None
+        except NoLiveWorker as exc:
+            if path.startswith("/v2/"):
+                status, body = P.error_envelope(P.ERR_UNAVAILABLE,
+                                                str(exc))
+                return status, body, None
+            return 503, P.envelope(
+                False, status=P.STATUS_DRAINING, error=str(exc),
+                error_detail=P.error_object(P.ERR_UNAVAILABLE,
+                                            str(exc))), None
+        except Exception as exc:  # noqa: BLE001 — daemon must survive
+            message = f"{type(exc).__name__}: {exc}"
+            if path.startswith("/v2/"):
+                status, body = P.error_envelope(P.ERR_INTERNAL,
+                                                message)
+                return status, body, None
+            return 500, P.envelope(
+                False, error=message,
+                error_detail=P.error_object(P.ERR_INTERNAL,
+                                            message)), None
+
+    def _health_body(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "ready": not self._draining and len(self.ring) > 0,
+            "role": "gateway",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "requests_served": self.requests_served,
+            "workers": [w.to_dict() for w in self.workers.values()],
+            "ring_size": len(self.ring),
+            "jobs": {
+                "live": sum(1 for r in self.job_store.jobs.values()
+                            if not r.terminal),
+                "total": len(self.job_store.jobs),
+            },
+        }
+
+    # -- tenancy gate --------------------------------------------------
+
+    def _tenancy_gate(self, request: _Request):
+        """None when admitted (slot held), else a (status, body,
+        headers) rejection triple."""
+        tenant = request.tenant
+        verdict = self.tenancy.admit(tenant)
+        if verdict.allowed:
+            return None
+        if verdict.status == P.STATUS_DENIED:
+            self.instruments.denied.inc()
+        else:
+            self.instruments.throttled.inc()
+        path = request.path.split("?", 1)[0]
+        code = (P.ERR_TENANT_DENIED
+                if verdict.status == P.STATUS_DENIED
+                else P.ERR_THROTTLED)
+        headers = ({"Retry-After": f"{verdict.retry_after_s:.3f}"}
+                   if verdict.retry_after_s is not None else None)
+        if path.startswith("/v2/"):
+            status, body = P.error_envelope(
+                code, verdict.reason,
+                retry_after_s=verdict.retry_after_s)
+            return status, body, headers
+        body = P.envelope(
+            False, status=verdict.status, error=verdict.reason,
+            error_detail=P.error_object(
+                code, verdict.reason,
+                retry_after_s=verdict.retry_after_s))
+        return P.http_status(verdict.status), body, headers
+
+    # -- v1 handlers ---------------------------------------------------
+
+    def _probe_cache(self, spec) -> dict | None:
+        if self.cache is None:
+            return None
+        payload = self.cache.load_run(spec)
+        if payload is None:
+            return None
+        try:
+            result_from_dict(payload)   # stale/foreign entry == miss
+        except (KeyError, TypeError, ValueError):
+            return None
+        return payload
+
+    async def _handle_run(self, request: _Request):
+        spec, priority, timeout_s = P.parse_request_body(request.json())
+        rejection = self._tenancy_gate(request)
+        if rejection is not None:
+            return rejection
+        tenant = request.tenant
+        served = False
+        try:
+            cached = self._probe_cache(spec)
+            if cached is not None:
+                self.instruments.cache_hits.inc()
+                served = True
+                body = P.run_response(P.STATUS_HIT, cached,
+                                      job_hash=spec.job_hash,
+                                      latency_ms=0.0)
+                return 200, body, None
+            payload: dict = {"spec": P.spec_to_payload(spec),
+                             "priority": priority}
+            if timeout_s is not None:
+                payload["timeout_s"] = timeout_s
+            status, headers, body, _addr = await self._forward_sharded(
+                spec.job_hash, "POST", "/v1/run", payload,
+                tenant=tenant)
+            served = status == 200
+            if served and self.cache is not None \
+                    and isinstance(body.get("result"), dict):
+                self.cache.store_run(spec, body["result"])
+            passthrough = None
+            if "retry-after" in headers:
+                passthrough = {"Retry-After": headers["retry-after"]}
+            return status, body, passthrough
+        finally:
+            self.tenancy.release(tenant, served=served)
+
+    async def _handle_forward_simple(self, request: _Request,
+                                     path: str):
+        """Shard /v1/compile and /v1/lint by the spec's hash."""
+        spec, _, _ = P.parse_request_body(request.json())
+        status, _, body, _addr = await self._forward_sharded(
+            spec.job_hash, "POST", path,
+            {"spec": P.spec_to_payload(spec)}, tenant=request.tenant)
+        return status, body, None
+
+    async def _handle_sweep(self, request: _Request):
+        body = request.json()
+        sweep = P.sweep_from_payload(body)
+        try:
+            specs = sweep.jobs()
+        except Exception as exc:
+            raise P.ProtocolError(f"bad sweep: {exc}") from exc
+        if len(specs) > self.max_sweep_specs:
+            raise P.ProtocolError(
+                f"sweep expands to {len(specs)} specs, over the "
+                f"{self.max_sweep_specs}-spec limit")
+        rejection = self._tenancy_gate(request)
+        if rejection is not None:
+            return rejection
+        tenant = request.tenant
+        priority = body.get("priority", 0)
+        timeout_s = body.get("timeout_s")
+        started = time.perf_counter()
+        try:
+            results = await asyncio.gather(*[
+                self._sweep_point(spec, priority, timeout_s, tenant)
+                for spec in specs])
+        finally:
+            self.tenancy.release(tenant, served=True)
+        latency_ms = (time.perf_counter() - started) * 1e3
+        jobs = []
+        counts: dict[str, int] = {}
+        for spec, (status, point) in zip(specs, results, strict=True):
+            entry = {
+                "spec": spec.describe(),
+                "job_hash": spec.job_hash,
+                "status": status,
+            }
+            if isinstance(point.get("result"), dict):
+                entry["result"] = point["result"]
+            if point.get("error"):
+                entry["error"] = point["error"]
+            if point.get("diagnostics"):
+                entry["diagnostics"] = point["diagnostics"]
+            jobs.append(entry)
+            counts[status] = counts.get(status, 0) + 1
+        ok = all(status in (P.STATUS_EXECUTED, P.STATUS_HIT,
+                            P.STATUS_COALESCED)
+                 for status, _ in results)
+        return 200, P.envelope(ok, jobs=jobs, counts=counts,
+                               sweep_hash=sweep.sweep_hash,
+                               latency_ms=round(latency_ms, 3)), None
+
+    async def _sweep_point(self, spec, priority, timeout_s,
+                           tenant) -> tuple[str, dict]:
+        """One sweep point: shard-forward with backpressure retries."""
+        cached = self._probe_cache(spec)
+        if cached is not None:
+            self.instruments.cache_hits.inc()
+            return P.STATUS_HIT, {"result": cached}
+        payload: dict = {"spec": P.spec_to_payload(spec),
+                         "priority": priority}
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        delay = 0.02
+        for _attempt in range(64):
+            try:
+                status, headers, body, _addr = \
+                    await self._forward_sharded(
+                        spec.job_hash, "POST", "/v1/run", payload,
+                        tenant=tenant)
+            except NoLiveWorker as exc:
+                return P.STATUS_DRAINING, {"error": str(exc)}
+            verdict = body.get("status") or (
+                P.STATUS_EXECUTED if status == 200 else P.STATUS_FAILED)
+            if status != 429 and verdict != P.STATUS_DRAINING:
+                if status == 200 and self.cache is not None \
+                        and isinstance(body.get("result"), dict):
+                    self.cache.store_run(spec, body["result"])
+                return verdict, body
+            # Worker queue full (or draining pre-eviction): back off
+            # by its hint and retry — the sweep fan-out must not lose
+            # points to transient backpressure.
+            hint = headers.get("retry-after")
+            try:
+                wait = min(2.0, max(delay, float(hint)))
+            except (TypeError, ValueError):
+                wait = delay
+            await asyncio.sleep(wait)
+            delay = min(2.0, delay * 2)
+        return P.STATUS_THROTTLED, body
+
+    # -- v2 job handlers -----------------------------------------------
+
+    def _handle_job_submit(self, request: _Request):
+        if self._draining:
+            status, body = P.error_envelope(
+                P.ERR_UNAVAILABLE, "gateway is draining")
+            return status, body, None
+        kind, payloads, priority, timeout_s, label = \
+            P.parse_job_submission(request.json())
+        if len(payloads) > self.max_sweep_specs:
+            raise P.ProtocolError(
+                f"job expands to {len(payloads)} specs, over the "
+                f"{self.max_sweep_specs}-spec limit")
+        rejection = self._tenancy_gate(request)
+        if rejection is not None:
+            return rejection
+        tenant = request.tenant
+        self.tenancy.release(tenant, served=True)
+        record = self.job_manager.submit(
+            kind, payloads, priority=priority, timeout_s=timeout_s,
+            tenant=tenant, label=label)
+        return 202, P.envelope_v2(True, job=record.status_payload()), \
+            None
+
+    def _handle_job_list(self, request: _Request):
+        query = request.query()
+        state = query.get("state")
+        if state is not None and state not in P.JOB_STATES:
+            raise P.ProtocolError(
+                f"unknown state {state!r}; expected one of "
+                f"{', '.join(P.JOB_STATES)}")
+        records = self.job_manager.list_jobs(
+            state=state, tenant=query.get("tenant"))
+        return 200, P.envelope_v2(
+            True, jobs=[r.status_payload() for r in records]), None
+
+    def _handle_job_get(self, request: _Request, job_id: str):
+        record = self.job_manager.get(job_id)
+        if record is None:
+            status, body = P.error_envelope(
+                P.ERR_NOT_FOUND, f"no such job {job_id!r}")
+            return status, body, None
+        want_results = request.query().get("results", "") \
+            in ("1", "true", "yes")
+        return 200, P.envelope_v2(
+            True, job=record.status_payload(results=want_results)), \
+            None
+
+    def _handle_job_cancel(self, job_id: str):
+        record = self.job_manager.cancel(job_id)
+        if record is None:
+            status, body = P.error_envelope(
+                P.ERR_NOT_FOUND, f"no such job {job_id!r}")
+            return status, body, None
+        return 200, P.envelope_v2(True, job=record.status_payload()), \
+            None
+
+    # -- job runner (forward-backed) -----------------------------------
+
+    async def _job_runner(self, payload: dict, *, priority: int,
+                          timeout_s: float | None,
+                          tenant: str) -> tuple[str, dict]:
+        """Per-spec execution hook: forward the run to its shard."""
+        spec = P.spec_from_payload(payload)
+        cached = self._probe_cache(spec)
+        if cached is not None:
+            self.instruments.cache_hits.inc()
+            return P.STATUS_HIT, P.run_response(
+                P.STATUS_HIT, cached, job_hash=spec.job_hash,
+                latency_ms=0.0)
+        body: dict = {"spec": payload, "priority": priority}
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        try:
+            status, headers, envelope, _addr = \
+                await self._forward_sharded(
+                    spec.job_hash, "POST", "/v1/run", body,
+                    tenant=tenant)
+        except NoLiveWorker as exc:
+            # Not served: the JobManager backs off and retries; the
+            # health loop may re-add a recovered worker meanwhile.
+            return P.STATUS_DRAINING, {
+                "ok": False, "status": P.STATUS_DRAINING,
+                "error": str(exc), "retry_after_s": 0.25}
+        verdict = envelope.get("status") or (
+            P.STATUS_EXECUTED if status == 200 else P.STATUS_FAILED)
+        if status == 200 and self.cache is not None \
+                and isinstance(envelope.get("result"), dict):
+            self.cache.store_run(spec, envelope["result"])
+        if verdict == P.STATUS_THROTTLED \
+                and "retry_after_s" not in envelope:
+            hint = headers.get("retry-after")
+            with contextlib.suppress(TypeError, ValueError):
+                envelope["retry_after_s"] = float(hint)
+        return verdict, envelope
+
+
+class NoLiveWorker(Exception):
+    """Every shard is evicted (or the fleet never came up)."""
+
+
+class _GatewayServiceThread(ServiceThread):
+    daemon_cls = GatewayService
+
+
+class GatewayThread:
+    """In-process harness: N worker threads + one gateway thread.
+
+    Mirrors :class:`~repro.service.server.ServiceThread` for tests and
+    benchmarks: everything binds ephemeral ports, entering the context
+    blocks until the whole fleet is ready, and exiting drains the
+    gateway before the workers.  ``kill_worker(i)`` crashes one worker
+    (connection resets, no drain) to exercise eviction + failover.
+    """
+
+    def __init__(self, n_workers: int = 2, *,
+                 worker_kwargs: dict | None = None,
+                 **gateway_kwargs) -> None:
+        self.n_workers = max(1, int(n_workers))
+        self._worker_kwargs = dict(worker_kwargs or {})
+        self._gateway_kwargs = dict(gateway_kwargs)
+        self.workers: list[ServiceThread] = []
+        self.gateway: _GatewayServiceThread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.gateway.host
+
+    @property
+    def port(self) -> int:
+        return self.gateway.port
+
+    def worker_addrs(self) -> list[str]:
+        return [f"{w.host}:{w.port}" for w in self.workers]
+
+    def start(self) -> "GatewayThread":
+        try:
+            for _ in range(self.n_workers):
+                worker = ServiceThread(**self._worker_kwargs)
+                worker.start()
+                self.workers.append(worker)
+            self.gateway = _GatewayServiceThread(
+                workers=self.worker_addrs(), **self._gateway_kwargs)
+            self.gateway.start()
+        except BaseException:
+            self.shutdown()
+            raise
+        return self
+
+    def kill_worker(self, index: int) -> str:
+        """Crash worker ``index``; returns its address."""
+        worker = self.workers[index]
+        addr = f"{worker.host}:{worker.port}"
+        worker.kill()
+        return addr
+
+    def shutdown(self, timeout: float = 60) -> None:
+        if self.gateway is not None:
+            self.gateway.shutdown(timeout=timeout)
+            self.gateway = None
+        for worker in self.workers:
+            with contextlib.suppress(RuntimeError):
+                worker.shutdown(timeout=timeout)
+        self.workers = []
+
+    def __enter__(self) -> "GatewayThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -10,21 +10,41 @@ same design point a :class:`JobSpec` does and shares its content hash.
 
 Endpoints (all responses are JSON envelopes with an ``ok`` bool):
 
-========================  ====================================
-``POST /v1/run``          execute one spec (admission-controlled)
-``POST /v1/compile``      compile one spec, report regions
-``POST /v1/sweep``        expand a cartesian grid server-side
-``POST /v1/lint``         pre-flight lint only, no execution
-``GET  /healthz``         readiness + queue/inflight gauges
-``GET  /metrics``         Prometheus text exposition
-``GET  /v1/stats``        the metrics registry as JSON
-========================  ====================================
+==============================  ====================================
+``POST /v1/run``                execute one spec (admission-controlled)
+``POST /v1/compile``            compile one spec, report regions
+``POST /v1/sweep``              expand a cartesian grid server-side
+``POST /v1/lint``               pre-flight lint only, no execution
+``POST /v2/jobs``               submit a durable async job (run/sweep)
+``GET  /v2/jobs``               list jobs (``?state=`` / ``?tenant=``)
+``GET  /v2/jobs/{id}``          poll one job: state, progress, results
+``POST /v2/jobs/{id}/cancel``   cancel a queued/running job
+``GET  /healthz``               readiness + queue/inflight gauges
+``GET  /metrics``               Prometheus text exposition
+``GET  /v1/stats``              the metrics registry as JSON
+==============================  ====================================
 
-Status codes: ``200`` served, ``400`` malformed request, ``404``
-unknown endpoint, ``413`` oversized body, ``422`` rejected by
-pre-flight lint (body carries structured diagnostics), ``429`` queue
-full (``Retry-After`` header set), ``500`` execution failed, ``503``
-draining, ``504`` deadline expired while queued.
+Status codes: ``200`` served, ``400`` malformed request, ``403``
+tenant denied, ``404`` unknown endpoint or job, ``413`` oversized
+body, ``422`` rejected by pre-flight lint (body carries structured
+diagnostics), ``429`` queue full or tenant over quota (``Retry-After``
+header set), ``500`` execution failed, ``503`` draining or no live
+workers, ``504`` deadline expired while queued.
+
+**Error envelope (v2).**  Every non-200 response from a ``/v2``
+endpoint carries one normalized error object::
+
+    {"protocol": "repro-service-v2", "ok": false,
+     "error": {"code": "...", "message": "...",
+               "diagnostics": [...], "retry_after_s": null}}
+
+``code`` is a stable machine-readable slug (:data:`ERROR_CODES`),
+``diagnostics`` carries structured RPR diagnostics when the lint gate
+produced them, and ``retry_after_s`` mirrors the ``Retry-After``
+header for backpressure errors.  ``/v1`` endpoints keep their
+historical loose shapes for compatibility (string ``error``, optional
+top-level ``diagnostics``) but attach the same normalized object under
+``error_detail`` so clients can migrate field-by-field.
 """
 
 from __future__ import annotations
@@ -34,8 +54,11 @@ from dataclasses import fields as dataclass_fields
 from repro.errors import ReproError
 from repro.engine.jobs import JobSpec
 
-#: Protocol version tag carried in every response envelope.
+#: Protocol version tag carried in every v1 response envelope.
 PROTOCOL = "repro-service-v1"
+
+#: Protocol version tag carried in every v2 response envelope.
+PROTOCOL_V2 = "repro-service-v2"
 
 #: Default TCP port for ``repro serve`` / ``repro submit``.
 DEFAULT_PORT = 8787
@@ -52,6 +75,7 @@ STATUS_THROTTLED = "throttled"  # queue full (429)
 STATUS_FAILED = "failed"        # engine exhausted retries (500)
 STATUS_EXPIRED = "expired"      # deadline passed while queued (504)
 STATUS_DRAINING = "draining"    # server shutting down (503)
+STATUS_DENIED = "denied"        # tenant not allowed (403, v2 era)
 
 _SPEC_FIELDS = frozenset(f.name for f in dataclass_fields(JobSpec))
 
@@ -182,3 +206,207 @@ HTTP_STATUS = {
     STATUS_EXPIRED: 504,
     STATUS_DRAINING: 503,
 }
+
+#: Statuses added after v1; kept out of :data:`HTTP_STATUS` so the v1
+#: status table stays frozen (it is part of the v1 contract).
+_HTTP_STATUS_EXTRA = {
+    STATUS_DENIED: 403,
+}
+
+
+def http_status(status: str) -> int:
+    """HTTP code for any terminal request status (v1 and later)."""
+    code = HTTP_STATUS.get(status)
+    if code is None:
+        code = _HTTP_STATUS_EXTRA.get(status, 500)
+    return code
+
+
+# -- normalized error envelope (v2) ------------------------------------
+
+#: Stable machine-readable error codes, one per failure class.
+ERR_BAD_REQUEST = "bad-request"          # 400: malformed body/spec
+ERR_TENANT_DENIED = "tenant-denied"      # 403: tenant not allowed
+ERR_NOT_FOUND = "not-found"              # 404: unknown endpoint/job
+ERR_METHOD = "method-not-allowed"        # 405
+ERR_TOO_LARGE = "payload-too-large"      # 413
+ERR_LINT_REJECTED = "lint-rejected"      # 422: pre-flight diagnostics
+ERR_THROTTLED = "throttled"              # 429: queue/tenant quota
+ERR_INTERNAL = "internal"                # 500: engine failure
+ERR_UNAVAILABLE = "unavailable"          # 503: draining / no workers
+ERR_EXPIRED = "deadline-expired"         # 504: queue-wait deadline
+ERR_CANCELLED = "cancelled"              # job cancelled by the caller
+ERR_UPSTREAM = "upstream-failed"         # gateway: worker misbehaved
+
+#: Every error code with its canonical HTTP status.
+ERROR_CODES = {
+    ERR_BAD_REQUEST: 400,
+    ERR_TENANT_DENIED: 403,
+    ERR_NOT_FOUND: 404,
+    ERR_METHOD: 405,
+    ERR_TOO_LARGE: 413,
+    ERR_LINT_REJECTED: 422,
+    ERR_THROTTLED: 429,
+    ERR_INTERNAL: 500,
+    ERR_UNAVAILABLE: 503,
+    ERR_EXPIRED: 504,
+    ERR_CANCELLED: 409,
+    ERR_UPSTREAM: 502,
+}
+
+#: Terminal request status -> normalized error code.
+_STATUS_ERROR_CODES = {
+    STATUS_REJECTED: ERR_LINT_REJECTED,
+    STATUS_THROTTLED: ERR_THROTTLED,
+    STATUS_FAILED: ERR_INTERNAL,
+    STATUS_EXPIRED: ERR_EXPIRED,
+    STATUS_DRAINING: ERR_UNAVAILABLE,
+    STATUS_DENIED: ERR_TENANT_DENIED,
+}
+
+
+def error_object(code: str, message: str, *,
+                 diagnostics: list | None = None,
+                 retry_after_s: float | None = None) -> dict:
+    """The normalized error object every non-200 response carries.
+
+    All four keys are always present so consumers never need
+    existence checks; ``diagnostics`` defaults to an empty list and
+    ``retry_after_s`` to ``null``.
+    """
+    if code not in ERROR_CODES:
+        code = ERR_INTERNAL
+    return {
+        "code": code,
+        "message": message,
+        "diagnostics": diagnostics or [],
+        "retry_after_s": (round(float(retry_after_s), 3)
+                          if retry_after_s is not None else None),
+    }
+
+
+def error_for_status(status: str, message: str, *,
+                     diagnostics: list | None = None,
+                     retry_after_s: float | None = None) -> dict:
+    """Normalized error object for a terminal request status."""
+    return error_object(_STATUS_ERROR_CODES.get(status, ERR_INTERNAL),
+                        message, diagnostics=diagnostics,
+                        retry_after_s=retry_after_s)
+
+
+def envelope_v2(ok: bool, **fields) -> dict:
+    """The v2 response envelope (``protocol: repro-service-v2``)."""
+    return {"protocol": PROTOCOL_V2, "ok": ok, **fields}
+
+
+def error_envelope(code: str, message: str, *,
+                   diagnostics: list | None = None,
+                   retry_after_s: float | None = None) -> tuple[int, dict]:
+    """(HTTP status, v2 error body) for one normalized error."""
+    err = error_object(code, message, diagnostics=diagnostics,
+                       retry_after_s=retry_after_s)
+    return ERROR_CODES[err["code"]], envelope_v2(False, error=err)
+
+
+# -- async job API (v2) ------------------------------------------------
+
+#: Job lifecycle states.  ``queued``/``running`` are live; the rest
+#: are terminal.  A job interrupted by a restart replays from the
+#: journal and re-enters ``queued`` (its completed points are kept).
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_SUCCEEDED = "succeeded"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+
+JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_SUCCEEDED, JOB_FAILED,
+              JOB_CANCELLED)
+TERMINAL_JOB_STATES = frozenset(
+    (JOB_SUCCEEDED, JOB_FAILED, JOB_CANCELLED))
+
+#: Job kinds accepted by ``POST /v2/jobs``.
+JOB_KIND_RUN = "run"
+JOB_KIND_SWEEP = "sweep"
+
+#: Request header naming the submitting tenant (defaults to
+#: ``anonymous`` when absent).
+TENANT_HEADER = "x-repro-tenant"
+DEFAULT_TENANT = "anonymous"
+
+
+def sweep_from_payload(body: dict):
+    """Parse a ``/v1/sweep``-shaped body into a ``SweepSpec``.
+
+    Accepts both the first-class form (``{"sweep": {...}}``) and the
+    legacy loose ``workloads``/``modes``/``base``/``axes`` fields.
+    Shared by the single-node server and the gateway so both ends of a
+    forwarded sweep parse requests identically.
+    """
+    from repro.engine.sweeps import SweepSpec
+
+    if not isinstance(body, dict):
+        raise ProtocolError("sweep body must be a JSON object")
+    if "sweep" in body:
+        try:
+            return SweepSpec.from_dict(body["sweep"])
+        except Exception as exc:
+            raise ProtocolError(f"bad sweep: {exc}") from exc
+    workloads = body.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        raise ProtocolError("sweep.workloads must be a non-empty list")
+    modes = tuple(body.get("modes", ["dyser"]))
+    base = body.get("base", {})
+    axes = body.get("axes", {})
+    if not isinstance(base, dict) or not isinstance(axes, dict):
+        raise ProtocolError("sweep.base/axes must be JSON objects")
+    base = dict(base)
+    axes = {name: list(values) for name, values in axes.items()}
+    for obj in (base, axes):
+        if "geometry" in obj:
+            value = obj["geometry"]
+            obj["geometry"] = ([tuple(v) for v in value]
+                               if isinstance(value, list) and value
+                               and isinstance(value[0], (list, tuple))
+                               else tuple(value))
+    try:
+        return SweepSpec(workloads=tuple(workloads), modes=modes,
+                         base=base, axes=tuple(axes.items()))
+    except Exception as exc:  # bad field names/values
+        raise ProtocolError(f"bad sweep: {exc}") from exc
+
+
+def parse_job_submission(body: dict):
+    """Validate a ``POST /v2/jobs`` body.
+
+    Returns ``(kind, spec_payloads, priority, timeout_s, label)``
+    where ``spec_payloads`` is the list of serialized spec dicts the
+    job expands to (one for a run, N for a sweep) — every spec is
+    validated through :func:`spec_from_payload` before the job is
+    accepted, so a journaled job can always be re-parsed on replay.
+    """
+    _, priority, timeout_s = parse_request_body(body, want_spec=False)
+    label = body.get("label")
+    if label is not None and not isinstance(label, str):
+        raise ProtocolError(f"label must be a string, got {label!r}")
+    has_spec = "spec" in body
+    has_sweep = ("sweep" in body or "workloads" in body)
+    if has_spec == has_sweep:
+        raise ProtocolError(
+            "a job submission carries exactly one of 'spec' "
+            "(single run) or 'sweep'/'workloads' (sweep)")
+    if has_spec:
+        spec = spec_from_payload(body.get("spec"))
+        return JOB_KIND_RUN, [spec_to_payload(spec)], priority, \
+            timeout_s, label
+    sweep = sweep_from_payload(
+        body.get("sweep") is not None and {"sweep": body["sweep"]}
+        or {k: body[k] for k in ("workloads", "modes", "base", "axes")
+            if k in body})
+    try:
+        specs = sweep.jobs()
+    except Exception as exc:
+        raise ProtocolError(f"bad sweep: {exc}") from exc
+    if not specs:
+        raise ProtocolError("sweep expands to zero specs")
+    return JOB_KIND_SWEEP, [spec_to_payload(s) for s in specs], \
+        priority, timeout_s, label

@@ -215,6 +215,18 @@ class Scheduler:
                 await self._task
             self._task = None
 
+    def abort(self) -> None:
+        """Hard-stop without draining (crash simulation).
+
+        Queued jobs are dropped unanswered; a batch already on the
+        executor thread runs to completion in the background (the
+        engine call cannot be interrupted), but nothing consumes its
+        outcome.
+        """
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
     # -- dispatch ------------------------------------------------------
 
     async def _dispatch_loop(self) -> None:
@@ -314,7 +326,16 @@ class Scheduler:
         return run_jobs(
             specs, jobs=self.jobs, cache=self.cache,
             timeout=self.timeout, retries=self.retries,
-            worker=self.worker, events=self.events)
+            worker=self.worker, events=self.events,
+            progress=self._progress_record)
+
+    def _progress_record(self, record) -> None:
+        """Engine progress hook → obs event stream (executor thread)."""
+        if self.events is not None:
+            self.events.instant(
+                "job_progress", "service.job",
+                time.perf_counter() * 1e6, domain="wall",
+                spec=record.spec.describe(), status=record.status)
 
     def _resolve(self, job: Job, outcome: JobOutcome) -> None:
         self.inflight.pop(job.job_hash, None)

@@ -16,8 +16,18 @@ module owns the transport and the lifecycle:
   work (503), flush the queue, wait for in-flight jobs to answer,
   then close the listener and exit.
 
+The transport + lifecycle live in :class:`HttpDaemon`, shared with
+the sharding front end (:mod:`repro.service.gateway`): both daemons
+speak identical HTTP, differ only in routing.  Besides the original
+synchronous v1 surface, the service mounts the durable v2 job API
+(``POST /v2/jobs`` → poll ``GET /v2/jobs/{id}``) backed by a JSONL
+journal (``journal=`` path), and optional per-tenant admission
+(:mod:`repro.service.tenancy`).
+
 :class:`ServiceThread` runs the same daemon on a background thread for
-tests and benchmarks (port 0 → ephemeral port, no signals involved).
+tests and benchmarks (port 0 → ephemeral port, no signals involved);
+``kill()`` simulates a crash — connections reset, no drain — which is
+what the shard-failure tests and the chaos harness exercise.
 """
 
 from __future__ import annotations
@@ -28,21 +38,24 @@ import json
 import signal
 import threading
 import time
+import urllib.parse
 
 from repro.engine.cache import ArtifactCache
-from repro.engine.sweeps import SweepSpec
 from repro.analysis.speclint import lint_spec
 
 from repro.service import protocol as P
 from repro.service.admission import AdmissionController
 from repro.service.instruments import ServiceInstruments
+from repro.service.jobstore import JobManager, JobStore
 from repro.service.scheduler import Scheduler
+from repro.service.tenancy import TenancyController
 
 _REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    422: "Unprocessable Entity", 429: "Too Many Requests",
-    500: "Internal Server Error", 503: "Service Unavailable",
+    200: "OK", 202: "Accepted", 400: "Bad Request", 403: "Forbidden",
+    404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+    413: "Payload Too Large", 422: "Unprocessable Entity",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    502: "Bad Gateway", 503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 
@@ -66,32 +79,28 @@ class _Request:
             raise P.ProtocolError(f"request body is not JSON: {exc}") \
                 from exc
 
+    @property
+    def tenant(self) -> str:
+        return self.headers.get(P.TENANT_HEADER, P.DEFAULT_TENANT) \
+            or P.DEFAULT_TENANT
 
-class ReproService:
-    """Simulation-as-a-service over the engine/analysis/obs stack."""
+    def query(self) -> dict:
+        _, _, qs = self.path.partition("?")
+        return {k: v[-1] for k, v in
+                urllib.parse.parse_qs(qs).items()}
+
+
+class HttpDaemon:
+    """Transport + lifecycle shared by the worker and the gateway.
+
+    Subclasses implement :meth:`_route` (and optionally the lifecycle
+    hooks ``_drain``, ``_abort_tasks``, ``_banner``, ``_summary``).
+    """
 
     def __init__(self, host: str = "127.0.0.1",
-                 port: int = P.DEFAULT_PORT, *,
-                 queue_limit: int = 64, jobs: int = 1,
-                 batch_window_s: float = 0.005, batch_max: int = 16,
-                 cache: ArtifactCache | None = None,
-                 timeout: float | None = None, retries: int = 1,
-                 worker=None, events=None,
-                 max_sweep_specs: int = 1024) -> None:
+                 port: int = P.DEFAULT_PORT) -> None:
         self.host = host
         self.port = port
-        self.cache = cache
-        self.events = events
-        self.max_sweep_specs = max(1, int(max_sweep_specs))
-        self.instruments = ServiceInstruments()
-        self.scheduler = Scheduler(
-            queue_limit=queue_limit, jobs=jobs,
-            batch_window_s=batch_window_s, batch_max=batch_max,
-            cache=cache, timeout=timeout, retries=retries,
-            worker=worker, instruments=self.instruments, events=events)
-        self.admission = AdmissionController(
-            self.scheduler, cache=cache,
-            instruments=self.instruments, events=events)
         self.started_at = time.time()
         self.requests_served = 0
         self._server: asyncio.Server | None = None
@@ -110,10 +119,13 @@ class ReproService:
     async def start(self) -> None:
         """Bind the listener (resolving port 0) and start dispatching."""
         self._done = asyncio.Event()
-        self.scheduler.start()
+        await self._start_tasks()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _start_tasks(self) -> None:
+        """Hook: launch background tasks (needs the running loop)."""
 
     async def wait_done(self) -> None:
         """Block until a shutdown request has fully drained."""
@@ -128,12 +140,18 @@ class ReproService:
         self._shutdown_task = asyncio.get_running_loop().create_task(
             self._shutdown())
 
+    async def _drain(self) -> None:
+        """Hook: flush internal queues before the listener closes."""
+
+    def _abort_tasks(self) -> None:
+        """Hook: hard-cancel internal tasks on :meth:`abort`."""
+
     async def _shutdown(self) -> None:
         # 1. stop accepting new connections; existing handlers finish.
         if self._server is not None:
             self._server.close()
         # 2. flush the queue, wait for in-flight jobs to answer.
-        await self.scheduler.stop()
+        await self._drain()
         # 3. let responses already being written reach their sockets.
         for _ in range(500):   # bounded: at most ~5s
             if self._active_requests == 0:
@@ -151,8 +169,30 @@ class ReproService:
         if self._done is not None:
             self._done.set()
 
+    def abort(self) -> None:
+        """Simulated crash: reset every connection, skip the drain.
+
+        For shard-failure tests and the chaos harness only — clients
+        see connection resets exactly as if the process died.  The
+        journal is left as-is, so replay-on-restart is exercised for
+        real.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        self._abort_tasks()
+        for writer in list(self._writers):
+            transport = getattr(writer, "transport", None)
+            with contextlib.suppress(Exception):
+                if transport is not None:
+                    transport.abort()
+                else:
+                    writer.close()
+        if self._done is not None:
+            self._done.set()
+
     def run(self) -> int:
-        """Blocking entry point for ``repro serve`` (installs signals)."""
+        """Blocking entry point for the CLI (installs signal handlers)."""
         return asyncio.run(self._main())
 
     async def _main(self) -> int:
@@ -161,19 +201,18 @@ class ReproService:
         for sig in (signal.SIGTERM, signal.SIGINT):
             with contextlib.suppress(NotImplementedError, RuntimeError):
                 loop.add_signal_handler(sig, self.begin_shutdown)
-        print(f"repro service listening on "
-              f"http://{self.host}:{self.port} "
-              f"(queue limit {self.scheduler.queue_limit}, "
-              f"{self.scheduler.jobs} engine worker"
-              f"{'s' if self.scheduler.jobs != 1 else ''})",
-              flush=True)
+        print(self._banner(), flush=True)
         await self.wait_done()
-        print(f"repro service drained: {self.requests_served} requests "
-              f"served, "
-              f"{int(self.instruments.cache_hits.value)} cache hits, "
-              f"{int(self.instruments.executed.value)} executed",
-              flush=True)
+        print(self._summary(), flush=True)
         return 0
+
+    def _banner(self) -> str:
+        return (f"repro service listening on "
+                f"http://{self.host}:{self.port}")
+
+    def _summary(self) -> str:
+        return (f"repro service drained: {self.requests_served} "
+                f"requests served")
 
     # -- HTTP transport ------------------------------------------------
 
@@ -210,6 +249,12 @@ class ReproService:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass   # client went away mid-request
+        except asyncio.CancelledError:
+            # Loop torn down mid-request (abort / crash simulation).
+            # Ending the handler normally keeps the teardown quiet —
+            # asyncio's stream callback would otherwise log the
+            # cancellation as "Exception in callback".
+            pass
         finally:
             self._writers.discard(writer)
             with contextlib.suppress(Exception):
@@ -266,11 +311,87 @@ class ReproService:
                      + payload)
         await writer.drain()
 
+    async def _route(self, request: _Request):
+        raise NotImplementedError
+
+
+class ReproService(HttpDaemon):
+    """Simulation-as-a-service over the engine/analysis/obs stack."""
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int = P.DEFAULT_PORT, *,
+                 queue_limit: int = 64, jobs: int = 1,
+                 batch_window_s: float = 0.005, batch_max: int = 16,
+                 cache: ArtifactCache | None = None,
+                 timeout: float | None = None, retries: int = 1,
+                 worker=None, events=None,
+                 max_sweep_specs: int = 1024,
+                 journal=None,
+                 tenancy: TenancyController | None = None) -> None:
+        super().__init__(host, port)
+        self.cache = cache
+        self.events = events
+        self.max_sweep_specs = max(1, int(max_sweep_specs))
+        self.instruments = ServiceInstruments()
+        self.scheduler = Scheduler(
+            queue_limit=queue_limit, jobs=jobs,
+            batch_window_s=batch_window_s, batch_max=batch_max,
+            cache=cache, timeout=timeout, retries=retries,
+            worker=worker, instruments=self.instruments, events=events)
+        self.admission = AdmissionController(
+            self.scheduler, cache=cache,
+            instruments=self.instruments, events=events)
+        self.tenancy = tenancy or TenancyController()
+        #: Journal path (None → in-memory jobs, no durability).
+        if journal is None and cache is not None:
+            journal = cache.root / "jobs.jsonl"
+        self.job_store = JobStore(journal)
+        self.job_manager = JobManager(self.job_store, self._job_runner)
+        self.jobs_recovered = 0
+
+    # -- lifecycle hooks -----------------------------------------------
+
+    async def _start_tasks(self) -> None:
+        self.scheduler.start()
+        self.jobs_recovered = self.job_manager.recover()
+
+    async def _drain(self) -> None:
+        self.job_manager.stopping = True
+        await self.scheduler.stop()
+        await self.job_manager.quiesce(timeout=10)
+        self.job_store.close()
+
+    def _abort_tasks(self) -> None:
+        self.job_manager.stopping = True
+        self.job_manager.abort()
+        self.scheduler.abort()
+        self.job_store.close()
+
+    def _banner(self) -> str:
+        extra = ""
+        if self.jobs_recovered:
+            extra = (f", {self.jobs_recovered} journaled job"
+                     f"{'s' if self.jobs_recovered != 1 else ''} "
+                     f"recovered")
+        return (f"repro service listening on "
+                f"http://{self.host}:{self.port} "
+                f"(queue limit {self.scheduler.queue_limit}, "
+                f"{self.scheduler.jobs} engine worker"
+                f"{'s' if self.scheduler.jobs != 1 else ''}{extra})")
+
+    def _summary(self) -> str:
+        return (f"repro service drained: {self.requests_served} "
+                f"requests served, "
+                f"{int(self.instruments.cache_hits.value)} cache hits, "
+                f"{int(self.instruments.executed.value)} executed")
+
     # -- routing -------------------------------------------------------
 
     async def _route(self, request: _Request):
         """Dispatch one request; returns (status, body, extra headers)."""
         method, path = request.method, request.path.split("?", 1)[0]
+        if path.startswith("/v2/"):
+            return await self._route_v2(request, method, path)
         try:
             if path == "/healthz" and method == "GET":
                 return 200, self._health_body(), None
@@ -278,7 +399,8 @@ class ReproService:
                 return 200, self.instruments.to_prometheus(), None
             if path == "/v1/stats" and method == "GET":
                 return 200, P.envelope(
-                    True, metrics=self.instruments.to_dict()), None
+                    True, metrics=self.instruments.to_dict(),
+                    tenancy=self.tenancy.stats()), None
             if path == "/v1/run" and method == "POST":
                 return await self._handle_run(request)
             if path == "/v1/compile" and method == "POST":
@@ -289,15 +411,31 @@ class ReproService:
                 return self._handle_lint(request)
             if path in ("/healthz", "/metrics", "/v1/stats", "/v1/run",
                         "/v1/compile", "/v1/sweep", "/v1/lint"):
+                message = f"{method} not allowed on {path}"
                 return 405, P.envelope(
-                    False, error=f"{method} not allowed on {path}"), None
+                    False, error=message,
+                    error_detail=P.error_object(P.ERR_METHOD,
+                                                message)), None
+            message = f"no such endpoint {path}"
             return 404, P.envelope(
-                False, error=f"no such endpoint {path}"), None
+                False, error=message,
+                error_detail=P.error_object(P.ERR_NOT_FOUND,
+                                            message)), None
         except P.ProtocolError as exc:
-            return exc.http_status, P.envelope(False, error=str(exc)), None
+            # v1 contract: `error` stays a plain string; the normalized
+            # object rides along under `error_detail`.
+            code = (P.ERR_LINT_REJECTED if exc.http_status == 422
+                    else P.ERR_TOO_LARGE if exc.http_status == 413
+                    else P.ERR_BAD_REQUEST)
+            return exc.http_status, P.envelope(
+                False, error=str(exc),
+                error_detail=P.error_object(code, str(exc))), None
         except Exception as exc:  # noqa: BLE001 — daemon must survive
+            message = f"{type(exc).__name__}: {exc}"
             return 500, P.envelope(
-                False, error=f"{type(exc).__name__}: {exc}"), None
+                False, error=message,
+                error_detail=P.error_object(P.ERR_INTERNAL,
+                                            message)), None
 
     def _health_body(self) -> dict:
         return {
@@ -308,16 +446,31 @@ class ReproService:
             "inflight": self.scheduler.outstanding,
             "queue_limit": self.scheduler.queue_limit,
             "requests_served": self.requests_served,
+            "jobs": {
+                "live": sum(1 for r in self.job_store.jobs.values()
+                            if not r.terminal),
+                "total": len(self.job_store.jobs),
+            },
         }
 
-    # -- endpoint handlers ---------------------------------------------
+    # -- v1 endpoint handlers ------------------------------------------
 
     async def _handle_run(self, request: _Request):
         spec, priority, timeout_s = P.parse_request_body(request.json())
-        started = time.perf_counter()
-        outcome = await self.admission.admit_run(
-            spec, priority=priority, timeout_s=timeout_s,
-            draining=self._draining)
+        tenant = request.tenant
+        verdict = self.tenancy.admit(tenant)
+        if not verdict.allowed:
+            return self._tenancy_reject_v1(spec, verdict)
+        served = False
+        try:
+            started = time.perf_counter()
+            outcome = await self.admission.admit_run(
+                spec, priority=priority, timeout_s=timeout_s,
+                draining=self._draining)
+            served = outcome.status in (P.STATUS_EXECUTED, P.STATUS_HIT,
+                                        P.STATUS_COALESCED)
+        finally:
+            self.tenancy.release(tenant, served=served)
         latency_ms = (time.perf_counter() - started) * 1e3
         self.instruments.latency_ms.observe(latency_ms)
         if self.events is not None:
@@ -330,10 +483,33 @@ class ReproService:
             latency_ms=latency_ms, error=outcome.error,
             diagnostics=outcome.diagnostics or None)
         headers = None
+        http = P.http_status(outcome.status)
         if outcome.status == P.STATUS_THROTTLED:
-            headers = {"Retry-After":
-                       f"{self.scheduler.retry_after_s():.3f}"}
-        return P.HTTP_STATUS[outcome.status], body, headers
+            retry_after = self.scheduler.retry_after_s()
+            headers = {"Retry-After": f"{retry_after:.3f}"}
+            body["error_detail"] = P.error_for_status(
+                outcome.status, outcome.error or "throttled",
+                retry_after_s=retry_after)
+        elif http != 200:
+            body["error_detail"] = P.error_for_status(
+                outcome.status, outcome.error or outcome.status,
+                diagnostics=outcome.diagnostics or None)
+        return http, body, headers
+
+    def _tenancy_reject_v1(self, spec, verdict):
+        """v1-shaped rejection for a tenancy verdict (403/429)."""
+        body = P.run_response(
+            verdict.status, None, job_hash=spec.job_hash,
+            latency_ms=0.0, error=verdict.reason)
+        body["error_detail"] = P.error_for_status(
+            verdict.status, verdict.reason,
+            retry_after_s=verdict.retry_after_s)
+        headers = None
+        if verdict.retry_after_s is not None:
+            headers = {"Retry-After": f"{verdict.retry_after_s:.3f}"}
+        if self.instruments is not None:
+            self.instruments.rejected.inc()
+        return P.http_status(verdict.status), body, headers
 
     async def _handle_compile(self, request: _Request):
         spec, _, _ = P.parse_request_body(request.json())
@@ -342,7 +518,10 @@ class ReproService:
             return 422, P.envelope(
                 False, status=P.STATUS_REJECTED,
                 diagnostics=diagnostics,
-                error="rejected by pre-flight lint"), None
+                error="rejected by pre-flight lint",
+                error_detail=P.error_object(
+                    P.ERR_LINT_REJECTED, "rejected by pre-flight lint",
+                    diagnostics=diagnostics)), None
         started = time.perf_counter()
         payload = await asyncio.get_running_loop().run_in_executor(
             None, _compile_payload, spec, self.cache)
@@ -353,42 +532,7 @@ class ReproService:
 
     async def _handle_sweep(self, request: _Request):
         body = request.json()
-        if not isinstance(body, dict):
-            raise P.ProtocolError("sweep body must be a JSON object")
-        if "sweep" in body:
-            # First-class form: the body carries a serialized SweepSpec.
-            try:
-                sweep = SweepSpec.from_dict(body["sweep"])
-            except Exception as exc:
-                raise P.ProtocolError(f"bad sweep: {exc}") from exc
-        else:
-            # Legacy form: loose workloads/modes/base/axes fields.
-            workloads = body.get("workloads")
-            if not isinstance(workloads, list) or not workloads:
-                raise P.ProtocolError(
-                    "sweep.workloads must be a non-empty list")
-            modes = tuple(body.get("modes", ["dyser"]))
-            base = body.get("base", {})
-            axes = body.get("axes", {})
-            if not isinstance(base, dict) or not isinstance(axes, dict):
-                raise P.ProtocolError(
-                    "sweep.base/axes must be JSON objects")
-            base = dict(base)
-            axes = {name: list(values) for name, values in axes.items()}
-            for obj in (base, axes):
-                if "geometry" in obj:
-                    value = obj["geometry"]
-                    obj["geometry"] = ([tuple(v) for v in value]
-                                       if isinstance(value, list)
-                                       and value
-                                       and isinstance(value[0],
-                                                      (list, tuple))
-                                       else tuple(value))
-            try:
-                sweep = SweepSpec(workloads=tuple(workloads), modes=modes,
-                                  base=base, axes=tuple(axes.items()))
-            except Exception as exc:  # bad field names/values
-                raise P.ProtocolError(f"bad sweep: {exc}") from exc
+        sweep = P.sweep_from_payload(body)
         try:
             specs = sweep.jobs()
         except Exception as exc:
@@ -437,6 +581,117 @@ class ReproService:
             report.ok, status="linted", job_hash=spec.job_hash,
             report=report.to_dict()), None
 
+    # -- v2 job API ----------------------------------------------------
+
+    async def _route_v2(self, request: _Request, method: str,
+                        path: str):
+        try:
+            if path == "/v2/jobs" and method == "POST":
+                return self._handle_job_submit(request)
+            if path == "/v2/jobs" and method == "GET":
+                return self._handle_job_list(request)
+            parts = path.strip("/").split("/")
+            if len(parts) == 3 and parts[:2] == ["v2", "jobs"] \
+                    and method == "GET":
+                return self._handle_job_get(request, parts[2])
+            if len(parts) == 4 and parts[:2] == ["v2", "jobs"] \
+                    and parts[3] == "cancel" and method == "POST":
+                return self._handle_job_cancel(parts[2])
+            status, body = P.error_envelope(
+                P.ERR_NOT_FOUND, f"no such endpoint {method} {path}")
+            return status, body, None
+        except P.ProtocolError as exc:
+            code = (P.ERR_TOO_LARGE if exc.http_status == 413
+                    else P.ERR_BAD_REQUEST)
+            status, body = P.error_envelope(code, str(exc))
+            return exc.http_status, body, None
+        except Exception as exc:  # noqa: BLE001 — daemon must survive
+            status, body = P.error_envelope(
+                P.ERR_INTERNAL, f"{type(exc).__name__}: {exc}")
+            return status, body, None
+
+    def _handle_job_submit(self, request: _Request):
+        if self._draining:
+            status, body = P.error_envelope(
+                P.ERR_UNAVAILABLE, "service is draining")
+            return status, body, None
+        kind, payloads, priority, timeout_s, label = \
+            P.parse_job_submission(request.json())
+        if len(payloads) > self.max_sweep_specs:
+            raise P.ProtocolError(
+                f"job expands to {len(payloads)} specs, over the "
+                f"{self.max_sweep_specs}-spec limit")
+        tenant = request.tenant
+        verdict = self.tenancy.admit(tenant)
+        if not verdict.allowed:
+            status, body = P.error_envelope(
+                P.ERR_TENANT_DENIED if verdict.status == P.STATUS_DENIED
+                else P.ERR_THROTTLED, verdict.reason,
+                retry_after_s=verdict.retry_after_s)
+            headers = ({"Retry-After": f"{verdict.retry_after_s:.3f}"}
+                       if verdict.retry_after_s is not None else None)
+            return status, body, headers
+        # The submission slot is released once the job is journaled;
+        # job *execution* is bounded by the scheduler queue.
+        self.tenancy.release(tenant, served=True)
+        record = self.job_manager.submit(
+            kind, payloads, priority=priority, timeout_s=timeout_s,
+            tenant=tenant, label=label)
+        return 202, P.envelope_v2(True, job=record.status_payload()), \
+            None
+
+    def _handle_job_list(self, request: _Request):
+        query = request.query()
+        state = query.get("state")
+        if state is not None and state not in P.JOB_STATES:
+            raise P.ProtocolError(
+                f"unknown state {state!r}; expected one of "
+                f"{', '.join(P.JOB_STATES)}")
+        records = self.job_manager.list_jobs(
+            state=state, tenant=query.get("tenant"))
+        return 200, P.envelope_v2(
+            True, jobs=[r.status_payload() for r in records]), None
+
+    def _handle_job_get(self, request: _Request, job_id: str):
+        record = self.job_manager.get(job_id)
+        if record is None:
+            status, body = P.error_envelope(
+                P.ERR_NOT_FOUND, f"no such job {job_id!r}")
+            return status, body, None
+        want_results = request.query().get("results", "") \
+            in ("1", "true", "yes")
+        return 200, P.envelope_v2(
+            True, job=record.status_payload(results=want_results)), None
+
+    def _handle_job_cancel(self, job_id: str):
+        record = self.job_manager.cancel(job_id)
+        if record is None:
+            status, body = P.error_envelope(
+                P.ERR_NOT_FOUND, f"no such job {job_id!r}")
+            return status, body, None
+        return 200, P.envelope_v2(True, job=record.status_payload()), \
+            None
+
+    # -- job runner (admission-backed) ---------------------------------
+
+    async def _job_runner(self, payload: dict, *, priority: int,
+                          timeout_s: float | None,
+                          tenant: str) -> tuple[str, dict]:
+        """Per-spec execution hook the :class:`JobManager` drives."""
+        spec = P.spec_from_payload(payload)
+        started = time.perf_counter()
+        outcome = await self.admission.admit_run(
+            spec, priority=priority, timeout_s=timeout_s,
+            draining=self._draining)
+        latency_ms = (time.perf_counter() - started) * 1e3
+        envelope = P.run_response(
+            outcome.status, outcome.payload, job_hash=spec.job_hash,
+            latency_ms=latency_ms, error=outcome.error,
+            diagnostics=outcome.diagnostics or None)
+        if outcome.status == P.STATUS_THROTTLED:
+            envelope["retry_after_s"] = self.scheduler.retry_after_s()
+        return outcome.status, envelope
+
 
 def _compile_payload(spec, cache) -> dict:
     """Compile one spec on an executor thread (cache-aware)."""
@@ -467,15 +722,21 @@ class ServiceThread:
     an ephemeral port which is published on ``self.port`` once the
     listener is up.  Entering the context blocks until the service is
     ready; exiting requests a graceful drain and joins the thread.
+    ``kill()`` aborts instead — connections reset mid-flight, nothing
+    drains — to stand in for a crashed worker.
     """
+
+    #: Daemon class to instantiate (the gateway harness overrides).
+    daemon_cls = ReproService
 
     def __init__(self, **kwargs) -> None:
         kwargs.setdefault("port", 0)
         self._kwargs = kwargs
-        self.service: ReproService | None = None
+        self.service = None
         self.loop: asyncio.AbstractEventLoop | None = None
         self._ready = threading.Event()
         self._error: BaseException | None = None
+        self._killed = False
         self._thread = threading.Thread(
             target=self._run, name="repro-service", daemon=True)
 
@@ -495,7 +756,7 @@ class ServiceThread:
             self._ready.set()
 
     async def _amain(self) -> None:
-        self.service = ReproService(**self._kwargs)
+        self.service = self.daemon_cls(**self._kwargs)
         self.loop = asyncio.get_running_loop()
         await self.service.start()
         self._ready.set()
@@ -511,11 +772,29 @@ class ServiceThread:
         return self
 
     def shutdown(self, timeout: float = 60) -> None:
+        if self._killed:
+            self._thread.join(timeout=5)
+            return
         if self.loop is not None and self._thread.is_alive():
-            self.loop.call_soon_threadsafe(self.service.begin_shutdown)
+            with contextlib.suppress(RuntimeError):
+                self.loop.call_soon_threadsafe(
+                    self.service.begin_shutdown)
         self._thread.join(timeout=timeout)
         if self._thread.is_alive():  # pragma: no cover - deadlock guard
             raise RuntimeError("service thread failed to drain")
+
+    def kill(self, timeout: float = 10) -> None:
+        """Crash the daemon: no drain, connections reset.
+
+        The thread is a daemon, so a handler stuck on a blocking
+        injected worker cannot hang the caller — we join with a
+        timeout and move on.
+        """
+        self._killed = True
+        if self.loop is not None and self._thread.is_alive():
+            with contextlib.suppress(RuntimeError):
+                self.loop.call_soon_threadsafe(self.service.abort)
+        self._thread.join(timeout=timeout)
 
     def __enter__(self) -> "ServiceThread":
         return self.start()
