@@ -25,7 +25,11 @@ compiler, microarchitecture, and hardware implementation" (ISPASS 2015):
 - :mod:`repro.harness.fuzz` — differential fuzzing and chaos harness
   (``repro fuzz``): seeded interface-aware program generation,
   parity/lint/IR oracles, service fault injection, and a replayable
-  shrunk-case corpus under ``tests/corpus/``.
+  shrunk-case corpus under ``tests/corpus/``;
+- :mod:`repro.lang` — the validated kernel DSL (``repro kernel``,
+  ``POST /v2/kernels``): parse → check (stable ``RPR5xx``
+  diagnostics, fail-closed) → lower into the same workload form the
+  built-in suite uses, persisted content-addressed as ``dsl:<hash>``.
 
 This module is the **stable public facade**: everything in ``__all__``
 is importable as ``from repro import ...`` and the CLI goes through it
@@ -120,6 +124,15 @@ from repro.harness.fuzz import (
     run_fuzz,
 )
 from repro.isa import Instruction, Opcode, Program, assemble
+from repro.lang import (
+    KernelSpec,
+    KernelStore,
+    check_source,
+    lower_spec,
+    lowered_source,
+    parse_kernel_source,
+    set_default_kernel_dir,
+)
 from repro.obs import (
     EventStream,
     MetricsRegistry,
@@ -143,8 +156,9 @@ from repro.service import (
     controller_from_config,
 )
 from repro.workloads import SUITE, get as get_workload
+from repro.workloads.suite import register_workload
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # run API
@@ -234,9 +248,18 @@ __all__ = [
     "Opcode",
     "Program",
     "assemble",
+    # kernel DSL
+    "KernelSpec",
+    "KernelStore",
+    "check_source",
+    "lower_spec",
+    "lowered_source",
+    "parse_kernel_source",
+    "set_default_kernel_dir",
     # workloads + reporting
     "SUITE",
     "get_workload",
+    "register_workload",
     "format_series",
     "format_table",
     "geomean",

@@ -43,15 +43,20 @@ def lint_workload(name: str, *, mode: str = "dyser", options=None,
     from repro.compiler.passes import optimize
     from repro.compiler.region import offload_regions
     from repro.compiler.shapes import region_advisories
+    from repro.errors import WorkloadError
     from repro.workloads import SUITE
+    from repro.workloads import suite as suite_mod
 
     report = DiagnosticReport(subject=f"{name}/{mode}")
     if mode not in _MODES:
         report.emit("RPR251", f"unknown mode {mode!r}; have {_MODES}",
                     source="api", mode=mode)
         return report
-    workload = SUITE.get(name)
-    if workload is None:
+    try:
+        # suite.get resolves registered names and lazily loads
+        # content-addressed ``dsl:`` kernels from the kernel store.
+        workload = suite_mod.get(name)
+    except WorkloadError:
         report.emit(
             "RPR251",
             f"unknown workload {name!r}; have {sorted(SUITE)}",

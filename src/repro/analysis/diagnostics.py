@@ -124,6 +124,31 @@ CODES: dict[str, CodeInfo] = {
             "RPR403": "region is capability-bound",
             "RPR404": "static performance prediction",
         }),
+        # -- RPR5xx: kernel DSL validation (repro.lang) -----------------
+        *_bank(Severity.ERROR, {
+            "RPR500": "DSL source failed to tokenize",
+            "RPR501": "DSL source failed to parse",
+            "RPR510": "use of undefined name",
+            "RPR511": "type mismatch",
+            "RPR512": "array/scalar shape misuse",
+            "RPR513": "write to read-only input",
+            "RPR514": "integer division outside the validated subset",
+            "RPR515": "output parameter never written",
+            "RPR516": "unknown intrinsic or bad arity",
+            "RPR517": "invalid size or parameter declaration",
+            "RPR518": "duplicate declaration",
+            "RPR519": "invalid input initializer",
+            "RPR520": "dyser region exceeds fabric compute capacity",
+            "RPR521": "dyser region live values exceed port capacity",
+            "RPR522": "size table missing standard scales",
+            "RPR523": "size expression not positive at some scale",
+            "RPR524": "kernel declares no output parameter",
+            "RPR525": "invalid dyser region structure",
+            "RPR526": "break or continue outside a loop",
+        }),
+        *_bank(Severity.WARNING, {
+            "RPR540": "while loop trip count is data-dependent",
+        }),
     )
 }
 

@@ -1062,14 +1062,12 @@ def analyze_workload(name: str, *, mode: str = "dyser",
     from repro.errors import WorkloadError
     from repro.harness.runner import (
         DEFAULT_GEOMETRY, _compile, _options_key, source_hash)
-    from repro.workloads import SUITE
+    from repro.workloads import suite as suite_mod
 
     if mode not in ("scalar", "dyser"):
         raise WorkloadError(f"unknown mode {mode!r}")
-    workload = SUITE.get(name)
-    if workload is None:
-        raise WorkloadError(
-            f"unknown workload {name!r}; have {sorted(SUITE)}")
+    # suite.get also resolves content-addressed ``dsl:`` kernels.
+    workload = suite_mod.get(name)
     options = options or CompilerOptions(
         fabric=Fabric(FabricGeometry(*DEFAULT_GEOMETRY)))
     compiled = _compile(name, source_hash(workload.source), mode,

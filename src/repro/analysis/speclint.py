@@ -49,16 +49,24 @@ def lint_spec(spec, report: DiagnosticReport | None = None
     the spec is worth dispatching.
     """
     from repro.energy import EnergyParams
+    from repro.errors import WorkloadError
     from repro.workloads import SUITE
+    from repro.workloads import suite as suite_mod
 
     report = report if report is not None else DiagnosticReport(
         subject=f"spec {spec.describe()}")
 
     if spec.workload not in SUITE:
-        report.emit(
-            "RPR251",
-            f"unknown workload {spec.workload!r}; have {sorted(SUITE)}",
-            source=_SOURCE, workload=spec.workload)
+        # ``dsl:`` names may resolve lazily through the kernel store;
+        # only reject if the dynamic lookup also comes up empty.
+        try:
+            suite_mod.get(spec.workload)
+        except WorkloadError:
+            report.emit(
+                "RPR251",
+                f"unknown workload {spec.workload!r}; "
+                f"have {sorted(SUITE)}",
+                source=_SOURCE, workload=spec.workload)
     if spec.scale not in STANDARD_SCALES:
         report.emit(
             "RPR252",

@@ -678,7 +678,7 @@ def _cmd_fuzz(args) -> int:
     oracles = tuple(args.oracle) if args.oracle else ("all",)
     if "all" in oracles:
         oracles = ("parity", "batched", "lint", "ir", "perfbound",
-                   "chaos")
+                   "chaos", "dsl")
     try:
         options = FuzzOptions(
             seed=args.seed,
@@ -699,6 +699,102 @@ def _cmd_fuzz(args) -> int:
     print(payload)
     print(report.summary(), file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _read_kernel_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _print_dsl_report(report, *, as_json: bool) -> None:
+    import json
+
+    if as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return
+    for diag in report.to_dict()["diagnostics"]:
+        where = diag.get("location") or "-"
+        print(f"  {diag['severity']} {diag['code']} @ {where}: "
+              f"{diag['message']}", file=sys.stderr)
+
+
+def _cmd_kernel_check(args) -> int:
+    from repro import check_source
+
+    spec, report = check_source(_read_kernel_source(args.file))
+    _print_dsl_report(report, as_json=args.json)
+    if spec is None:
+        if not args.json:
+            print(f"{args.file}: rejected "
+                  f"({len(report.errors)} error(s))", file=sys.stderr)
+        return 1
+    if not args.json:
+        print(f"{spec.name}: ok — kernel_hash {spec.kernel_hash} "
+              f"(workload {spec.workload_name})")
+    return 0
+
+
+def _cmd_kernel_run(args) -> int:
+    from repro import check_source, lower_spec, register_workload
+
+    spec, report = check_source(_read_kernel_source(args.file))
+    if spec is None:
+        _print_dsl_report(report, as_json=args.json)
+        print(f"{args.file}: rejected by DSL validation",
+              file=sys.stderr)
+        return 1
+    workload = lower_spec(spec)
+    register_workload(workload, replace=True)
+    result = run_workload(RunConfig(
+        workload=workload.name, mode=args.mode, scale=args.scale,
+        seed=args.seed, backend=args.backend))
+    print(f"{spec.name} ({workload.name}) [{args.mode}, {args.scale}]: "
+          f"{'OK' if result.correct else 'WRONG RESULT'}")
+    print(result.stats.summary())
+    if args.mode == "dyser":
+        for region in result.compile_result.regions:
+            print(f"region {region.loop_header}: {region.reason} "
+                  f"(shape={region.shape}, unroll={region.unrolled})")
+    return 0 if result.correct else 1
+
+
+def _cmd_kernel_submit(args) -> int:
+    import json
+
+    from repro import Client, ServiceError
+
+    source = _read_kernel_source(args.file)
+    client = Client(host=args.host, port=args.port,
+                    timeout=args.request_timeout,
+                    retries=args.retries, tenant=args.tenant)
+    try:
+        payload = client.submit_kernel(source)
+    except ServiceError as exc:
+        body = exc.payload or exc.to_dict()
+        if args.json:
+            print(json.dumps(body, indent=2, sort_keys=True))
+        else:
+            print(f"kernel submit failed: {exc}", file=sys.stderr)
+            error = body.get("error") or {}
+            for diag in error.get("diagnostics", []):
+                print(f"  {diag.get('severity')} {diag.get('code')}: "
+                      f"{diag.get('message')}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    kernel = payload.get("kernel", {})
+    verb = "registered" if kernel.get("created") else "already registered"
+    print(f"{kernel.get('name')}: {verb} as {kernel.get('workload')} "
+          f"(kernel_hash {kernel.get('kernel_hash')})")
+    for diag in kernel.get("warnings", []):
+        print(f"  {diag.get('severity')} {diag.get('code')}: "
+              f"{diag.get('message')}", file=sys.stderr)
+    print(f"run it with: repro submit {kernel.get('workload')} "
+          f"--host {args.host} --port {args.port}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1045,7 +1141,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "(report marked truncated)")
     fuzz_p.add_argument("--oracle", action="append",
                         choices=("parity", "batched", "lint", "ir",
-                                 "perfbound", "chaos", "all"),
+                                 "perfbound", "chaos", "dsl", "all"),
                         help="oracle(s) to run; repeatable "
                              "(default: all)")
     fuzz_p.add_argument("--irregularity", type=float, default=0.35,
@@ -1062,6 +1158,54 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--report", default=None, metavar="PATH",
                         help="also write the JSON report to PATH")
     fuzz_p.set_defaults(func=_cmd_fuzz)
+
+    kernel_p = sub.add_parser(
+        "kernel",
+        help="validate, run, or submit a DSL kernel (repro.lang)",
+        description="Work with kernels written in the repro.lang DSL: "
+                    "'check' validates a source file and prints the "
+                    "RPR5xx diagnostics, 'run' registers it locally "
+                    "and simulates it, 'submit' registers it with a "
+                    "running service (POST /v2/kernels).")
+    kernel_sub = kernel_p.add_subparsers(dest="kernel_command",
+                                         required=True)
+
+    kcheck_p = kernel_sub.add_parser(
+        "check", help="validate a kernel source file")
+    kcheck_p.add_argument("file", help="DSL source path ('-' for stdin)")
+    kcheck_p.add_argument("--json", action="store_true",
+                          help="print the full diagnostic report")
+    kcheck_p.set_defaults(func=_cmd_kernel_check)
+
+    krun_p = kernel_sub.add_parser(
+        "run", help="validate, register, and simulate a kernel locally")
+    krun_p.add_argument("file", help="DSL source path ('-' for stdin)")
+    krun_p.add_argument("--mode", choices=("scalar", "dyser"),
+                        default="dyser")
+    krun_p.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "medium"))
+    krun_p.add_argument("--seed", type=int, default=7)
+    krun_p.add_argument("--json", action="store_true",
+                        help="print rejection diagnostics as JSON")
+    add_backend_flag(krun_p)
+    krun_p.set_defaults(func=_cmd_kernel_run)
+
+    ksubmit_p = kernel_sub.add_parser(
+        "submit", help="register a kernel with a running service")
+    ksubmit_p.add_argument("file", help="DSL source path ('-' for stdin)")
+    ksubmit_p.add_argument("--host", default="127.0.0.1")
+    ksubmit_p.add_argument("--port", type=int, default=8787)
+    ksubmit_p.add_argument("--request-timeout", type=float,
+                           default=300.0,
+                           help="client-side HTTP timeout in seconds")
+    ksubmit_p.add_argument("--retries", type=int, default=5,
+                           help="client retry budget (connection "
+                                "failures, 429, 503)")
+    ksubmit_p.add_argument("--tenant", default=None,
+                           help="tenant name (X-Repro-Tenant header)")
+    ksubmit_p.add_argument("--json", action="store_true",
+                           help="print the raw response envelope")
+    ksubmit_p.set_defaults(func=_cmd_kernel_submit)
     return parser
 
 

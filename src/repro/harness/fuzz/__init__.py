@@ -46,6 +46,7 @@ from repro.harness.fuzz.oracles import (
     MutantBatchCore,
     MutantFastCore,
     batched_oracle,
+    dsl_oracle,
     run_case,
 )
 
@@ -62,6 +63,7 @@ __all__ = [
     "batched_oracle",
     "chaos_scenario_names",
     "default_corpus_dir",
+    "dsl_oracle",
     "iter_corpus",
     "load_entry",
     "replay_entry",

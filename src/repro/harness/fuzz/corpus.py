@@ -22,7 +22,7 @@ from repro.isa import assemble
 CORPUS_FORMAT = "repro-fuzz-case-v1"
 
 #: Oracles whose findings are case-shaped and therefore replayable.
-REPLAYABLE_ORACLES = ("parity", "batched", "lint", "ir")
+REPLAYABLE_ORACLES = ("parity", "batched", "lint", "ir", "dsl")
 
 
 def default_corpus_dir() -> pathlib.Path:
@@ -83,6 +83,12 @@ def replay_entry(path, candidate_cls: type | None = None
 # ---------------------------------------------------------------------
 
 def _assembles(case: FuzzCase) -> bool:
+    if case.kind == "dsl":
+        # DSL sources need not stay parseable under shrinking — an
+        # unparseable source is a legitimate oracle input (that is
+        # what the RPR500/501 findings are about); ``_still_fails``
+        # alone decides whether a removal preserved the finding.
+        return True
     try:
         assemble(case.source, name="shrink-probe")
     except ReproError:

@@ -20,10 +20,14 @@ from repro.harness.fuzz.generator import CASE_KINDS, CaseGenerator
 from repro.harness.fuzz.oracles import Finding, check_case
 from repro.obs import MetricsRegistry, maybe_span
 
-ALL_ORACLES = ("parity", "batched", "lint", "ir", "perfbound", "chaos")
+ALL_ORACLES = ("parity", "batched", "lint", "ir", "perfbound", "chaos",
+               "dsl")
 REPORT_FORMAT = "repro-fuzz-report-v1"
 
-#: Which case kinds each per-case oracle applies to.
+#: Which case kinds each per-case oracle applies to.  The ``dsl``
+#: oracle is absent: its cases come from the dedicated
+#: ``generate_dsl`` stream (a post-loop block, like chaos) so the main
+#: case stream stays byte-identical across versions.
 _ORACLE_KINDS = {
     "parity": ("scalar", "dyser"),
     "batched": ("scalar", "dyser"),
@@ -113,6 +117,27 @@ class FuzzReport:
         return f"{head}\n{body}"
 
 
+def _record_finding(case, finding, oracle, candidate, options, report,
+                    metrics, events) -> None:
+    """Shrink, persist, and report one finding (shared by the main
+    case loop and the dsl block)."""
+    metrics.counter("fuzz.findings").inc()
+    metrics.counter(f"fuzz.findings.{oracle}").inc()
+    saved_case = case
+    if options.shrink:
+        with maybe_span(events, "fuzz.shrink", "fuzz"):
+            saved_case = corpus_mod.shrink_case(
+                case, lambda c: check_case(c, oracle, candidate))
+        refreshed = check_case(saved_case, oracle, candidate)
+        finding = refreshed or finding
+        metrics.counter("fuzz.shrunk").inc()
+    if options.corpus_dir:
+        path = corpus_mod.save_entry(saved_case, finding,
+                                     options.corpus_dir)
+        report.corpus_entries.append(path.name)
+    report.findings.append(finding)
+
+
 def run_fuzz(options: FuzzOptions | None = None, *,
              metrics: MetricsRegistry | None = None,
              events=None) -> FuzzReport:
@@ -147,24 +172,29 @@ def run_fuzz(options: FuzzOptions | None = None, *,
                 finding = check_case(case, oracle, candidate)
                 if finding is None:
                     continue
-                metrics.counter("fuzz.findings").inc()
-                metrics.counter(f"fuzz.findings.{oracle}").inc()
-                saved_case = case
-                if options.shrink:
-                    with maybe_span(events, "fuzz.shrink", "fuzz"):
-                        saved_case = corpus_mod.shrink_case(
-                            case,
-                            lambda c: check_case(c, oracle, candidate))
-                    refreshed = check_case(saved_case, oracle, candidate)
-                    finding = refreshed or finding
-                    metrics.counter("fuzz.shrunk").inc()
-                if options.corpus_dir:
-                    path = corpus_mod.save_entry(
-                        saved_case, finding, options.corpus_dir)
-                    report.corpus_entries.append(path.name)
-                report.findings.append(finding)
+                _record_finding(case, finding, oracle, candidate,
+                                options, report, metrics, events)
         span["cases"] = report.cases_run
         span["findings"] = len(report.findings)
+    if "dsl" in options.oracles and not report.truncated:
+        # The dsl stream is sized off the main campaign (one dsl case
+        # per four requested) and shares the time budget.
+        n_dsl = max(1, options.cases // 4) if options.cases else 0
+        with maybe_span(events, "fuzz.dsl", "fuzz") as span:
+            for index in range(n_dsl):
+                if deadline is not None and time.monotonic() > deadline:
+                    report.truncated = True
+                    break
+                case = generator.generate_dsl(index)
+                report.cases_run += 1
+                report.kinds["dsl"] = report.kinds.get("dsl", 0) + 1
+                metrics.counter("fuzz.cases").inc()
+                metrics.counter("fuzz.cases.dsl").inc()
+                finding = check_case(case, "dsl")
+                if finding is not None:
+                    _record_finding(case, finding, "dsl", None,
+                                    options, report, metrics, events)
+            span["findings"] = len(report.findings)
     if "chaos" in options.oracles and not report.truncated:
         with maybe_span(events, "fuzz.chaos", "fuzz") as span:
             chaos_findings = run_chaos(options.seed,

@@ -23,6 +23,10 @@ self-check:
 - **perfbound** — the static performance analyzer's lower bound must
   never exceed the reference run's measured cycles, and an ``exact``
   walk must predict them exactly.
+- **dsl** — the kernel-DSL pipeline (``repro.lang``) must fail closed:
+  validation never raises, every rejection carries stable ``RPR5xx``
+  codes (planted mutants tripping their specific code), and anything
+  accepted must lower and run correctly in both modes.
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ from repro.dyser.serialize import config_to_dict
 from repro.errors import ReproError, stable_error_string
 from repro.harness.fuzz.generator import (
     _BASE,
+    DSL_MUTATIONS,
     FuzzCase,
     default_fabric,
     payload_to_config,
@@ -393,6 +398,92 @@ def perfbound_oracle(case: FuzzCase) -> Finding | None:
     return None
 
 
+def dsl_oracle(case: FuzzCase) -> Finding | None:
+    """The kernel-DSL pipeline contract (dsl cases only).
+
+    Four promises, cross-examined on every generated case:
+
+    - ``check_source`` never raises — bad input yields diagnostics,
+      not exceptions (``harness-crash`` otherwise);
+    - every rejection carries only stable ``RPR5xx`` codes, and a
+      planted mutant's rejection includes the *specific* code its
+      breakage must trip (``rejection-without-rpr5xx`` /
+      ``wrong-code``);
+    - the gate is exact: planted mutants never pass
+      (``mutant-accepted``) and unmutated grammatical kernels never
+      get rejected (``legal-rejected``);
+    - whatever passes the gate actually runs: the lowered workload
+      must complete correctly in both scalar and dyser mode
+      (``accepted-crashed`` / ``accepted-incorrect``).
+    """
+    if case.kind != "dsl":
+        return None
+    from repro.lang import check_source, lower_spec
+
+    try:
+        spec, report = check_source(case.source)
+    except Exception as exc:  # noqa: BLE001 — the contract under test
+        return Finding(
+            "dsl", case.key, "harness-crash",
+            f"check_source raised {type(exc).__name__}: {exc}",
+            seed=case.seed, index=case.index)
+    if spec is None:
+        codes = sorted({d.code for d in report.errors})
+        if not codes or not all(c.startswith("RPR5") for c in codes):
+            return Finding(
+                "dsl", case.key, "rejection-without-rpr5xx",
+                f"rejected with codes {codes}",
+                seed=case.seed, index=case.index)
+        if not case.expect_error:
+            return Finding(
+                "dsl", case.key, "legal-rejected",
+                f"unmutated source rejected with {codes}",
+                seed=case.seed, index=case.index)
+        planted = DSL_MUTATIONS.get(case.label.split("/", 1)[-1])
+        if planted is not None and planted not in codes:
+            return Finding(
+                "dsl", case.key, "wrong-code",
+                f"{case.label} must trip {planted}; got {codes}",
+                seed=case.seed, index=case.index)
+        return None
+    if case.expect_error:
+        return Finding(
+            "dsl", case.key, "mutant-accepted",
+            f"planted {case.label} passed validation",
+            seed=case.seed, index=case.index)
+    from repro.harness import RunConfig, run_workload
+    from repro.workloads import SUITE
+    from repro.workloads.suite import register_workload
+
+    workload = lower_spec(spec)
+    register_workload(workload, replace=True)
+    try:
+        for mode in ("scalar", "dyser"):
+            try:
+                result = run_workload(RunConfig(
+                    workload=workload.name, mode=mode, scale="tiny"))
+            except ReproError as exc:
+                return Finding(
+                    "dsl", case.key, "accepted-crashed",
+                    f"{mode}: {stable_error_string(exc)}",
+                    seed=case.seed, index=case.index)
+            except Exception as exc:  # noqa: BLE001
+                return Finding(
+                    "dsl", case.key, "harness-crash",
+                    f"{mode} run raised {type(exc).__name__}: {exc}",
+                    seed=case.seed, index=case.index)
+            if not result.correct:
+                return Finding(
+                    "dsl", case.key, "accepted-incorrect",
+                    f"{mode} run produced a wrong result",
+                    seed=case.seed, index=case.index)
+    finally:
+        # Keep the process-wide suite clean: fuzz kernels are
+        # throwaway, not registrations.
+        SUITE.pop(workload.name, None)
+    return None
+
+
 #: Oracle dispatch used by the driver and by corpus replay.
 def check_case(case: FuzzCase, oracle: str,
                candidate_cls: type | None = None) -> Finding | None:
@@ -406,4 +497,6 @@ def check_case(case: FuzzCase, oracle: str,
         return ir_oracle(case)
     if oracle == "perfbound":
         return perfbound_oracle(case)
+    if oracle == "dsl":
+        return dsl_oracle(case)
     raise ValueError(f"unknown per-case oracle {oracle!r}")

@@ -1,0 +1,182 @@
+"""Pure-Python reference interpreter over a validated KernelSpec.
+
+This is the DSL's *numpy-reference* role: the lowered workload's
+``prepare`` runs the interpreter over the freshly generated inputs to
+produce the expected outputs the simulator run is checked against.  It
+interprets exactly the AST that lowering prints, so expected values and
+simulated values follow the same operation order.
+
+Semantics of the validated subset are unambiguous: int arithmetic is
+exact (the validator rejects integer division/modulo), float arithmetic
+is IEEE double, comparisons and logical ops produce 0/1 ints.  A step
+budget (:data:`~repro.lang.validate.INTERP_STEP_BUDGET`) bounds
+data-dependent ``while`` loops: exceeding it raises a structured
+:class:`~repro.errors.WorkloadError` instead of hanging a worker.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.errors import WorkloadError
+from repro.lang import nodes
+from repro.lang.validate import INTERP_STEP_BUDGET
+
+
+class _BreakLoop(Exception):
+    pass
+
+
+class _ContinueLoop(Exception):
+    pass
+
+
+class Interpreter:
+    """Execute a kernel body against a name -> value environment.
+
+    Arrays are Python lists (mutated in place); scalars are int/float.
+    """
+
+    def __init__(self, env: dict[str, Any],
+                 budget: int = INTERP_STEP_BUDGET) -> None:
+        self.env = env
+        self.budget = budget
+        self.steps = 0
+
+    def run(self, spec: nodes.KernelSpec) -> None:
+        for stmt in spec.body:
+            self.stmt(stmt)
+
+    # -- statements -----------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.budget:
+            raise WorkloadError(
+                f"kernel exceeded the interpreter step budget "
+                f"({self.budget}); data-dependent loops must terminate",
+                code="RPR540", steps=self.steps)
+
+    def stmt(self, stmt: nodes.Stmt) -> None:
+        self._tick()
+        if isinstance(stmt, nodes.Decl):
+            self.env[stmt.ident] = self.expr(stmt.expr)
+        elif isinstance(stmt, nodes.Assign):
+            self.assign(stmt)
+        elif isinstance(stmt, nodes.If):
+            branch = stmt.then if self.expr(stmt.cond) else stmt.orelse
+            for s in branch:
+                self.stmt(s)
+        elif isinstance(stmt, nodes.For):
+            if isinstance(stmt.init, nodes.Decl):
+                self.env[stmt.init.ident] = self.expr(stmt.init.expr)
+            else:
+                self.assign(stmt.init)
+            while self.expr(stmt.cond):
+                self._tick()
+                try:
+                    for s in stmt.body:
+                        self.stmt(s)
+                except _ContinueLoop:
+                    pass
+                except _BreakLoop:
+                    break
+                self.assign(stmt.step)
+        elif isinstance(stmt, nodes.While):
+            while self.expr(stmt.cond):
+                self._tick()
+                try:
+                    for s in stmt.body:
+                        self.stmt(s)
+                except _ContinueLoop:
+                    continue
+                except _BreakLoop:
+                    break
+        elif isinstance(stmt, nodes.Break):
+            raise _BreakLoop()
+        elif isinstance(stmt, nodes.Continue):
+            raise _ContinueLoop()
+        elif isinstance(stmt, nodes.DyserBlock):
+            for s in stmt.body:
+                self.stmt(s)
+
+    def assign(self, stmt: nodes.Assign) -> None:
+        value = self.expr(stmt.expr)
+        target = stmt.target
+        if isinstance(target, nodes.Index):
+            array = self.env[target.ident]
+            index = self.expr(target.index)
+            if not 0 <= index < len(array):
+                raise WorkloadError(
+                    f"{target.ident}[{index}] is out of bounds "
+                    f"(length {len(array)})",
+                    code="RPR512", index=index, length=len(array))
+            array[index] = value
+        else:
+            self.env[target.ident] = value
+
+    # -- expressions ----------------------------------------------------
+
+    def expr(self, expr: nodes.Expr) -> Any:
+        if isinstance(expr, nodes.Num):
+            return expr.value
+        if isinstance(expr, nodes.Name):
+            return self.env[expr.ident]
+        if isinstance(expr, nodes.Index):
+            array = self.env[expr.ident]
+            index = self.expr(expr.index)
+            if not 0 <= index < len(array):
+                raise WorkloadError(
+                    f"{expr.ident}[{index}] is out of bounds "
+                    f"(length {len(array)})",
+                    code="RPR512", index=index, length=len(array))
+            return array[index]
+        if isinstance(expr, nodes.Call):
+            args = [self.expr(a) for a in expr.args]
+            if expr.fn == "sqrt":
+                if args[0] < 0.0:
+                    raise WorkloadError("sqrt of a negative value",
+                                        code="RPR511", value=args[0])
+                return math.sqrt(args[0])
+            if expr.fn == "abs":
+                return abs(args[0])
+            if expr.fn == "float":
+                return float(args[0])
+            if expr.fn == "min":
+                return min(args)
+            return max(args)
+        if isinstance(expr, nodes.Unary):
+            value = self.expr(expr.operand)
+            return -value if expr.op == "-" else int(not value)
+        assert isinstance(expr, nodes.Binary)
+        op = expr.op
+        if op == "&&":
+            return int(bool(self.expr(expr.lhs))
+                       and bool(self.expr(expr.rhs)))
+        if op == "||":
+            return int(bool(self.expr(expr.lhs))
+                       or bool(self.expr(expr.rhs)))
+        lhs = self.expr(expr.lhs)
+        rhs = self.expr(expr.rhs)
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            if rhs == 0.0:
+                raise WorkloadError("division by zero", code="RPR511")
+            return lhs / rhs
+        if op == "==":
+            return int(lhs == rhs)
+        if op == "!=":
+            return int(lhs != rhs)
+        if op == "<":
+            return int(lhs < rhs)
+        if op == "<=":
+            return int(lhs <= rhs)
+        if op == ">":
+            return int(lhs > rhs)
+        return int(lhs >= rhs)

@@ -1,0 +1,329 @@
+"""Frozen AST for the kernel DSL (:mod:`repro.lang`).
+
+A parsed kernel is a :class:`KernelSpec` — an immutable tree of plain
+dataclasses.  Two properties matter:
+
+- **Content-hashable.**  :meth:`KernelSpec.to_dict` is a canonical,
+  JSON-safe view of the *semantics* of the kernel: source positions are
+  deliberately excluded, so reformatting a kernel (whitespace, comments,
+  line breaks) never changes :func:`kernel_hash`.  The hash keys the
+  kernel store, the service's ``kernel_hash`` handle and the derived
+  workload name.
+- **Frozen.**  Every node is a frozen dataclass built from tuples, so a
+  validated spec can be shared across threads and memoized safely.
+
+Positions (``line``/``col``) ride along on every node for diagnostics
+but use ``compare=False`` and are skipped by ``to_dict``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Union
+
+#: Scale names every DSL kernel must define sizes for (mirrors the
+#: harness' standard scales; extra scales are allowed on top).
+STANDARD_SCALES = ("tiny", "small", "medium")
+
+#: Input-initializer generators the DSL understands.
+INIT_FUNCTIONS = ("uniform", "randint", "monotone", "permutation", "zeros")
+
+#: Intrinsic calls allowed in DSL expressions (a validated subset of the
+#: kernel language's intrinsics — integer division and bit ops are out).
+DSL_INTRINSICS = ("abs", "min", "max", "sqrt", "float")
+
+
+# -- expressions --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    """Integer or float literal (``type`` is ``"int"`` or ``"float"``)."""
+
+    value: Union[int, float]
+    type: str
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"kind": "num", "value": self.value, "type": self.type}
+
+
+@dataclass(frozen=True)
+class Name:
+    ident: str
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"kind": "name", "ident": self.ident}
+
+
+@dataclass(frozen=True)
+class Index:
+    """``array[expr]`` load (or store target, as an lvalue)."""
+
+    ident: str
+    index: "Expr"
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"kind": "index", "ident": self.ident,
+                "index": self.index.to_dict()}
+
+
+@dataclass(frozen=True)
+class Call:
+    """Intrinsic call (``min``, ``max``, ``abs``, ``sqrt``, ``float``)."""
+
+    fn: str
+    args: tuple
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"kind": "call", "fn": self.fn,
+                "args": [a.to_dict() for a in self.args]}
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str
+    operand: "Expr"
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"kind": "unary", "op": self.op,
+                "operand": self.operand.to_dict()}
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"kind": "binary", "op": self.op,
+                "lhs": self.lhs.to_dict(), "rhs": self.rhs.to_dict()}
+
+
+Expr = Union[Num, Name, Index, Call, Unary, Binary]
+
+
+# -- statements ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Decl:
+    """``int i = expr;`` — local variable declaration."""
+
+    type: str
+    ident: str
+    expr: Expr
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"kind": "decl", "type": self.type, "ident": self.ident,
+                "expr": self.expr.to_dict()}
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``lvalue = expr;`` where lvalue is a Name or Index node."""
+
+    target: Union[Name, Index]
+    expr: Expr
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"kind": "assign", "target": self.target.to_dict(),
+                "expr": self.expr.to_dict()}
+
+
+@dataclass(frozen=True)
+class If:
+    cond: Expr
+    then: tuple
+    orelse: tuple
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"kind": "if", "cond": self.cond.to_dict(),
+                "then": [s.to_dict() for s in self.then],
+                "orelse": [s.to_dict() for s in self.orelse]}
+
+
+@dataclass(frozen=True)
+class For:
+    init: Union[Decl, Assign]
+    cond: Expr
+    step: Assign
+    body: tuple
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"kind": "for", "init": self.init.to_dict(),
+                "cond": self.cond.to_dict(), "step": self.step.to_dict(),
+                "body": [s.to_dict() for s in self.body]}
+
+
+@dataclass(frozen=True)
+class While:
+    cond: Expr
+    body: tuple
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"kind": "while", "cond": self.cond.to_dict(),
+                "body": [s.to_dict() for s in self.body]}
+
+
+@dataclass(frozen=True)
+class Break:
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"kind": "break"}
+
+
+@dataclass(frozen=True)
+class Continue:
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"kind": "continue"}
+
+
+@dataclass(frozen=True)
+class DyserBlock:
+    """``dyser { ... }`` — declared offload intent.
+
+    Lowering inlines the body (the co-designed compiler picks regions
+    itself); validation checks the declared region against the default
+    fabric's functional-unit and port budgets *before* any worker runs.
+    """
+
+    body: tuple
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"kind": "dyser", "body": [s.to_dict() for s in self.body]}
+
+
+Stmt = Union[Decl, Assign, If, For, While, Break, Continue, DyserBlock]
+
+
+# -- header declarations ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SizeDecl:
+    """``size n = { tiny: 16, small: 48, medium: 160 };`` or a derived
+    size ``size nnz = 4 * n;`` (expr over earlier sizes)."""
+
+    ident: str
+    table: tuple = ()        # ((scale, int), ...) — empty when derived
+    expr: Expr | None = None
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"kind": "size", "ident": self.ident,
+                "table": [list(p) for p in self.table],
+                "expr": self.expr.to_dict() if self.expr else None}
+
+
+@dataclass(frozen=True)
+class InitSpec:
+    """Input generator: ``uniform(lo, hi)``, ``randint(lo, hi)``,
+    ``monotone(total)``, ``permutation()``, ``zeros()``.
+
+    Arguments are expressions: literals for ``uniform`` bounds, size
+    expressions for ``randint``/``monotone`` bounds (``randint(0, n)``).
+    """
+
+    fn: str
+    args: tuple = ()
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {"kind": "init", "fn": self.fn,
+                "args": [a.to_dict() for a in self.args]}
+
+
+@dataclass(frozen=True)
+class ParamDecl:
+    """``in float vals[nnz] = uniform(-1.0, 1.0);`` / ``out float y[n];``
+    / ``in int nrows = n;`` (scalar params are int size expressions)."""
+
+    ident: str
+    type: str                      # "int" | "float"
+    is_out: bool
+    is_array: bool
+    length: Expr | None = None     # size expression (arrays only)
+    init: InitSpec | None = None   # arrays: generator; scalars: None
+    value: Expr | None = None      # scalar ints: size expression
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "param", "ident": self.ident, "type": self.type,
+            "out": self.is_out, "array": self.is_array,
+            "length": self.length.to_dict() if self.length else None,
+            "init": self.init.to_dict() if self.init else None,
+            "value": self.value.to_dict() if self.value else None,
+        }
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One parsed DSL kernel: header + compute body."""
+
+    name: str
+    sizes: tuple = ()    # SizeDecl...
+    params: tuple = ()   # ParamDecl...
+    body: tuple = ()     # Stmt...
+    work: Expr | None = None     # work_items size expression
+    flops: float = 0.0           # flops per work item (reporting only)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "repro-kernel-dsl-v1",
+            "name": self.name,
+            "sizes": [s.to_dict() for s in self.sizes],
+            "params": [p.to_dict() for p in self.params],
+            "body": [s.to_dict() for s in self.body],
+            "work": self.work.to_dict() if self.work else None,
+            "flops": self.flops,
+        }
+
+    @property
+    def kernel_hash(self) -> str:
+        """Stable content hash of the canonical AST (hex sha256).
+
+        Positions are excluded, so formatting never changes identity.
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    @property
+    def workload_name(self) -> str:
+        """The suite-registry name a submitted kernel runs under."""
+        return f"dsl:{self.kernel_hash[:16]}"

@@ -1,0 +1,151 @@
+"""Content-addressed store for validated DSL kernels.
+
+Submitted kernels are named by content: ``dsl:<sha256[:16]>`` of the
+canonical AST (see :meth:`~repro.lang.nodes.KernelSpec.kernel_hash`).
+The store persists the *source text* keyed by that handle so any
+process — engine pool workers, ``repro serve`` shards, a fresh CLI —
+can resolve a ``dsl:`` workload name by re-validating and re-lowering
+the stored source.  Entries are immutable (same name ⟺ same content),
+so a shared directory needs no coherence protocol and the last writer
+wins with identical bytes.
+
+Resolution order for the store root:
+
+1. ``$REPRO_KERNEL_DIR``;
+2. ``<artifact cache root>/kernels`` (see
+   :func:`repro.engine.cache.default_cache_dir`).
+
+:func:`set_default_kernel_dir` pins the root via the environment so
+forked worker processes inherit the same resolution.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.errors import WorkloadError
+from repro.lang import nodes
+
+KERNEL_DIR_ENV = "REPRO_KERNEL_DIR"
+
+#: Serialization format tag for store entries.
+STORE_FORMAT = "repro-kernel-dsl-v1"
+
+#: Prefix of suite names that resolve through the store.
+DSL_PREFIX = "dsl:"
+
+
+def default_kernel_dir() -> pathlib.Path:
+    env = os.environ.get(KERNEL_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    from repro.engine.cache import default_cache_dir
+
+    return default_cache_dir() / "kernels"
+
+
+def set_default_kernel_dir(path: str | os.PathLike) -> None:
+    """Pin the store root for this process *and* forked children."""
+    os.environ[KERNEL_DIR_ENV] = str(path)
+
+
+class KernelStore:
+    """Directory of ``<hash16>.json`` entries, one per kernel."""
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = (pathlib.Path(root) if root is not None
+                     else default_kernel_dir())
+
+    def path_for(self, workload_name: str) -> pathlib.Path:
+        if not workload_name.startswith(DSL_PREFIX):
+            raise WorkloadError(
+                f"not a DSL workload name: {workload_name!r}")
+        return self.root / f"{workload_name[len(DSL_PREFIX):]}.json"
+
+    def put(self, source: str, spec: nodes.KernelSpec) -> dict:
+        """Persist a *validated* kernel; returns the JSON entry."""
+        entry = {
+            "format": STORE_FORMAT,
+            "kernel_hash": spec.kernel_hash,
+            "workload": spec.workload_name,
+            "name": spec.name,
+            "source": source,
+        }
+        path = self.path_for(spec.workload_name)
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            _unlink_quietly(tmp)
+            raise
+        return entry
+
+    def load_source(self, workload_name: str) -> str | None:
+        """The stored source for a ``dsl:`` name, or None if absent."""
+        path = self.path_for(workload_name)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise WorkloadError(
+                f"corrupt kernel-store entry {path}: {exc}",
+                workload=workload_name) from exc
+        if entry.get("format") != STORE_FORMAT:
+            raise WorkloadError(
+                f"unknown kernel-store format {entry.get('format')!r}",
+                workload=workload_name)
+        source = entry.get("source")
+        if not isinstance(source, str):
+            raise WorkloadError(
+                f"kernel-store entry {path} has no source",
+                workload=workload_name)
+        return source
+
+    def names(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(DSL_PREFIX + p.stem
+                      for p in self.root.glob("*.json"))
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def load_workload(workload_name: str,
+                  store: KernelStore | None = None):
+    """Resolve a ``dsl:`` name into a lowered Workload, or None.
+
+    Re-validates the stored source end to end (the store is data, not
+    trusted code) and verifies the content address still matches, so a
+    tampered entry can never run under a stale hash.
+    """
+    from repro.lang.lower import lower_spec
+    from repro.lang.validate import check_source
+
+    store = store or KernelStore()
+    source = store.load_source(workload_name)
+    if source is None:
+        return None
+    spec, report = check_source(source)
+    if spec is None:
+        raise WorkloadError(
+            f"stored kernel {workload_name!r} no longer validates: "
+            f"{report.summary()}",
+            workload=workload_name)
+    if spec.workload_name != workload_name:
+        raise WorkloadError(
+            f"kernel-store entry {workload_name!r} hashes to "
+            f"{spec.workload_name!r}; refusing the mismatched content",
+            workload=workload_name)
+    return lower_spec(spec)

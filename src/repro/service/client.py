@@ -358,6 +358,32 @@ class Client:
                            wait=wait, poll_s=poll_s,
                            wait_timeout=wait_timeout)
 
+    # -- DSL kernels (v2) ------------------------------------------------
+
+    def submit_kernel(self, source: str,
+                      *, raise_on_error: bool = True) -> dict:
+        """Register a DSL kernel (``POST /v2/kernels``).
+
+        Returns the response envelope; on success ``payload['kernel']``
+        carries ``kernel_hash`` and the content-addressed ``workload``
+        name to use in run/sweep/job specs.  A validation rejection
+        (422) raises :class:`ServiceError` whose payload carries the
+        structured RPR5xx ``diagnostics``; pass ``raise_on_error=False``
+        to inspect the envelope yourself.
+        """
+        status, payload = self.request("POST", "/v2/kernels",
+                                       {"source": source})
+        if raise_on_error and (status not in (200, 201)
+                               or not payload.get("ok")):
+            raise ServiceError(_error_message(payload, status),
+                               status=status, payload=payload)
+        return payload
+
+    def kernels(self) -> list[str]:
+        """Workload names of every registered DSL kernel."""
+        payload = self._expect_ok("GET", "/v2/kernels")
+        return list(payload.get("kernels", []))
+
     def job(self, job_id: str, *, results: bool = False) -> JobStatus:
         """Fetch one job's current status (404 → ServiceError)."""
         path = f"/v2/jobs/{job_id}"

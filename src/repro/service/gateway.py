@@ -437,6 +437,10 @@ class GatewayService(HttpDaemon):
                 return self._handle_job_submit(request)
             if path == "/v2/jobs" and method == "GET":
                 return self._handle_job_list(request)
+            if path == "/v2/kernels" and method == "POST":
+                return await self._handle_kernel_submit(request)
+            if path == "/v2/kernels" and method == "GET":
+                return await self._handle_kernel_list(request)
             parts = path.strip("/").split("/")
             if len(parts) == 3 and parts[:2] == ["v2", "jobs"] \
                     and method == "GET":
@@ -729,6 +733,107 @@ class GatewayService(HttpDaemon):
             return status, body, None
         return 200, P.envelope_v2(True, job=record.status_payload()), \
             None
+
+    # -- DSL kernel registration (broadcast) -----------------------------
+
+    async def _handle_kernel_submit(self, request: _Request):
+        """``POST /v2/kernels``: validate at the gateway, then
+        broadcast to *every* live worker.
+
+        Sharding would be wrong here: a sweep over a ``dsl:`` workload
+        lands its points on arbitrary shards (and re-dispatches to the
+        survivors after a crash), so every worker must know the kernel.
+        Validation is deterministic, so the gateway's own verdict and
+        each worker's agree; the gateway gate rejects bad sources
+        without burning a single forward.
+        """
+        from repro.lang import check_source
+
+        if self._draining:
+            status, body = P.error_envelope(
+                P.ERR_UNAVAILABLE, "gateway is draining")
+            return status, body, None
+        source = P.parse_kernel_submission(request.json())
+        spec, report = check_source(source)
+        if spec is None:
+            status, body = P.error_envelope(
+                P.ERR_LINT_REJECTED,
+                "kernel rejected by DSL validation",
+                diagnostics=report.to_dict()["diagnostics"])
+            return status, body, None
+        tenant = request.tenant
+        verdict = self.tenancy.admit_kernel(tenant, spec.kernel_hash)
+        if not verdict.allowed:
+            code = (P.ERR_TENANT_DENIED
+                    if verdict.status == P.STATUS_DENIED
+                    else P.ERR_THROTTLED)
+            status, body = P.error_envelope(
+                code, verdict.reason,
+                retry_after_s=verdict.retry_after_s)
+            headers = ({"Retry-After": f"{verdict.retry_after_s:.3f}"}
+                       if verdict.retry_after_s is not None else None)
+            return status, body, headers
+        payload = json.dumps({"source": source}).encode("utf-8")
+        headers = ({P.TENANT_HEADER: tenant}
+                   if tenant != P.DEFAULT_TENANT else None)
+        live = [addr for addr in sorted(self.workers)
+                if self.workers[addr].healthy]
+        results = await asyncio.gather(*[
+            self._forward_raw(addr, "POST", "/v2/kernels", payload,
+                              headers=headers)
+            for addr in live], return_exceptions=True)
+        accepted, answer = [], None
+        for addr, outcome in zip(live, results, strict=True):
+            if isinstance(outcome, BaseException):
+                continue
+            status, _headers, data = outcome
+            self.workers[addr].forwarded += 1
+            self.instruments.forwarded.inc()
+            if status in (200, 201):
+                accepted.append(addr)
+                if answer is None or status == 201:
+                    answer = (status, data)
+            elif answer is None:
+                answer = (status, data)
+        if not accepted:
+            self.instruments.unavailable.inc()
+            if answer is None:
+                status, body = P.error_envelope(
+                    P.ERR_UNAVAILABLE,
+                    f"no live worker accepted the kernel "
+                    f"({len(live)} tried)")
+                return status, body, None
+            status, data = answer
+            return status, self._decode_body(data), None
+        status, data = answer
+        body = self._decode_body(data)
+        if isinstance(body.get("kernel"), dict):
+            body["kernel"]["workers"] = len(accepted)
+        return status, body, None
+
+    async def _handle_kernel_list(self, request: _Request):
+        """``GET /v2/kernels``: ask any live worker (they converge)."""
+        for addr in sorted(self.workers):
+            if not self.workers[addr].healthy:
+                continue
+            try:
+                status, _headers, data = await self._forward_raw(
+                    addr, "GET", "/v2/kernels", None)
+            except _FORWARD_EXC:
+                continue
+            return status, self._decode_body(data), None
+        status, body = P.error_envelope(
+            P.ERR_UNAVAILABLE, "no live worker to list kernels")
+        return status, body, None
+
+    @staticmethod
+    def _decode_body(data: bytes) -> dict:
+        try:
+            decoded = json.loads(data) if data else {}
+        except ValueError:
+            decoded = {"text": data.decode("utf-8", "replace")}
+        return decoded if isinstance(decoded, dict) \
+            else {"body": decoded}
 
     # -- job runner (forward-backed) -----------------------------------
 

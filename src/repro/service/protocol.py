@@ -19,6 +19,8 @@ Endpoints (all responses are JSON envelopes with an ``ok`` bool):
 ``GET  /v2/jobs``               list jobs (``?state=`` / ``?tenant=``)
 ``GET  /v2/jobs/{id}``          poll one job: state, progress, results
 ``POST /v2/jobs/{id}/cancel``   cancel a queued/running job
+``POST /v2/kernels``            register a DSL kernel (422 on reject)
+``GET  /v2/kernels``            list registered DSL kernels
 ``GET  /healthz``               readiness + queue/inflight gauges
 ``GET  /metrics``               Prometheus text exposition
 ``GET  /v1/stats``              the metrics registry as JSON
@@ -332,6 +334,35 @@ JOB_KIND_SWEEP = "sweep"
 #: ``anonymous`` when absent).
 TENANT_HEADER = "x-repro-tenant"
 DEFAULT_TENANT = "anonymous"
+
+
+#: Largest accepted DSL kernel source (single kernel, not a program).
+MAX_KERNEL_SOURCE_BYTES = 64 * 1024
+
+
+def parse_kernel_submission(body: dict) -> str:
+    """Validate a ``POST /v2/kernels`` body; returns the DSL source.
+
+    Only the transport shape is checked here — the language gate
+    (:func:`repro.lang.check_source`) runs in the handler so its
+    rejection carries structured RPR5xx diagnostics, not a 400.
+    """
+    if not isinstance(body, dict):
+        raise ProtocolError(
+            f"request body must be a JSON object, "
+            f"got {type(body).__name__}")
+    source = body.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ProtocolError(
+            "kernel submission requires a non-empty string 'source' "
+            "field carrying the DSL text")
+    if len(source.encode("utf-8")) > MAX_KERNEL_SOURCE_BYTES:
+        exc = ProtocolError(
+            f"kernel source exceeds the {MAX_KERNEL_SOURCE_BYTES}-byte "
+            f"limit")
+        exc.http_status = 413
+        raise exc
+    return source
 
 
 def sweep_from_payload(body: dict):

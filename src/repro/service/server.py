@@ -42,6 +42,7 @@ import urllib.parse
 
 from repro.engine.cache import ArtifactCache
 from repro.analysis.speclint import lint_spec
+from repro.lang import KernelStore, set_default_kernel_dir
 
 from repro.service import protocol as P
 from repro.service.admission import AdmissionController
@@ -327,11 +328,20 @@ class ReproService(HttpDaemon):
                  worker=None, events=None,
                  max_sweep_specs: int = 1024,
                  journal=None,
-                 tenancy: TenancyController | None = None) -> None:
+                 tenancy: TenancyController | None = None,
+                 kernel_dir=None) -> None:
         super().__init__(host, port)
         self.cache = cache
         self.events = events
         self.max_sweep_specs = max(1, int(max_sweep_specs))
+        #: DSL kernel store (POST /v2/kernels).  Default: next to the
+        #: artifact cache so every process that shares the cache also
+        #: shares the kernels; pinned via the environment so engine
+        #: pool children resolve ``dsl:`` names from the same root.
+        if kernel_dir is None and cache is not None:
+            kernel_dir = cache.root / "kernels"
+        self.kernel_store = KernelStore(kernel_dir)
+        set_default_kernel_dir(self.kernel_store.root)
         self.instruments = ServiceInstruments()
         self.scheduler = Scheduler(
             queue_limit=queue_limit, jobs=jobs,
@@ -590,6 +600,10 @@ class ReproService(HttpDaemon):
                 return self._handle_job_submit(request)
             if path == "/v2/jobs" and method == "GET":
                 return self._handle_job_list(request)
+            if path == "/v2/kernels" and method == "POST":
+                return self._handle_kernel_submit(request)
+            if path == "/v2/kernels" and method == "GET":
+                return self._handle_kernel_list()
             parts = path.strip("/").split("/")
             if len(parts) == 3 and parts[:2] == ["v2", "jobs"] \
                     and method == "GET":
@@ -639,6 +653,57 @@ class ReproService(HttpDaemon):
             tenant=tenant, label=label)
         return 202, P.envelope_v2(True, job=record.status_payload()), \
             None
+
+    def _handle_kernel_submit(self, request: _Request):
+        """``POST /v2/kernels``: validate, persist, register a DSL
+        kernel.  Rejections fail closed *before* any engine work:
+        422 carries the structured RPR5xx diagnostics, 429 a kernel
+        quota with ``Retry-After``.  201 on first registration, 200
+        on an idempotent re-submit of the same content."""
+        from repro.lang import check_source, lower_spec
+        from repro.workloads.suite import register_workload
+
+        if self._draining:
+            status, body = P.error_envelope(
+                P.ERR_UNAVAILABLE, "service is draining")
+            return status, body, None
+        source = P.parse_kernel_submission(request.json())
+        spec, report = check_source(source)
+        if spec is None:
+            status, body = P.error_envelope(
+                P.ERR_LINT_REJECTED,
+                "kernel rejected by DSL validation",
+                diagnostics=report.to_dict()["diagnostics"])
+            return status, body, None
+        tenant = request.tenant
+        verdict = self.tenancy.admit_kernel(tenant, spec.kernel_hash)
+        if not verdict.allowed:
+            code = (P.ERR_TENANT_DENIED
+                    if verdict.status == P.STATUS_DENIED
+                    else P.ERR_THROTTLED)
+            status, body = P.error_envelope(
+                code, verdict.reason,
+                retry_after_s=verdict.retry_after_s)
+            headers = ({"Retry-After": f"{verdict.retry_after_s:.3f}"}
+                       if verdict.retry_after_s is not None else None)
+            return status, body, headers
+        created = \
+            self.kernel_store.load_source(spec.workload_name) is None
+        self.kernel_store.put(source, spec)
+        register_workload(lower_spec(spec), replace=True)
+        kernel = {
+            "kernel_hash": spec.kernel_hash,
+            "workload": spec.workload_name,
+            "name": spec.name,
+            "created": created,
+            "warnings": [d.to_dict() for d in report.warnings],
+        }
+        return (201 if created else 200), \
+            P.envelope_v2(True, kernel=kernel), None
+
+    def _handle_kernel_list(self):
+        return 200, P.envelope_v2(
+            True, kernels=self.kernel_store.names()), None
 
     def _handle_job_list(self, request: _Request):
         query = request.query()

@@ -35,18 +35,21 @@ class TenantQuota:
     """Admission limits for one tenant (or the default for all).
 
     ``rate_per_s=None`` disables rate limiting; ``max_inflight=None``
-    disables the inflight cap.
+    disables the inflight cap; ``max_kernels=None`` lets a tenant
+    register unlimited DSL kernels (``POST /v2/kernels``).
     """
 
     rate_per_s: float | None = None
     burst: int = 8
     max_inflight: int | None = None
+    max_kernels: int | None = None
 
     @classmethod
     def from_dict(cls, doc: dict) -> "TenantQuota":
         return cls(rate_per_s=doc.get("rate_per_s"),
                    burst=int(doc.get("burst", 8)),
-                   max_inflight=doc.get("max_inflight"))
+                   max_inflight=doc.get("max_inflight"),
+                   max_kernels=doc.get("max_kernels"))
 
 
 @dataclass(frozen=True)
@@ -104,6 +107,10 @@ class TenancyController:
         #: Served-request tally per tenant, for fairness accounting
         #: (exposed through /v1/stats and the bench fairness check).
         self.served: dict[str, int] = {}
+        #: Content hashes of DSL kernels each tenant has registered.
+        #: Re-submitting an already-owned kernel is idempotent — it
+        #: never consumes quota, so retries are always safe.
+        self.kernels: dict[str, set[str]] = {}
 
     @property
     def enabled(self) -> bool:
@@ -111,7 +118,9 @@ class TenancyController:
         if self.allowed is not None:
             return True
         quotas = [self.default, *self.quotas.values()]
-        return any(q.rate_per_s is not None or q.max_inflight is not None
+        return any(q.rate_per_s is not None
+                   or q.max_inflight is not None
+                   or q.max_kernels is not None
                    for q in quotas)
 
     def quota_for(self, tenant: str) -> TenantQuota:
@@ -149,6 +158,31 @@ class TenancyController:
         self.inflight[tenant] = self.inflight.get(tenant, 0) + 1
         return _ALLOW
 
+    def admit_kernel(self, tenant: str,
+                     kernel_hash: str) -> AdmissionVerdict:
+        """Check (and on success charge) one kernel registration.
+
+        The count is per distinct content hash: re-submitting a kernel
+        the tenant already owns is admitted without consuming quota,
+        so client retries and gateway re-broadcasts stay idempotent.
+        """
+        if self.allowed is not None and tenant not in self.allowed:
+            return AdmissionVerdict(
+                False, P.STATUS_DENIED,
+                f"tenant {tenant!r} is not on the allowlist")
+        owned = self.kernels.setdefault(tenant, set())
+        if kernel_hash in owned:
+            return _ALLOW
+        quota = self.quota_for(tenant)
+        if quota.max_kernels is not None \
+                and len(owned) >= quota.max_kernels:
+            return AdmissionVerdict(
+                False, P.STATUS_THROTTLED,
+                f"tenant {tenant!r} at max_kernels="
+                f"{quota.max_kernels}", retry_after_s=60.0)
+        owned.add(kernel_hash)
+        return _ALLOW
+
     def release(self, tenant: str, *, served: bool = False) -> None:
         """Return the inflight slot taken by :meth:`admit`."""
         count = self.inflight.get(tenant, 0)
@@ -166,6 +200,8 @@ class TenancyController:
             "enabled": self.enabled,
             "inflight": dict(self.inflight),
             "served": dict(self.served),
+            "kernels": {tenant: len(hashes)
+                        for tenant, hashes in self.kernels.items()},
         }
 
 

@@ -17,12 +17,16 @@ import numpy as np
 from repro.cpu.memory import Memory
 from repro.errors import WorkloadError
 
-#: Workload categories, matching the paper's characterization axes.
+#: Workload categories, matching the paper's characterization axes,
+#: plus the sparse/irregular DSL tier (kernels written in the
+#: :mod:`repro.lang` DSL rather than shipped as Python modules).
 REGULAR = "regular"
 IRREGULAR_COMPUTE = "irregular-compute"
 IRREGULAR_CONTROL = "irregular-control"
+IRREGULAR_DSL = "irregular-dsl"
 
-CATEGORIES = (REGULAR, IRREGULAR_COMPUTE, IRREGULAR_CONTROL)
+CATEGORIES = (REGULAR, IRREGULAR_COMPUTE, IRREGULAR_CONTROL,
+              IRREGULAR_DSL)
 
 
 @dataclass

@@ -1,0 +1,149 @@
+"""The sparse/irregular DSL tier — kernels written *in* the DSL.
+
+Four kernels covering the SPARK00-style sparse/irregular corner the
+paper's hardest results live in, authored in :mod:`repro.lang` rather
+than as Python modules, and lowered through exactly the pipeline user
+submissions take (parse → validate → lower).  They register into the
+``irregular-dsl`` suite category at import time, so every harness that
+iterates the suite (scalar/dyser correctness, backend parity, batched
+lockstep, the perf analyzer) exercises the DSL path for free.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+
+#: CSR sparse matrix-vector product: the classic indirect-gather
+#: pattern (``x[cols[idx]]``) with data-dependent inner trip counts.
+SPMV_CSR = """
+kernel spmv_csr {
+    size n   = { tiny: 12, small: 40, medium: 128 };
+    size nnz = 4 * n;
+    work  = nnz;
+    flops = 2;
+
+    in  float vals[nnz]     = uniform(-1.0, 1.0);
+    in  int   cols[nnz]     = randint(0, n);
+    in  int   rowptr[n + 1] = monotone(nnz);
+    in  float x[n]          = uniform(-1.0, 1.0);
+    in  int   nrows         = n;
+    out float y[n];
+
+    for (int r = 0; r < nrows; r = r + 1) {
+        float acc = 0.0;
+        int end = rowptr[r + 1];
+        for (int idx = rowptr[r]; idx < end; idx = idx + 1) {
+            dyser {
+                acc = acc + vals[idx] * x[cols[idx]];
+            }
+        }
+        y[r] = acc;
+    }
+}
+"""
+
+#: Pointer-chase list traversal: a permutation cycle walked serially.
+#: The ``node = next[node]`` recurrence is the curtailing loop-carried
+#: shape of the paper's E7 discussion — the shape advisories flag it.
+PTR_CHASE = """
+kernel ptr_chase {
+    size n = { tiny: 16, small: 48, medium: 160 };
+    work  = n;
+    flops = 1;
+
+    in  int   next[n] = permutation();
+    in  float val[n]  = uniform(0.0, 1.0);
+    in  int   steps   = n;
+    out float acc[1];
+
+    float sum = 0.0;
+    int node = 0;
+    for (int i = 0; i < steps; i = i + 1) {
+        sum = sum + val[node];
+        node = next[node];
+    }
+    acc[0] = sum;
+}
+"""
+
+#: Irregular-DAG reduction: every node scatter-adds its weight into a
+#: parent with a smaller index (indirect read-modify-write).
+DAG_REDUCE = """
+kernel dag_reduce {
+    size n = { tiny: 16, small: 48, medium: 160 };
+    work  = n;
+    flops = 1;
+
+    in  int   parent[n] = randint(0, n);
+    in  float w[n]      = uniform(0.0, 1.0);
+    in  int   count     = n;
+    out float acc[n];
+
+    acc[0] = w[0];
+    for (int i = 1; i < count; i = i + 1) {
+        int p = min(parent[i], i - 1);
+        dyser {
+            acc[p] = acc[p] + w[i];
+        }
+        acc[i] = acc[i] + w[i];
+    }
+}
+"""
+
+#: Branchy histogram: range-classification diamonds feeding an
+#: indirect increment — control-heavy, low useful-op density.
+HIST_BRANCHY = """
+kernel hist_branchy {
+    size n    = { tiny: 32, small: 96, medium: 320 };
+    size bins = { tiny: 8, small: 8, medium: 8 };
+    work  = n;
+    flops = 1;
+
+    in  float x[n]  = uniform(0.0, 1.0);
+    in  int   count = n;
+    out int   h[bins];
+
+    for (int i = 0; i < count; i = i + 1) {
+        float v = x[i];
+        int b = 0;
+        if (v < 0.25) {
+            b = 0;
+        } else if (v < 0.5) {
+            b = 1;
+        } else if (v < 0.75) {
+            b = 2;
+        } else {
+            b = 3;
+        }
+        if (v * v > 0.5) {
+            b = b + 4;
+        }
+        h[b] = h[b] + 1;
+    }
+}
+"""
+
+#: name -> DSL source for the shipped tier.
+DSL_SOURCES: dict[str, str] = {
+    "spmv_csr_dsl": SPMV_CSR,
+    "ptr_chase_dsl": PTR_CHASE,
+    "dag_reduce_dsl": DAG_REDUCE,
+    "hist_branchy_dsl": HIST_BRANCHY,
+}
+
+
+def build_workloads() -> dict[str, Workload]:
+    """Validate + lower the shipped tier (raises if any fails — a
+    shipped kernel that does not pass its own gate is a bug)."""
+    from repro.lang import check_source, lower_spec
+
+    workloads: dict[str, Workload] = {}
+    for name, source in DSL_SOURCES.items():
+        spec, report = check_source(source)
+        if spec is None:
+            raise WorkloadError(
+                f"shipped DSL kernel {name!r} failed validation:\n"
+                f"{report.render()}")
+        workloads[name] = lower_spec(spec, name=name)
+    return workloads

@@ -3,16 +3,26 @@
 Mirrors the paper's methodology: Parboil/Rodinia-style throughput
 kernels, split into the three characterization categories the compiler
 study uses (regular, computationally-intense irregular, and
-non-computationally-intense irregular / curtailing-shape code).
+non-computationally-intense irregular / curtailing-shape code), plus
+the ``irregular-dsl`` tier authored in the :mod:`repro.lang` DSL.
+
+The registry is *dynamic*: :func:`register_workload` adds kernels at
+runtime, and :func:`get` lazily resolves content-addressed ``dsl:``
+names through the kernel store (:mod:`repro.lang.store`) so engine
+pool workers and service shards can run a submitted kernel they have
+never seen in-process.
 """
 
 from __future__ import annotations
+
+import difflib
 
 from repro.errors import WorkloadError
 from repro.workloads.base import (
     CATEGORIES,
     IRREGULAR_COMPUTE,
     IRREGULAR_CONTROL,
+    IRREGULAR_DSL,
     REGULAR,
     Instance,
     Workload,
@@ -48,12 +58,39 @@ _MODULES = (
 SUITE: dict[str, Workload] = {m.WORKLOAD.name: m.WORKLOAD for m in _MODULES}
 
 
+def register_workload(workload: Workload, *, replace: bool = False) -> None:
+    """Add a workload to the live registry.
+
+    Built-in names are protected; pass ``replace=True`` only for
+    content-addressed ``dsl:`` names (re-registering the same content
+    is idempotent by construction).
+    """
+    if workload.name in SUITE and not replace:
+        raise WorkloadError(
+            f"workload {workload.name!r} is already registered",
+            workload=workload.name)
+    SUITE[workload.name] = workload
+
+
 def get(name: str) -> Workload:
     try:
         return SUITE[name]
     except KeyError:
-        raise WorkloadError(
-            f"unknown workload {name!r}; have {sorted(SUITE)}") from None
+        pass
+    if name.startswith("dsl:"):
+        # Content-addressed submission: resolve through the kernel
+        # store (re-validated + re-lowered), then cache in-process.
+        from repro.lang.store import load_workload
+
+        workload = load_workload(name)
+        if workload is not None:
+            SUITE[name] = workload
+            return workload
+    close = difflib.get_close_matches(name, SUITE, n=1)
+    hint = f" (closest match: {close[0]!r})" if close else ""
+    raise WorkloadError(
+        f"unknown workload {name!r};{hint} have {sorted(SUITE)}",
+        workload=name, suggestion=(close[0] if close else None))
 
 
 def names(category: str | None = None) -> list[str]:
@@ -61,17 +98,34 @@ def names(category: str | None = None) -> list[str]:
     if category is None:
         return list(SUITE)
     if category not in CATEGORIES:
-        raise WorkloadError(f"unknown category {category!r}")
+        close = difflib.get_close_matches(category, CATEGORIES, n=1)
+        hint = f" (closest match: {close[0]!r})" if close else ""
+        raise WorkloadError(
+            f"unknown category {category!r};{hint} have "
+            f"{sorted(CATEGORIES)}",
+            category=category, suggestion=(close[0] if close else None))
     return [n for n, w in SUITE.items() if w.category == category]
+
+
+def _register_dsl_tier() -> None:
+    from repro.workloads.dsl_kernels import build_workloads
+
+    for workload in build_workloads().values():
+        register_workload(workload)
+
+
+_register_dsl_tier()
 
 
 __all__ = [
     "IRREGULAR_COMPUTE",
     "IRREGULAR_CONTROL",
+    "IRREGULAR_DSL",
     "Instance",
     "REGULAR",
     "SUITE",
     "Workload",
     "get",
     "names",
+    "register_workload",
 ]
